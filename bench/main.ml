@@ -1,0 +1,18 @@
+(* Reproduction + performance harness.
+
+     dune exec bench/main.exe            - everything
+     dune exec bench/main.exe -- repro   - paper tables/figures only
+     dune exec bench/main.exe -- perf    - bechamel timings only *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match what with
+  | "repro" -> Repro.all ()
+  | "perf" -> Perf.all ()
+  | "all" ->
+      Repro.all ();
+      Perf.all ()
+  | other ->
+      Printf.eprintf "unknown target %S (expected: repro | perf | all)\n" other;
+      exit 2);
+  print_newline ()

@@ -1,0 +1,123 @@
+(* Bechamel timing benches for the computational kernels behind each
+   experiment: MNA solves and sweeps (the fault simulator), symbolic
+   extraction, detectability analysis, and the covering solvers. *)
+
+open Bechamel
+open Toolkit
+
+module P = Mcdft_core.Pipeline
+module PD = Mcdft_core.Paper_data
+
+let biquad = Circuits.Tow_thomas.make ()
+let biquad_netlist = biquad.Circuits.Benchmark.netlist
+let leapfrog = Circuits.Leapfrog.make ()
+
+let grid_small = Testability.Grid.around ~points_per_decade:5 ~center_hz:1000.0 ()
+
+let probe = { Testability.Detect.source = "Vin"; output = "v2" }
+
+let paper_problem = Cover.Clause.of_matrix PD.detectability_matrix
+
+let random_problem ~n ~m seed =
+  let st = Random.State.make [| seed |] in
+  let d = Array.init n (fun _ -> Array.init m (fun _ -> Random.State.float st 1.0 < 0.25)) in
+  for j = 0 to m - 1 do
+    if not (Array.exists (fun row -> row.(j)) d) then d.(Random.State.int st n).(j) <- true
+  done;
+  Cover.Clause.of_matrix d
+
+let big_problem = random_problem ~n:31 ~m:60 7
+
+let dft = Multiconfig.Transform.make ~source:"Vin" ~output:"v2" biquad_netlist
+let c5 = Multiconfig.Configuration.make ~n_opamps:3 5
+
+let tests =
+  [
+    (* E1/E3/E4 kernel: one AC solve and one log sweep *)
+    Test.make ~name:"mna/solve biquad (1 freq)" (Staged.stage (fun () ->
+        ignore (Mna.Ac.transfer ~source:"Vin" ~output:"v2" biquad_netlist ~omega:6283.0)));
+    Test.make ~name:"mna/solve leapfrog (1 freq)" (Staged.stage (fun () ->
+        ignore
+          (Mna.Ac.transfer ~source:"Vin" ~output:"y5"
+             leapfrog.Circuits.Benchmark.netlist ~omega:6283.0)));
+    Test.make ~name:"mna/sweep biquad (21 freqs)" (Staged.stage (fun () ->
+        ignore
+          (Mna.Ac.sweep ~source:"Vin" ~output:"v2" biquad_netlist
+             ~freqs_hz:(Testability.Grid.freqs_hz grid_small))));
+    (* symbolic oracle *)
+    Test.make ~name:"symbolic/transfer biquad" (Staged.stage (fun () ->
+        ignore (Mna.Symbolic.transfer ~source:"Vin" ~output:"v2" biquad_netlist)));
+    (* E1: one fault analysis under both criteria *)
+    Test.make ~name:"detect/fault, fixed eps" (Staged.stage (fun () ->
+        ignore
+          (Testability.Detect.analyze_fault
+             ~criterion:(Testability.Detect.Fixed_tolerance 0.1) probe grid_small
+             biquad_netlist
+             (Fault.deviation ~element:"R4" 1.2))));
+    Test.make ~name:"detect/fault, envelope" (Staged.stage (fun () ->
+        ignore
+          (Testability.Detect.analyze_fault
+             ~criterion:
+               (Testability.Detect.Process_envelope { component_tol = 0.04; floor = 0.02 })
+             probe grid_small biquad_netlist
+             (Fault.deviation ~element:"R4" 1.2))));
+    (* E3: configuration emulation *)
+    Test.make ~name:"multiconfig/emulate C5" (Staged.stage (fun () ->
+        ignore (Multiconfig.Transform.emulate dft c5)));
+    (* E6-E8 kernels: covering machinery on the paper instance *)
+    Test.make ~name:"cover/petrick paper 7x8" (Staged.stage (fun () ->
+        ignore (Cover.Petrick.expand paper_problem)));
+    Test.make ~name:"cover/exact paper 7x8" (Staged.stage (fun () ->
+        ignore (Cover.Solver.exact paper_problem)));
+    Test.make ~name:"cover/greedy paper 7x8" (Staged.stage (fun () ->
+        ignore (Cover.Solver.greedy paper_problem)));
+    (* extension kernels: adjoint methods and the transient engine *)
+    Test.make ~name:"mna/adjoint sensitivities" (Staged.stage (fun () ->
+        ignore
+          (Mna.Sensitivity.at_omega ~source:"Vin" ~output:"v2" biquad_netlist
+             ~omega:6283.0)));
+    Test.make ~name:"mna/noise psd" (Staged.stage (fun () ->
+        ignore (Mna.Noise.at_omega ~output:"v2" biquad_netlist ~omega:6283.0)));
+    Test.make ~name:"mna/transient 100 steps" (Staged.stage (fun () ->
+        ignore
+          (Mna.Transient.simulate ~record:[ "v2" ] ~t_stop:1e-4 ~dt:1e-6
+             biquad_netlist)));
+    (* X2 kernel: a leapfrog-sized covering instance *)
+    Test.make ~name:"cover/exact random 31x60" (Staged.stage (fun () ->
+        ignore (Cover.Solver.exact big_problem)));
+    Test.make ~name:"cover/greedy random 31x60" (Staged.stage (fun () ->
+        ignore (Cover.Solver.greedy big_problem)));
+  ]
+
+let benchmark () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let grouped = Test.make_grouped ~name:"mcdft" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let print_results results =
+  print_endline "\n==== PERF: Bechamel kernel timings ====\n";
+  Hashtbl.iter
+    (fun _instance tbl ->
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+      let printable =
+        List.map
+          (fun (name, ols) ->
+            let ns =
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Printf.sprintf "%.1f" est
+              | _ -> "n/a"
+            in
+            [ name; ns ])
+          rows
+      in
+      print_endline (Report.Table.render ~header:[ "kernel"; "time (ns/run)" ] printable))
+    results
+
+let all () =
+  let results = benchmark () in
+  print_results results

@@ -1,0 +1,507 @@
+(* mcdft — multi-configuration DFT analysis for analog circuits.
+
+   Subcommands:
+     list                   the built-in benchmark circuits
+     show     CIRCUIT       print the netlist in SPICE form
+     tf       CIRCUIT       symbolic transfer function, poles and zeros
+     analyze  CIRCUIT       functional-configuration testability (Graph 1)
+     matrix   CIRCUIT       detectability matrices over all configurations
+     optimize CIRCUIT       the full ordered-requirements optimization
+
+   CIRCUIT is either a benchmark name from `mcdft list` or a path to a
+   SPICE netlist. *)
+
+open Cmdliner
+
+module O = Mcdft_core.Optimizer
+module P = Mcdft_core.Pipeline
+module IntSet = Cover.Clause.IntSet
+
+(* ---- loading circuits ---- *)
+
+let estimate_center_hz ~source ~output netlist =
+  match Mna.Symbolic.poles ~source ~output netlist with
+  | exception Mna.Symbolic.Singular_circuit _ -> 1000.0
+  | [||] -> 1000.0
+  | poles ->
+      let magnitudes =
+        Array.to_list (Array.map Complex.norm poles)
+        |> List.filter (fun m -> m > 1e-3)
+      in
+      if magnitudes = [] then 1000.0
+      else begin
+        let log_mean =
+          List.fold_left (fun acc m -> acc +. log m) 0.0 magnitudes
+          /. float_of_int (List.length magnitudes)
+        in
+        exp log_mean /. (2.0 *. Float.pi)
+      end
+
+let load_circuit name ~source ~output =
+  match Circuits.Registry.find name with
+  | Some b -> Ok b
+  | None -> (
+      if not (Sys.file_exists name) then
+        Error
+          (Printf.sprintf "%S is neither a benchmark (see `mcdft list`) nor a file" name)
+      else
+        match Spice.Parser.parse_file name with
+        | Error e -> Error (Printf.sprintf "%s: %s" name (Spice.Parser.error_to_string e))
+        | Ok netlist -> (
+            match Circuit.Validate.check netlist with
+            | Error issues ->
+                Error
+                  (String.concat "; " (List.map Circuit.Validate.issue_to_string issues))
+            | Ok () -> (
+                let default_source () =
+                  List.find_map
+                    (function
+                      | Circuit.Element.Vsource { name; _ } -> Some name
+                      | _ -> None)
+                    (Circuit.Netlist.elements netlist)
+                in
+                let default_output () =
+                  match List.rev (Circuit.Netlist.opamps netlist) with
+                  | Circuit.Element.Opamp { out; _ } :: _ -> Some out
+                  | _ -> None
+                in
+                match
+                  ( (match source with Some s -> Some s | None -> default_source ()),
+                    match output with Some o -> Some o | None -> default_output () )
+                with
+                | None, _ -> Error "no voltage source found; pass --source"
+                | _, None -> Error "no opamp output found; pass --output"
+                | Some source, Some output ->
+                    let center_hz = estimate_center_hz ~source ~output netlist in
+                    Ok
+                      {
+                        Circuits.Benchmark.name = Filename.basename name;
+                        description = Circuit.Netlist.title netlist;
+                        netlist;
+                        source;
+                        output;
+                        center_hz;
+                      })))
+
+let parse_one_criterion s =
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "fixed"; eps ] -> (
+      match float_of_string_opt eps with
+      | Some e when e > 0.0 -> Ok (Testability.Detect.Fixed_tolerance e)
+      | _ -> Error (`Msg "fixed criterion needs a positive epsilon, e.g. fixed:0.1"))
+  | [ "envelope"; tol; floor ] -> (
+      match (float_of_string_opt tol, float_of_string_opt floor) with
+      | Some t, Some f when t > 0.0 && f >= 0.0 ->
+          Ok (Testability.Detect.Process_envelope { component_tol = t; floor = f })
+      | _ -> Error (`Msg "envelope criterion needs tol and floor, e.g. envelope:0.04:0.02"))
+  | [ "phase"; rad ] -> (
+      match float_of_string_opt rad with
+      | Some r when r > 0.0 -> Ok (Testability.Detect.Phase_fixed r)
+      | _ -> Error (`Msg "phase criterion needs a positive angle in radians, e.g. phase:0.1"))
+  | [ "phase-envelope"; tol; floor ] -> (
+      match (float_of_string_opt tol, float_of_string_opt floor) with
+      | Some t, Some f when t > 0.0 && f >= 0.0 ->
+          Ok (Testability.Detect.Phase_envelope { component_tol = t; floor_rad = f })
+      | _ ->
+          Error (`Msg "phase-envelope needs tol and floor, e.g. phase-envelope:0.04:0.05"))
+  | _ ->
+      Error
+        (`Msg
+          "criterion must be fixed:EPS, envelope:TOL:FLOOR, phase:RAD or \
+           phase-envelope:TOL:FLOOR (combine with ,)")
+
+(* a comma-separated list is the union of criteria *)
+let parse_criterion s =
+  match String.split_on_char ',' s with
+  | [ one ] -> parse_one_criterion one
+  | many -> (
+      let parsed = List.map parse_one_criterion many in
+      match
+        List.find_map (function Error e -> Some (Error e) | Ok _ -> None) parsed
+      with
+      | Some err -> err
+      | None ->
+          Ok
+            (Testability.Detect.Any_of
+               (List.filter_map (function Ok c -> Some c | Error _ -> None) parsed)))
+
+let rec criterion_str = function
+  | Testability.Detect.Fixed_tolerance e -> Printf.sprintf "fixed:%g" e
+  | Testability.Detect.Process_envelope { component_tol; floor } ->
+      Printf.sprintf "envelope:%g:%g" component_tol floor
+  | Testability.Detect.Phase_fixed r -> Printf.sprintf "phase:%g" r
+  | Testability.Detect.Phase_envelope { component_tol; floor_rad } ->
+      Printf.sprintf "phase-envelope:%g:%g" component_tol floor_rad
+  | Testability.Detect.Any_of l -> String.concat "," (List.map criterion_str l)
+
+let criterion_conv =
+  Arg.conv
+    ( (fun s -> parse_criterion s),
+      fun ppf c -> Format.fprintf ppf "%s" (criterion_str c) )
+
+(* ---- common options ---- *)
+
+let circuit_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT"
+         ~doc:"Benchmark name or SPICE netlist file.")
+
+let source_opt =
+  Arg.(value & opt (some string) None & info [ "source" ] ~docv:"NAME"
+         ~doc:"Driving voltage source (files only; default: first V card).")
+
+let output_opt =
+  Arg.(value & opt (some string) None & info [ "output" ] ~docv:"NODE"
+         ~doc:"Observed output node (files only; default: last opamp output).")
+
+let criterion_opt =
+  Arg.(value & opt criterion_conv P.default_criterion
+       & info [ "criterion" ] ~docv:"CRIT"
+           ~doc:"Detectability criterion: fixed:EPS or envelope:TOL:FLOOR.")
+
+let positive_int =
+  Arg.conv
+    ( (fun s ->
+        match int_of_string_opt s with
+        | Some n when n > 0 -> Ok n
+        | _ -> Error (`Msg "expected a positive integer")),
+      Format.pp_print_int )
+
+let ppd_opt =
+  Arg.(value & opt positive_int 30 & info [ "points-per-decade" ] ~docv:"N"
+         ~doc:"Frequency grid density (positive).")
+
+let fault_kind_opt =
+  Arg.(value & opt (enum [ ("deviation", `Deviation); ("both", `Both); ("catastrophic", `Catastrophic) ])
+         `Deviation
+       & info [ "faults" ] ~docv:"KIND"
+           ~doc:"Fault universe: deviation (+20%), both (±20%) or catastrophic.")
+
+let faults_of kind netlist =
+  match kind with
+  | `Deviation -> Fault.deviation_faults netlist
+  | `Both -> Fault.both_deviations netlist
+  | `Catastrophic -> Fault.catastrophic_faults netlist
+
+let with_circuit name source output f =
+  match load_circuit name ~source ~output with
+  | Error msg ->
+      Printf.eprintf "mcdft: %s\n" msg;
+      exit 1
+  | Ok b -> f b
+
+(* ---- subcommands ---- *)
+
+let list_cmd =
+  let run () =
+    let rows =
+      List.map
+        (fun (b : Circuits.Benchmark.t) ->
+          [
+            b.Circuits.Benchmark.name;
+            string_of_int (Circuits.Benchmark.opamp_count b);
+            string_of_int (Circuits.Benchmark.passive_count b);
+            Printf.sprintf "%g" b.Circuits.Benchmark.center_hz;
+            b.Circuits.Benchmark.description;
+          ])
+        (Circuits.Registry.all ())
+    in
+    print_endline
+      (Report.Table.render ~header:[ "name"; "opamps"; "passives"; "f0 (Hz)"; "description" ] rows)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark circuits")
+    Term.(const run $ const ())
+
+let show_cmd =
+  let run name source output =
+    with_circuit name source output (fun b ->
+        print_string (Spice.Writer.to_string b.Circuits.Benchmark.netlist))
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print the circuit netlist in SPICE form")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt)
+
+let tf_cmd =
+  let run name source output =
+    with_circuit name source output (fun b ->
+        let h =
+          Mna.Symbolic.transfer ~source:b.Circuits.Benchmark.source
+            ~output:b.Circuits.Benchmark.output b.Circuits.Benchmark.netlist
+        in
+        let h = Linalg.Ratfunc.simplify h in
+        Format.printf "H(s) = %a@." Linalg.Ratfunc.pp h;
+        Format.printf "dc gain = %g@." (Linalg.Ratfunc.dc_gain h);
+        Format.printf "group delay at f0 = %.4g s@."
+          (Linalg.Ratfunc.group_delay h
+             (2.0 *. Float.pi *. b.Circuits.Benchmark.center_hz));
+        let print_roots label roots =
+          Format.printf "%s:@." label;
+          Array.iter
+            (fun r ->
+              Format.printf "  %.4g %+.4gi  (|.|/2pi = %.4g Hz)@." r.Complex.re
+                r.Complex.im
+                (Complex.norm r /. (2.0 *. Float.pi)))
+            roots
+        in
+        print_roots "poles" (Linalg.Ratfunc.poles h);
+        print_roots "zeros" (Linalg.Ratfunc.zeros h))
+  in
+  Cmd.v (Cmd.info "tf" ~doc:"Symbolic transfer function, poles and zeros")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt)
+
+let analyze_cmd =
+  let run name source output criterion ppd fault_kind =
+    with_circuit name source output (fun b ->
+        let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
+        let grid =
+          Testability.Grid.around ~points_per_decade:ppd
+            ~center_hz:b.Circuits.Benchmark.center_hz ()
+        in
+        let probe =
+          {
+            Testability.Detect.source = b.Circuits.Benchmark.source;
+            output = b.Circuits.Benchmark.output;
+          }
+        in
+        let results =
+          Testability.Detect.analyze ~criterion probe grid b.Circuits.Benchmark.netlist
+            faults
+        in
+        Printf.printf "circuit: %s   criterion: %s\n" b.Circuits.Benchmark.name
+          (criterion_str criterion);
+        Printf.printf "fault coverage: %.1f%%   <w-det>: %.1f%%\n\n"
+          (100.0 *. Testability.Detect.fault_coverage results)
+          (100.0 *. Testability.Detect.average_omega_det results);
+        let labels =
+          Array.of_list (List.map (fun r -> r.Testability.Detect.fault.Fault.id) results)
+        in
+        let values =
+          Array.of_list
+            (List.map (fun r -> 100.0 *. r.Testability.Detect.omega_det) results)
+        in
+        print_string
+          (Report.Chart.bars ~width:40 ~labels ~series:[ ("w-det %", values) ] ()))
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Testability of the functional configuration (paper Sec. 2)")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
+          $ fault_kind_opt)
+
+let matrix_cmd =
+  let run name source output criterion ppd fault_kind =
+    with_circuit name source output (fun b ->
+        let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
+        let t = P.run ~criterion ~points_per_decade:ppd ~faults b in
+        let m = t.P.matrix in
+        let fault_ids = Array.map (fun f -> f.Fault.id) m.Testability.Matrix.faults in
+        let header = "" :: Array.to_list fault_ids in
+        Printf.printf "fault detectability matrix (%s):\n" (criterion_str criterion);
+        print_endline
+          (Report.Table.render ~header
+             (Array.to_list
+                (Array.mapi
+                   (fun i row ->
+                     m.Testability.Matrix.views.(i).Testability.Matrix.label
+                     :: Array.to_list
+                          (Array.map (fun d -> if d then "1" else "0") row))
+                   m.Testability.Matrix.detect)));
+        Printf.printf "\nw-detectability (%%):\n";
+        print_endline
+          (Report.Table.render ~header
+             (Array.to_list
+                (Array.mapi
+                   (fun i row ->
+                     m.Testability.Matrix.views.(i).Testability.Matrix.label
+                     :: Array.to_list
+                          (Array.map (fun w -> Printf.sprintf "%.1f" (100.0 *. w)) row))
+                   m.Testability.Matrix.omega)));
+        Printf.printf "\nmax fault coverage: %.1f%%\n"
+          (100.0 *. Testability.Matrix.max_fault_coverage m))
+  in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Fault detectability matrix over all test configurations")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
+          $ fault_kind_opt)
+
+let optimize_cmd =
+  let run name source output criterion ppd fault_kind json =
+    with_circuit name source output (fun b ->
+        let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
+        let t = P.run ~criterion ~points_per_decade:ppd ~faults b in
+        let r = P.optimize t in
+        if json then
+          print_endline
+            (Report.Json.to_string ~indent:2 (Mcdft_core.Export.pipeline_to_json t r))
+        else
+        let configs_to_string l =
+          "{" ^ String.concat ", " (List.map (Printf.sprintf "C%d") l) ^ "}"
+        in
+        let opamps_to_string l =
+          "{"
+          ^ String.concat ", "
+              (List.map (fun k -> Multiconfig.Transform.opamp_label t.P.dft k) l)
+          ^ "}"
+        in
+        Printf.printf "circuit: %s   criterion: %s   faults: %d\n"
+          b.Circuits.Benchmark.name (criterion_str criterion) (List.length faults);
+        Printf.printf "\nfundamental requirement:\n";
+        Printf.printf "  functional coverage : %.1f%%\n" (100.0 *. r.O.functional_coverage);
+        Printf.printf "  maximum coverage    : %.1f%%\n" (100.0 *. r.O.max_coverage);
+        if r.O.uncoverable <> [] then
+          Printf.printf "  uncoverable faults  : %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun j -> (List.nth faults j).Fault.id)
+                  r.O.uncoverable));
+        Printf.printf "  essential configs   : %s\n" (configs_to_string r.O.essential);
+        (match r.O.xi_terms_raw with
+        | Some terms when List.length terms <= 12 ->
+            Printf.printf "  xi (SOP)            : %s\n"
+              (String.concat " + "
+                 (List.map
+                    (fun s ->
+                      String.concat "." (List.map (Printf.sprintf "C%d") (IntSet.elements s)))
+                    terms))
+        | _ -> ());
+        Printf.printf "\nobjective A - minimal test configurations:\n";
+        Printf.printf "  chosen set          : %s\n" (configs_to_string r.O.choice_a.O.configs);
+        Printf.printf "  <w-det>             : %.1f%%\n" r.O.choice_a.O.avg_omega;
+        Printf.printf "\nobjective B - minimal configurable opamps (partial DFT):\n";
+        Printf.printf "  configurable opamps : %s\n"
+          (opamps_to_string r.O.choice_b.O.opamps);
+        Printf.printf "  reachable configs   : %s\n"
+          (configs_to_string r.O.choice_b.O.reachable_configs);
+        Printf.printf "  <w-det>             : %.1f%%\n" r.O.choice_b.O.avg_omega_reachable;
+        Printf.printf "\nreference <w-det>: functional %.1f%%, brute-force DFT %.1f%%\n"
+          r.O.functional_avg_omega r.O.brute_force_avg_omega)
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Ordered-requirements optimization of the multi-configuration DFT (Sec. 4)")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
+          $ fault_kind_opt $ json_flag)
+
+let testplan_cmd =
+  let run name source output criterion ppd fault_kind =
+    with_circuit name source output (fun b ->
+        let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
+        let t = P.run ~criterion ~points_per_decade:ppd ~faults b in
+        let plan = Mcdft_core.Test_plan.build t in
+        print_string (Mcdft_core.Test_plan.to_string plan))
+  in
+  Cmd.v
+    (Cmd.info "testplan"
+       ~doc:"Minimal (configuration, frequency) measurement schedule")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
+          $ fault_kind_opt)
+
+let sweep_cmd =
+  let run name source output ppd csv =
+    with_circuit name source output (fun b ->
+        let grid =
+          Testability.Grid.around ~points_per_decade:ppd
+            ~center_hz:b.Circuits.Benchmark.center_hz ()
+        in
+        let freqs = Testability.Grid.freqs_hz grid in
+        let response =
+          Mna.Ac.sweep ~source:b.Circuits.Benchmark.source
+            ~output:b.Circuits.Benchmark.output b.Circuits.Benchmark.netlist
+            ~freqs_hz:freqs
+        in
+        if csv then begin
+          print_endline "freq_hz,magnitude,magnitude_db,phase_rad";
+          Array.iteri
+            (fun i f ->
+              let h = response.(i) in
+              Printf.printf "%g,%g,%g,%g\n" f (Complex.norm h) (Mna.Ac.magnitude_db h)
+                (Complex.arg h))
+            freqs
+        end
+        else begin
+          let mags = Array.map Mna.Ac.magnitude_db response in
+          Printf.printf "|H| in dB, %g Hz .. %g Hz (log):\n%s\n"
+            (Testability.Grid.f_lo grid) (Testability.Grid.f_hi grid)
+            (Report.Chart.sparkline mags);
+          let peak = Array.fold_left Float.max neg_infinity mags in
+          Printf.printf "peak %.1f dB; dc %.1f dB; top %.1f dB\n" peak mags.(0)
+            mags.(Array.length mags - 1)
+        end)
+  in
+  let csv_flag =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a sparkline summary.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Frequency response of the functional circuit")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt $ ppd_opt $ csv_flag)
+
+let diagnose_cmd =
+  let run name source output criterion ppd fault_kind =
+    with_circuit name source output (fun b ->
+        let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
+        let t = P.run ~criterion ~points_per_decade:ppd ~faults b in
+        let dict = Mcdft_core.Diagnosis.build t in
+        let groups = Mcdft_core.Diagnosis.ambiguity_groups dict in
+        Printf.printf "circuit: %s   measurements: %d configs x %d freqs
+"
+          b.Circuits.Benchmark.name
+          (List.length dict.Mcdft_core.Diagnosis.configs)
+          (Array.length dict.Mcdft_core.Diagnosis.freqs_hz);
+        Printf.printf "diagnostic resolution: %.1f%%
+
+"
+          (100.0 *. Mcdft_core.Diagnosis.resolution dict);
+        Printf.printf "ambiguity groups:
+";
+        List.iteri
+          (fun i group ->
+            Printf.printf "  %d. %s
+" (i + 1)
+              (String.concat ", " (List.map (fun f -> f.Fault.id) group)))
+          groups)
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Fault dictionary: ambiguity groups and diagnostic resolution")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
+          $ fault_kind_opt)
+
+let blocks_cmd =
+  let run name source output criterion ppd =
+    with_circuit name source output (fun b ->
+        let t = P.run ~criterion ~points_per_decade:ppd b in
+        let rows =
+          List.map
+            (fun (r : Mcdft_core.Block_access.report) ->
+              [
+                Multiconfig.Transform.opamp_label t.P.dft
+                  r.Mcdft_core.Block_access.but;
+                Multiconfig.Configuration.label r.Mcdft_core.Block_access.access;
+                string_of_int (List.length r.Mcdft_core.Block_access.faults_in_scope);
+                Printf.sprintf "%.1f"
+                  (100.0 *. r.Mcdft_core.Block_access.coverage_functional);
+                Printf.sprintf "%.1f"
+                  (100.0 *. r.Mcdft_core.Block_access.coverage_access);
+              ])
+            (Mcdft_core.Block_access.per_opamp t)
+        in
+        print_endline
+          (Report.Table.render
+             ~header:[ "block"; "access"; "in scope"; "in-situ FC %"; "access FC %" ]
+             rows))
+  in
+  Cmd.v
+    (Cmd.info "blocks"
+       ~doc:"Embedded-block access: per-opamp coverage via the transparency mechanism")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt)
+
+let () =
+  let doc = "multi-configuration DFT analysis for analog circuits (DATE 1998 reproduction)" in
+  let info = Cmd.info "mcdft" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; show_cmd; tf_cmd; analyze_cmd; matrix_cmd; optimize_cmd;
+            testplan_cmd; sweep_cmd; diagnose_cmd; blocks_cmd;
+          ]))

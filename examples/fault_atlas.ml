@@ -1,0 +1,51 @@
+(* A per-fault "atlas": where in the frequency axis each fault is
+   visible, and how the multi-configuration DFT moves those regions.
+
+     dune exec examples/fault_atlas.exe
+
+   Uses the Tow-Thomas notch filter with both soft (±20%) and
+   catastrophic (open/short) faults, and prints the detectability
+   regions as log-frequency interval sets plus a deviation sparkline. *)
+
+module Detect = Testability.Detect
+
+let () =
+  let b = Circuits.Notch.make () in
+  let netlist = b.Circuits.Benchmark.netlist in
+  let probe =
+    { Detect.source = b.Circuits.Benchmark.source; output = b.Circuits.Benchmark.output }
+  in
+  let grid =
+    Testability.Grid.around ~points_per_decade:20
+      ~center_hz:b.Circuits.Benchmark.center_hz ()
+  in
+  let faults = Fault.both_deviations netlist @ Fault.catastrophic_faults netlist in
+  Printf.printf "circuit: %s\n" b.Circuits.Benchmark.description;
+  Printf.printf "faults: %d (±20%% deviations + opens/shorts), grid %g..%g Hz\n\n"
+    (List.length faults) (Testability.Grid.f_lo grid) (Testability.Grid.f_hi grid);
+
+  let nominal = Detect.nominal_response probe grid netlist in
+  let results = Detect.analyze probe grid netlist faults in
+  Printf.printf "coverage %.1f%%, <w-det> %.1f%%\n\n"
+    (100.0 *. Detect.fault_coverage results)
+    (100.0 *. Detect.average_omega_det results);
+
+  List.iter
+    (fun (r : Detect.result) ->
+      let fault = r.Detect.fault in
+      let deviation =
+        let faulty =
+          Mna.Ac.sweep ~source:probe.Detect.source ~output:probe.Detect.output
+            (Fault.inject fault netlist)
+            ~freqs_hz:(Testability.Grid.freqs_hz grid)
+        in
+        Detect.response_deviation ~nominal ~faulty
+      in
+      Printf.printf "%-10s %s  w-det %5.1f%%  dev|%s|\n" fault.Fault.id
+        (if r.Detect.detectable then "DET  " else "     ")
+        (100.0 *. r.Detect.omega_det)
+        (Report.Chart.sparkline (Array.map (fun d -> Float.min d 2.0) deviation));
+      if not (Util.Interval.Set.is_empty r.Detect.regions) then
+        Printf.printf "           regions (log10 Hz): %s\n"
+          (Format.asprintf "%a" Util.Interval.Set.pp r.Detect.regions))
+    results

@@ -1,0 +1,74 @@
+(* Design-space exploration of the partial DFT (paper Section 4.3).
+
+     dune exec examples/partial_dft_design.exe
+
+   For the KHN state-variable filter, every subset of opamps is made
+   configurable in turn and the resulting (silicon cost, coverage,
+   <w-det>) point is reported — the full trade-off curve behind the
+   paper's "best cost/performance trade-off" argument. *)
+
+module P = Mcdft_core.Pipeline
+module O = Mcdft_core.Optimizer
+
+let subsets n =
+  List.init (1 lsl n) (fun mask ->
+      List.filter (fun k -> mask land (1 lsl k) <> 0) (List.init n Fun.id))
+
+let () =
+  let khn = Circuits.Khn.make () in
+  let t = P.run khn in
+  let input = t.P.input in
+  let n = Multiconfig.Transform.n_opamps t.P.dft in
+  Printf.printf "circuit: %s\n" khn.Circuits.Benchmark.description;
+  Printf.printf "maximum coverage with full DFT: %.1f%%\n\n"
+    (100.0
+    *. (let all_rows = List.init (Array.length input.O.detect) Fun.id in
+        let m = Array.length input.O.detect.(0) in
+        float_of_int
+          (List.length
+             (List.filter
+                (fun j -> List.exists (fun i -> input.O.detect.(i).(j)) all_rows)
+                (List.init m Fun.id)))
+        /. float_of_int m));
+
+  let rows =
+    List.map
+      (fun subset ->
+        let mask = List.fold_left (fun m k -> m lor (1 lsl k)) 0 subset in
+        let reachable =
+          List.filter
+            (fun i -> i land lnot mask = 0)
+            (List.init (Array.length input.O.detect) Fun.id)
+        in
+        let m = Array.length input.O.detect.(0) in
+        let covered =
+          List.length
+            (List.filter
+               (fun j -> List.exists (fun i -> input.O.detect.(i).(j)) reachable)
+               (List.init m Fun.id))
+        in
+        let names =
+          if subset = [] then "(none)"
+          else
+            String.concat "+"
+              (List.map (Multiconfig.Transform.opamp_label t.P.dft) subset)
+        in
+        [
+          names;
+          string_of_int (List.length subset);
+          string_of_int (List.length reachable);
+          Printf.sprintf "%.1f" (100.0 *. float_of_int covered /. float_of_int m);
+          Printf.sprintf "%.1f" (O.avg_omega_of input reachable);
+        ])
+      (subsets n)
+  in
+  print_endline
+    (Report.Table.render
+       ~header:[ "configurable opamps"; "cost"; "configs"; "coverage %"; "<w-det> %" ]
+       rows);
+
+  let r = P.optimize t in
+  Printf.printf
+    "\noptimizer's pick: %s — the cheapest subset that keeps maximum coverage\n"
+    (String.concat ", "
+       (List.map (Multiconfig.Transform.opamp_label t.P.dft) r.O.choice_b.O.opamps))

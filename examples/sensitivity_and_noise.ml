@@ -1,0 +1,56 @@
+(* Analog analyses around the DFT flow: adjoint sensitivities, thermal
+   noise, and the quantitative test-time model.
+
+     dune exec examples/sensitivity_and_noise.exe
+
+   Sensitivity is where the paper's testability metric comes from
+   (Slamani & Kaminska's fault observability, its ref [11]); noise and
+   settling time bound what a real tester can resolve and how long a
+   schedule takes. All three come from the same MNA machinery — the
+   sensitivities and the noise even share the adjoint solve. *)
+
+let () =
+  let b = Circuits.Tow_thomas.make () in
+  let netlist = b.Circuits.Benchmark.netlist in
+  let f0 = b.Circuits.Benchmark.center_hz in
+
+  (* 1. normalized component sensitivities at f0: which components the
+     output actually watches in the functional configuration *)
+  Printf.printf "normalized sensitivities |S| of |H| at %g Hz (C0):\n" f0;
+  let sens =
+    Mna.Sensitivity.at_omega ~source:"Vin" ~output:"v2" netlist
+      ~omega:(2.0 *. Float.pi *. f0)
+  in
+  List.iter
+    (fun (s : Mna.Sensitivity.t) ->
+      Printf.printf "  %-4s %.3f\n" s.Mna.Sensitivity.element
+        (Complex.norm s.Mna.Sensitivity.normalized))
+    sens;
+
+  (* 2. output thermal noise: per-resistor contributions and the total
+     integrated noise — the measurement floor any epsilon must beat *)
+  let contributions, psd_f0 =
+    Mna.Noise.at_omega ~output:"v2" netlist ~omega:(2.0 *. Float.pi *. f0)
+  in
+  Printf.printf "\noutput noise PSD at f0: %.3g V^2/Hz, dominated by:\n" psd_f0;
+  List.iter
+    (fun (c : Mna.Noise.contribution) ->
+      Printf.printf "  %-4s %5.1f%%\n" c.Mna.Noise.element
+        (100.0 *. c.Mna.Noise.psd /. psd_f0))
+    (List.sort
+       (fun (a : Mna.Noise.contribution) b -> compare b.Mna.Noise.psd a.Mna.Noise.psd)
+       contributions);
+  let freqs = Util.Floatx.linspace 1.0 (300.0 *. f0) 20_000 in
+  let rms = Mna.Noise.integrated_rms ~output:"v2" netlist ~freqs_hz:freqs in
+  Printf.printf "integrated output noise: %.2f uVrms\n" (rms *. 1e6);
+
+  (* 3. what the optimized test costs in seconds *)
+  let t = Mcdft_core.Pipeline.run b in
+  let plan = Mcdft_core.Test_plan.build t in
+  Printf.printf "\noptimized schedule: %d measurements, estimated %.0f ms\n"
+    (List.length plan.Mcdft_core.Test_plan.measurements)
+    (1e3 *. Mcdft_core.Test_time.estimate_s t plan);
+  let diag = Mcdft_core.Test_plan.build_diagnostic t in
+  Printf.printf "diagnostic schedule: %d measurements, estimated %.0f ms\n"
+    (List.length diag.Mcdft_core.Test_plan.measurements)
+    (1e3 *. Mcdft_core.Test_time.estimate_s t diag)

@@ -1,0 +1,111 @@
+(* Time-domain view of the multi-configuration DFT.
+
+     dune exec examples/transient_switching.exe
+
+   The AC fault-simulation flow treats each configuration as a separate
+   linear circuit; this example shows what a tester would actually
+   observe. Two things stand out:
+
+   - not every emulated configuration is open-loop stable — breaking a
+     feedback loop with a follower can push poles into the right half
+     plane. The symbolic engine flags this per configuration; AC fault
+     simulation is still well-defined there (as in HSPICE), but a
+     transient measurement needs a stable configuration or a bounded
+     burst;
+   - in a stable test configuration, a fault that hides inside the
+     good-circuit tolerance envelope at the functional output becomes a
+     large, unambiguous amplitude shift. *)
+
+module T = Mna.Transient
+
+let steady_state_peak netlist ~freq_hz =
+  let periods = 14.0 in
+  let trace =
+    T.simulate
+      ~waveforms:[ ("Vin", T.Sine { amplitude = 1.0; freq_hz; phase = 0.0 }) ]
+      ~record:[ "v2" ]
+      ~t_stop:(periods /. freq_hz)
+      ~dt:(1.0 /. (freq_hz *. 300.0))
+      netlist
+  in
+  let out = List.assoc "v2" trace.T.signals in
+  let n = Array.length out in
+  (* (max - min)/2 over the tail: insensitive to the DC offset a
+     marginal (integrating) configuration accumulates *)
+  let hi = ref neg_infinity and lo = ref infinity in
+  for i = n - (n / 7) to n - 1 do
+    hi := Float.max !hi out.(i);
+    lo := Float.min !lo out.(i)
+  done;
+  (!hi -. !lo) /. 2.0
+
+let () =
+  let b = Circuits.Tow_thomas.make () in
+  let dft =
+    Multiconfig.Transform.make ~source:"Vin" ~output:"v2" b.Circuits.Benchmark.netlist
+  in
+  (* 1. stability of every emulated configuration *)
+  Printf.printf "open-loop stability of the emulated configurations:\n";
+  let stable =
+    List.filter_map
+      (fun config ->
+        let view = Multiconfig.Transform.emulate dft config in
+        let poles = Mna.Symbolic.poles ~source:"Vin" ~output:"v2" view in
+        let max_re = Array.fold_left (fun acc p -> Float.max acc p.Complex.re) neg_infinity poles in
+        let verdict =
+          if max_re < -1e-6 then "stable"
+          else if max_re < 1e-6 then "marginal (integrating)"
+          else "UNSTABLE"
+        in
+        Printf.printf "  %s (%s): max Re(pole) = %+.3g  %s\n"
+          (Multiconfig.Configuration.label config)
+          (Multiconfig.Configuration.vector config)
+          max_re verdict;
+        if max_re < 1e-6 then Some config else None)
+      (Multiconfig.Transform.test_configurations dft)
+  in
+  Printf.printf "  -> %d of 7 test configurations usable for steady-state measurement\n\n"
+    (List.length stable);
+
+  (* 2. the R4 fault, functional vs test configuration *)
+  let fault = Fault.deviation ~element:"R4" 1.2 in
+  let freq_hz = 1000.0 in
+  let grid = Testability.Grid.make ~points_per_decade:4 ~f_lo:900.0 ~f_hi:1100.0 () in
+  let probe = { Testability.Detect.source = "Vin"; output = "v2" } in
+  Printf.printf "sine burst at %g Hz, %s injected:\n\n" freq_hz fault.Fault.id;
+  List.iter
+    (fun config_index ->
+      let config = Multiconfig.Configuration.make ~n_opamps:3 config_index in
+      let view = Multiconfig.Transform.emulate dft config in
+      let good = steady_state_peak view ~freq_hz in
+      let bad = steady_state_peak (Fault.inject fault view) ~freq_hz in
+      let deviation = 100.0 *. Float.abs (bad -. good) /. good in
+      (* what a good circuit could legitimately show at this frequency *)
+      let mc =
+        Testability.Montecarlo.run ~samples:100 ~component_tol:0.04 probe grid view
+      in
+      let envelope =
+        100.0 *. Array.fold_left Float.max 0.0 mc.Testability.Montecarlo.max_dev
+      in
+      Printf.printf
+        "  %s (%s): fault-free %.4f V, faulty %.4f V -> deviation %5.1f%%  \
+         (good-circuit variation up to %.1f%%)\n"
+        (Multiconfig.Configuration.label config)
+        (Multiconfig.Configuration.vector config)
+        good bad deviation envelope)
+    [ 0; 1 ];
+  Printf.printf
+    "\nIn C0 the fault's signature barely clears what process variation can\n\
+     produce; in C1 (OP1 in follower mode) the integrator is measured almost\n\
+     in isolation, the good-circuit envelope shrinks, and the same fault\n\
+     stands at twice the envelope.\n";
+
+  (* 3. cross-check the transient amplitude against the AC engine *)
+  let c1 = Multiconfig.Configuration.make ~n_opamps:3 1 in
+  let view = Multiconfig.Transform.emulate dft c1 in
+  let ac =
+    Complex.norm
+      (Mna.Ac.transfer ~source:"Vin" ~output:"v2" view ~omega:(2.0 *. Float.pi *. freq_hz))
+  in
+  Printf.printf "\n(AC cross-check in C1: |H| = %.4f vs transient %.4f)\n" ac
+    (steady_state_peak view ~freq_hz)

@@ -1,0 +1,39 @@
+(** Structural influence analysis: which elements can affect an output
+    at all.
+
+    The paper's conclusion names its bottleneck — "the fault
+    detectability matrix construction that implies extensive fault
+    simulation" — and proposes "using structural information to select
+    a first subset of configurations" as future work. This module is
+    that structural pass: a backward reachability over the netlist
+    graph that soundly over-approximates the set of elements able to
+    influence the output voltage. An element outside the set is
+    {e guaranteed} undetectable (its faults cannot move the output);
+    elements inside may or may not be detectable, which fault
+    simulation then decides.
+
+    Propagation rules (ideal elements):
+    - a passive element couples its two terminals symmetrically, but
+      only through terminals that are not {e stiff} (driven by an ideal
+      source: a V source's positive node or a VCVS/opamp output, with
+      the other terminal grounded);
+    - an opamp or VCVS propagates influence from its output to its
+      controlling nodes;
+    - current-controlled sources propagate to the terminals of their
+      sensing source. *)
+
+type t
+
+val analyse : output:string -> Netlist.t -> t
+
+val influential_nodes : t -> string list
+(** Nodes whose voltage can affect the output, sorted. *)
+
+val can_affect_output : t -> string -> bool
+(** [can_affect_output t element] — false means faults on [element]
+    are structurally undetectable at the output. Raises [Not_found]
+    for an unknown element. *)
+
+val influential_passives : t -> string list
+(** The passive elements that can affect the output, in netlist
+    order — the candidate fault set worth simulating. *)

@@ -1,0 +1,86 @@
+module StringSet = Set.Make (String)
+
+type t = { title : string; rev_elements : Element.t list; names : StringSet.t }
+(* Elements kept in reverse insertion order; [names] caches uniqueness. *)
+
+let empty ?(title = "untitled") () =
+  { title; rev_elements = []; names = StringSet.empty }
+
+let title t = t.title
+let elements t = List.rev t.rev_elements
+
+let add e t =
+  let n = Element.name e in
+  if StringSet.mem n t.names then
+    invalid_arg (Printf.sprintf "Netlist.add: duplicate element name %S" n);
+  { t with rev_elements = e :: t.rev_elements; names = StringSet.add n t.names }
+
+let of_elements ?title es =
+  List.fold_left (fun acc e -> add e acc) (empty ?title ()) es
+
+let resistor ~name n1 n2 value t = add (Element.Resistor { name; n1; n2; value }) t
+let capacitor ~name n1 n2 value t = add (Element.Capacitor { name; n1; n2; value }) t
+let inductor ~name n1 n2 value t = add (Element.Inductor { name; n1; n2; value }) t
+let vsource ~name npos nneg value t = add (Element.Vsource { name; npos; nneg; value }) t
+let isource ~name npos nneg value t = add (Element.Isource { name; npos; nneg; value }) t
+
+let vcvs ~name npos nneg cpos cneg gain t =
+  add (Element.Vcvs { name; npos; nneg; cpos; cneg; gain }) t
+
+let vccs ~name npos nneg cpos cneg gm t =
+  add (Element.Vccs { name; npos; nneg; cpos; cneg; gm }) t
+
+let opamp ?(model = Element.Ideal) ~name ~inp ~inn ~out t =
+  add (Element.Opamp { name; inp; inn; out; model }) t
+
+let find t n = List.find_opt (fun e -> Element.name e = n) t.rev_elements
+let find_exn t n = match find t n with Some e -> e | None -> raise Not_found
+let mem t n = StringSet.mem n t.names
+
+let nodes t =
+  let all =
+    List.fold_left
+      (fun acc e -> List.fold_left (fun acc n -> StringSet.add n acc) acc (Element.nodes e))
+      StringSet.empty t.rev_elements
+  in
+  StringSet.elements all
+
+let internal_nodes t = List.filter (fun n -> n <> Element.ground) (nodes t)
+
+let opamps t =
+  List.filter (function Element.Opamp _ -> true | _ -> false) (elements t)
+
+let passives t = List.filter Element.is_passive (elements t)
+let size t = List.length t.rev_elements
+
+let replace e t =
+  let n = Element.name e in
+  if not (StringSet.mem n t.names) then raise Not_found;
+  let swap e' = if Element.name e' = n then e else e' in
+  { t with rev_elements = List.map swap t.rev_elements }
+
+let remove n t =
+  if not (StringSet.mem n t.names) then raise Not_found;
+  { t with
+    rev_elements = List.filter (fun e -> Element.name e <> n) t.rev_elements;
+    names = StringSet.remove n t.names }
+
+let map_value ~name ~f t =
+  let e = find_exn t name in
+  match Element.value e with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Netlist.map_value: element %S has no scalar parameter" name)
+  | Some v -> replace (Element.with_value e (f v)) t
+
+let fresh_node t ~prefix =
+  let used = StringSet.of_list (nodes t) in
+  let rec search k =
+    let candidate = Printf.sprintf "%s%d" prefix k in
+    if StringSet.mem candidate used then search (k + 1) else candidate
+  in
+  if StringSet.mem prefix used then search 1 else prefix
+
+let pp ppf t =
+  Format.fprintf ppf "* %s@." t.title;
+  List.iter (fun e -> Format.fprintf ppf "%a@." Element.pp e) (elements t)

@@ -1,0 +1,94 @@
+type issue =
+  | No_ground
+  | Disconnected of string list
+  | Nonpositive_value of string
+  | Missing_sense of { element : string; vsense : string }
+  | Self_loop of string
+  | Empty_netlist
+
+let issue_to_string = function
+  | No_ground -> "no element is connected to the ground node \"0\""
+  | Disconnected ns ->
+      Printf.sprintf "nodes not connected to ground: %s" (String.concat ", " ns)
+  | Nonpositive_value n ->
+      Printf.sprintf "element %s has a non-positive value" n
+  | Missing_sense { element; vsense } ->
+      Printf.sprintf "element %s senses current through unknown voltage source %s"
+        element vsense
+  | Self_loop n -> Printf.sprintf "element %s has both terminals on the same node" n
+  | Empty_netlist -> "netlist contains no elements"
+
+module StringSet = Set.Make (String)
+
+(* Connectivity from ground across element terminals.  An opamp couples
+   all three of its terminals for this purpose (its output drives a
+   node even though no passive path may exist). *)
+let connected_component netlist =
+  let adjacency = Hashtbl.create 16 in
+  let link a b =
+    let push x y =
+      let existing = Option.value ~default:[] (Hashtbl.find_opt adjacency x) in
+      Hashtbl.replace adjacency x (y :: existing)
+    in
+    push a b;
+    push b a
+  in
+  List.iter
+    (fun e ->
+      match Element.nodes e with
+      | [] | [ _ ] -> ()
+      | first :: rest -> List.iter (link first) rest)
+    (Netlist.elements netlist);
+  let visited = ref StringSet.empty in
+  let rec dfs n =
+    if not (StringSet.mem n !visited) then begin
+      visited := StringSet.add n !visited;
+      List.iter dfs (Option.value ~default:[] (Hashtbl.find_opt adjacency n))
+    end
+  in
+  dfs Element.ground;
+  !visited
+
+let check netlist =
+  let issues = ref [] in
+  let push i = issues := i :: !issues in
+  let elements = Netlist.elements netlist in
+  if elements = [] then push Empty_netlist
+  else begin
+    let nodes = Netlist.nodes netlist in
+    if not (List.mem Element.ground nodes) then push No_ground
+    else begin
+      let reachable = connected_component netlist in
+      let stranded = List.filter (fun n -> not (StringSet.mem n reachable)) nodes in
+      if stranded <> [] then push (Disconnected stranded)
+    end;
+    List.iter
+      (fun e ->
+        (match e with
+        | Element.Resistor { name; value; _ }
+        | Element.Capacitor { name; value; _ }
+        | Element.Inductor { name; value; _ } ->
+            if value <= 0.0 then push (Nonpositive_value name)
+        | Element.Vsource _ | Element.Isource _ | Element.Vcvs _ | Element.Vccs _
+        | Element.Ccvs _ | Element.Cccs _ | Element.Opamp _ -> ());
+        (match e with
+        | Element.Ccvs { name; vsense; _ } | Element.Cccs { name; vsense; _ } -> (
+            match Netlist.find netlist vsense with
+            | Some (Element.Vsource _) -> ()
+            | Some _ | None -> push (Missing_sense { element = name; vsense }))
+        | Element.Resistor _ | Element.Capacitor _ | Element.Inductor _
+        | Element.Vsource _ | Element.Isource _ | Element.Vcvs _ | Element.Vccs _
+        | Element.Opamp _ -> ());
+        match Element.nodes e with
+        | [ a; b ] when a = b -> push (Self_loop (Element.name e))
+        | _ -> ())
+      elements
+  end;
+  match List.rev !issues with [] -> Ok () | l -> Error l
+
+let check_exn netlist =
+  match check netlist with
+  | Ok () -> ()
+  | Error issues ->
+      let msg = String.concat "; " (List.map issue_to_string issues) in
+      invalid_arg ("Validate.check_exn: " ^ msg)

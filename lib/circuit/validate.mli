@@ -1,0 +1,24 @@
+(** Structural sanity checks on netlists.
+
+    Catching modelling mistakes before they reach the solver: missing
+    ground, floating subcircuits, non-positive passive values, dangling
+    current-sense references, self-looped two-terminal elements. *)
+
+type issue =
+  | No_ground  (** No element touches node "0". *)
+  | Disconnected of string list
+      (** Nodes not connected to ground through any element. *)
+  | Nonpositive_value of string  (** R, L or C with value <= 0. *)
+  | Missing_sense of { element : string; vsense : string }
+      (** CCVS/CCCS referencing an unknown or non-V element. *)
+  | Self_loop of string  (** Two-terminal element with both ends on one node. *)
+  | Empty_netlist
+
+val issue_to_string : issue -> string
+
+val check : Netlist.t -> (unit, issue list) result
+(** [Ok ()] when the netlist passes every check; otherwise all issues
+    found. *)
+
+val check_exn : Netlist.t -> unit
+(** Raises [Invalid_argument] with a readable message on failure. *)

@@ -1,0 +1,26 @@
+module Netlist = Circuit.Netlist
+
+(* Classic one-opamp allpass: equal resistors R1 = R2 from input to the
+   inverting path, RC phase shifter on the non-inverting input:
+   H(s) = (1 - s R C) / (1 + s R C). *)
+let first_order ?(f0_hz = 1000.0) () =
+  let c = 10e-9 in
+  let r = 1.0 /. (2.0 *. Float.pi *. f0_hz *. c) in
+  let rg = 10_000.0 in
+  let netlist =
+    Netlist.empty ~title:"First-order allpass" ()
+    |> Netlist.vsource ~name:"Vin" "in" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "in" "vm" rg
+    |> Netlist.resistor ~name:"R2" "vm" "out" rg
+    |> Netlist.resistor ~name:"R3" "in" "vp" r
+    |> Netlist.capacitor ~name:"C1" "vp" "0" c
+    |> Netlist.opamp ~name:"OP1" ~inp:"vp" ~inn:"vm" ~out:"out"
+  in
+  {
+    Benchmark.name = "allpass1";
+    description = "First-order active allpass (flat magnitude, phase-only faults)";
+    netlist;
+    source = "Vin";
+    output = "out";
+    center_hz = f0_hz;
+  }

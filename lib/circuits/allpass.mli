@@ -1,0 +1,6 @@
+(** First-order active allpass: unity magnitude at every frequency,
+    phase swinging from 0 to -180 degrees around f₀. The pathological
+    benchmark for magnitude-only detectability — several faults barely
+    move |H| and only phase-based criteria see them. *)
+
+val first_order : ?f0_hz:float -> unit -> Benchmark.t

@@ -1,0 +1,13 @@
+module Netlist = Circuit.Netlist
+
+type t = {
+  name : string;
+  description : string;
+  netlist : Netlist.t;
+  source : string;
+  output : string;
+  center_hz : float;
+}
+
+let opamp_count t = List.length (Netlist.opamps t.netlist)
+let passive_count t = List.length (Netlist.passives t.netlist)

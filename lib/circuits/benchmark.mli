@@ -1,0 +1,17 @@
+module Netlist := Circuit.Netlist
+
+(** A benchmark circuit: a netlist plus the information needed to drive
+    the testability flow on it (stimulus entry, observation point, and
+    a characteristic frequency for grid placement). *)
+
+type t = {
+  name : string;
+  description : string;
+  netlist : Netlist.t;
+  source : string;  (** Name of the driving voltage source. *)
+  output : string;  (** Observed output node. *)
+  center_hz : float;  (** Characteristic frequency (f₀ or cutoff). *)
+}
+
+val opamp_count : t -> int
+val passive_count : t -> int

@@ -1,0 +1,73 @@
+module Netlist = Circuit.Netlist
+
+let sallen_key_chain ?(sections = 3) ?(f0_hz = 1000.0) () =
+  if sections < 1 then invalid_arg "Cascade.sallen_key_chain: need at least one section";
+  let r = 10_000.0 in
+  let add_section netlist k input =
+    let f0 = f0_hz *. (1.2 ** float_of_int k) in
+    let c = 1.0 /. (2.0 *. Float.pi *. f0 *. r) in
+    let suffix = string_of_int (k + 1) in
+    let a = "a" ^ suffix and b = "b" ^ suffix and out = "o" ^ suffix in
+    let netlist =
+      netlist
+      |> Netlist.resistor ~name:("R1" ^ suffix) input a r
+      |> Netlist.resistor ~name:("R2" ^ suffix) a b r
+      |> Netlist.capacitor ~name:("C1" ^ suffix) a out (2.0 *. c)
+      |> Netlist.capacitor ~name:("C2" ^ suffix) b "0" (c /. 2.0)
+      |> Netlist.opamp ~name:("OP" ^ suffix) ~inp:b ~inn:out ~out
+    in
+    (netlist, out)
+  in
+  let netlist0 =
+    Netlist.empty ~title:(Printf.sprintf "%d-section Sallen-Key cascade" sections) ()
+    |> Netlist.vsource ~name:"Vin" "in" "0" 1.0
+  in
+  let netlist, output =
+    Util.Floatx.fold_range sections ~init:(netlist0, "in") ~f:(fun (nl, input) k ->
+        add_section nl k input)
+  in
+  {
+    Benchmark.name = Printf.sprintf "sk-cascade-%d" sections;
+    description =
+      Printf.sprintf "Cascade of %d unity-gain Sallen-Key lowpass sections" sections;
+    netlist;
+    source = "Vin";
+    output;
+    center_hz = f0_hz;
+  }
+
+(* Two Tow-Thomas biquads with staggered tuning; the second section's
+   input resistor hangs off the first section's lowpass output. *)
+let tow_thomas_pair ?(f0_hz = 1000.0) () =
+  let add_biquad netlist ~suffix ~input ~params =
+    let p : Tow_thomas.params = params in
+    let n s = s ^ suffix in
+    netlist
+    |> Netlist.resistor ~name:(n "R1") input (n "m1") p.Tow_thomas.r1
+    |> Netlist.resistor ~name:(n "R2") (n "m1") (n "v1") p.Tow_thomas.r2
+    |> Netlist.capacitor ~name:(n "C1") (n "m1") (n "v1") p.Tow_thomas.c1
+    |> Netlist.resistor ~name:(n "R3") (n "v3") (n "m1") p.Tow_thomas.r3
+    |> Netlist.opamp ~name:(n "OP1") ~inp:"0" ~inn:(n "m1") ~out:(n "v1")
+    |> Netlist.resistor ~name:(n "R4") (n "v1") (n "m2") p.Tow_thomas.r4
+    |> Netlist.capacitor ~name:(n "C2") (n "m2") (n "v2") p.Tow_thomas.c2
+    |> Netlist.opamp ~name:(n "OP2") ~inp:"0" ~inn:(n "m2") ~out:(n "v2")
+    |> Netlist.resistor ~name:(n "R5") (n "v2") (n "m3") p.Tow_thomas.r5
+    |> Netlist.resistor ~name:(n "R6") (n "m3") (n "v3") p.Tow_thomas.r6
+    |> Netlist.opamp ~name:(n "OP3") ~inp:"0" ~inn:(n "m3") ~out:(n "v3")
+  in
+  let pa = Tow_thomas.params_for ~q:0.54 ~f0_hz () in
+  let pb = Tow_thomas.params_for ~q:1.31 ~f0_hz () in
+  let netlist =
+    Netlist.empty ~title:"Cascaded Tow-Thomas pair (4th order)" ()
+    |> Netlist.vsource ~name:"Vin" "in" "0" 1.0
+  in
+  let netlist = add_biquad netlist ~suffix:"A" ~input:"in" ~params:pa in
+  let netlist = add_biquad netlist ~suffix:"B" ~input:"v2A" ~params:pb in
+  {
+    Benchmark.name = "tt-pair";
+    description = "Two cascaded Tow-Thomas biquads (6 opamps, 4th-order lowpass)";
+    netlist;
+    source = "Vin";
+    output = "v2B";
+    center_hz = f0_hz;
+  }

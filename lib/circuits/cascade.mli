@@ -1,0 +1,12 @@
+(** Cascaded multi-stage filters — the larger benchmarks used to study
+    how the optimization scales with the number of opamps (the paper's
+    "more complex analog circuits" future-work direction). *)
+
+val sallen_key_chain : ?sections:int -> ?f0_hz:float -> unit -> Benchmark.t
+(** [sections] unity-gain Sallen–Key lowpass sections in cascade
+    (default 3 → 3 opamps, 12 passives). Section k is tuned to
+    f₀·(1.2)ᵏ to stagger the poles. *)
+
+val tow_thomas_pair : ?f0_hz:float -> unit -> Benchmark.t
+(** Two Tow–Thomas biquads in cascade — 6 opamps, 16 passives, the
+    2⁶-configuration stress case. *)

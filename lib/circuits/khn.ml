@@ -1,0 +1,43 @@
+module Netlist = Circuit.Netlist
+
+type output_tap = Highpass | Bandpass | Lowpass
+
+(* Classic KHN with R1 = R2 = R3 = R: the non-inverting divider
+   R4/R5 sets Q = (R4 + R5) / (3 R5); integrators give
+   w0 = 1/(R6 C1) = 1/(R7 C2). *)
+let make ?(f0_hz = 1000.0) ?(q = 1.0) ?(tap = Lowpass) () =
+  if f0_hz <= 0.0 || q <= 0.0 then invalid_arg "Khn.make: positive parameters";
+  let r = 10_000.0 in
+  let c = 10e-9 in
+  let ri = 1.0 /. (2.0 *. Float.pi *. f0_hz *. c) in
+  let r5 = r in
+  let r4 = ((3.0 *. q) -. 1.0) *. r5 in
+  if r4 <= 0.0 then invalid_arg "Khn.make: q must exceed 1/3";
+  let netlist =
+    Netlist.empty ~title:"KHN state-variable filter" ()
+    |> Netlist.vsource ~name:"Vin" "in" "0" 1.0
+    (* summing stage *)
+    |> Netlist.resistor ~name:"R1" "in" "na" r
+    |> Netlist.resistor ~name:"R2" "v3" "na" r
+    |> Netlist.resistor ~name:"R3" "v1" "na" r
+    |> Netlist.resistor ~name:"R4" "v2" "nb" r4
+    |> Netlist.resistor ~name:"R5" "nb" "0" r5
+    |> Netlist.opamp ~name:"OP1" ~inp:"nb" ~inn:"na" ~out:"v1"
+    (* integrator 1: v2 = -v1 / (s R6 C1) *)
+    |> Netlist.resistor ~name:"R6" "v1" "m2" ri
+    |> Netlist.capacitor ~name:"C1" "m2" "v2" c
+    |> Netlist.opamp ~name:"OP2" ~inp:"0" ~inn:"m2" ~out:"v2"
+    (* integrator 2: v3 = -v2 / (s R7 C2) *)
+    |> Netlist.resistor ~name:"R7" "v2" "m3" ri
+    |> Netlist.capacitor ~name:"C2" "m3" "v3" c
+    |> Netlist.opamp ~name:"OP3" ~inp:"0" ~inn:"m3" ~out:"v3"
+  in
+  let output = match tap with Highpass -> "v1" | Bandpass -> "v2" | Lowpass -> "v3" in
+  {
+    Benchmark.name = "khn";
+    description = "KHN state-variable filter (3 opamps, HP/BP/LP outputs)";
+    netlist;
+    source = "Vin";
+    output;
+    center_hz = f0_hz;
+  }

@@ -1,0 +1,10 @@
+(** KHN (Kerwin–Huelsman–Newcomb) state-variable filter: a summing
+    amplifier followed by two inverting integrators, with simultaneous
+    highpass, bandpass and lowpass outputs. Three opamps, nine passive
+    components — a second, structurally different 3-opamp block for the
+    multi-configuration experiments. *)
+
+type output_tap = Highpass | Bandpass | Lowpass
+
+val make : ?f0_hz:float -> ?q:float -> ?tap:output_tap -> unit -> Benchmark.t
+(** Defaults: f₀ = 1 kHz, Q = 1, lowpass tap. *)

@@ -1,0 +1,72 @@
+module Netlist = Circuit.Netlist
+
+(* Ladder prototype g-values for a 5th-order Butterworth with 1 Ohm
+   terminations. State equations (V1, I2, V3, I4, V5):
+
+     V1 (s g1 + 1) = Vin - I2
+     I2  s g2      = V1  - V3
+     V3  s g3      = I2  - I4
+     I4  s g4      = V3  - V5
+     V5 (s g5 + 1) = I4
+
+   Realized with inverting integrators on the states
+   y1 = -V1, y2 = I2, y3 = V3, y4 = -I4, y5 = V5:
+
+     y1 = -(Vin + y2n) / (s g1 + 1)      y2n = -y2   (INV6)
+     y2 = -(y1 + y3) / (s g2)
+     y3 = -(y2n + y4n) / (s g3)          y4n = -y4   (INV7)
+     y4 = -(y3 + y5n) / (s g4)           y5n = -y5   (INV8)
+     y5 = -(y4) / (s g5 + 1)
+
+   Each integrator uses unit input resistors R and C_k = g_k/(R w_c);
+   the lossy ones add a feedback resistor R. *)
+let g_values = [| 0.618; 1.618; 2.0; 1.618; 0.618 |]
+
+let make ?(cutoff_hz = 1000.0) () =
+  if cutoff_hz <= 0.0 then invalid_arg "Leapfrog.make: positive cutoff";
+  let r = 10_000.0 in
+  let wc = 2.0 *. Float.pi *. cutoff_hz in
+  let cap k = g_values.(k - 1) /. (r *. wc) in
+  let integrator ~name ~inputs ~lossy ~out netlist =
+    let m = "m_" ^ name in
+    let netlist =
+      List.fold_left
+        (fun nl (rname, from_node) -> Netlist.resistor ~name:rname from_node m r nl)
+        netlist inputs
+    in
+    let netlist =
+      if lossy then Netlist.resistor ~name:("RF_" ^ name) m out r netlist else netlist
+    in
+    netlist
+    |> Netlist.capacitor ~name:("C_" ^ name) m out (cap (int_of_string (String.sub name 1 1)))
+    |> Netlist.opamp ~name:("OP" ^ String.sub name 1 1) ~inp:"0" ~inn:m ~out
+  in
+  let inverter ~idx ~input ~out netlist =
+    let m = Printf.sprintf "m_inv%d" idx in
+    netlist
+    |> Netlist.resistor ~name:(Printf.sprintf "RI%da" idx) input m r
+    |> Netlist.resistor ~name:(Printf.sprintf "RI%db" idx) m out r
+    |> Netlist.opamp ~name:(Printf.sprintf "OP%d" idx) ~inp:"0" ~inn:m ~out
+  in
+  let netlist =
+    Netlist.empty ~title:"Leapfrog 5th-order Butterworth ladder" ()
+    |> Netlist.vsource ~name:"Vin" "in" "0" 1.0
+    |> integrator ~name:"y1" ~inputs:[ ("R1a", "in"); ("R1b", "y2n") ] ~lossy:true ~out:"y1"
+    |> integrator ~name:"y2" ~inputs:[ ("R2a", "y1"); ("R2b", "y3") ] ~lossy:false ~out:"y2"
+    |> integrator ~name:"y3" ~inputs:[ ("R3a", "y2n"); ("R3b", "y4n") ] ~lossy:false ~out:"y3"
+    |> integrator ~name:"y4" ~inputs:[ ("R4a", "y3"); ("R4b", "y5n") ] ~lossy:false ~out:"y4"
+    |> integrator ~name:"y5" ~inputs:[ ("R5a", "y4") ] ~lossy:true ~out:"y5"
+    |> inverter ~idx:6 ~input:"y2" ~out:"y2n"
+    |> inverter ~idx:7 ~input:"y4" ~out:"y4n"
+    |> inverter ~idx:8 ~input:"y5" ~out:"y5n"
+  in
+  {
+    Benchmark.name = "leapfrog5";
+    description =
+      "Active leapfrog simulation of a doubly-terminated 5th-order Butterworth ladder \
+       (8 opamps)";
+    netlist;
+    source = "Vin";
+    output = "y5";
+    center_hz = cutoff_hz;
+  }

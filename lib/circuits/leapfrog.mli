@@ -1,0 +1,12 @@
+(** Active leapfrog simulation of a doubly-terminated 5th-order
+    Butterworth LC ladder.
+
+    Five inverting integrators realize the ladder state equations; the
+    sign pattern of the leapfrog flow graph requires three additional
+    unit inverters, giving eight opamps in total — the largest
+    benchmark in the zoo (2⁸ configurations) and a block with feedback
+    links spanning non-adjacent stages. Passband gain is 1/2 (the
+    doubly-terminated ladder's flat-loss). *)
+
+val make : ?cutoff_hz:float -> unit -> Benchmark.t
+(** Default cutoff: 1 kHz. Output: the load-end state V₅. *)

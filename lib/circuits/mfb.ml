@@ -1,0 +1,33 @@
+module Netlist = Circuit.Netlist
+
+(* Delyiannis-Friend bandpass with equal capacitors C:
+     Vin -R1- a ; R2 a-0 ; C1 a-b ; C2 a-out ; R3 b-out ;
+     opamp inp = ground, inn = b, out = out.
+   With C1 = C2 = C:  w0 = 1/(C sqrt(R3 Rp)) where Rp = R1 || R2,
+   Q = (1/2) sqrt(R3/Rp). *)
+let bandpass ?(f0_hz = 1000.0) ?(q = 2.0) () =
+  if f0_hz <= 0.0 || q <= 0.0 then invalid_arg "Mfb.bandpass: positive parameters";
+  let c = 10e-9 in
+  let w0 = 2.0 *. Float.pi *. f0_hz in
+  let r3 = 2.0 *. q /. (w0 *. c) in
+  let rp = r3 /. (4.0 *. q *. q) in
+  (* split Rp into R1 = 2 Rp and R2 = 2 Rp *)
+  let r1 = 2.0 *. rp and r2 = 2.0 *. rp in
+  let netlist =
+    Netlist.empty ~title:"MFB bandpass" ()
+    |> Netlist.vsource ~name:"Vin" "in" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "in" "a" r1
+    |> Netlist.resistor ~name:"R2" "a" "0" r2
+    |> Netlist.capacitor ~name:"C1" "a" "b" c
+    |> Netlist.capacitor ~name:"C2" "a" "out" c
+    |> Netlist.resistor ~name:"R3" "b" "out" r3
+    |> Netlist.opamp ~name:"OP1" ~inp:"0" ~inn:"b" ~out:"out"
+  in
+  {
+    Benchmark.name = "mfb-bp";
+    description = "Multiple-feedback (Delyiannis-Friend) bandpass section (1 opamp)";
+    netlist;
+    source = "Vin";
+    output = "out";
+    center_hz = f0_hz;
+  }

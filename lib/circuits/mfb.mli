@@ -1,0 +1,6 @@
+(** Multiple-feedback (Delyiannis–Friend) bandpass section — one opamp,
+    two capacitors, three resistors. *)
+
+val bandpass : ?f0_hz:float -> ?q:float -> unit -> Benchmark.t
+(** Inverting bandpass with centre frequency [f0_hz] (default 1 kHz)
+    and quality factor [q] (default 2). *)

@@ -1,0 +1,27 @@
+module Netlist = Circuit.Netlist
+
+(* The Tow-Thomas bandpass output (OP1, node v1) is
+   H_BP = -(s / (R1 C1)) / (s^2 + s/(R2 C1) + w0^2).
+   Summing  out = -(vin + (R1/R2) v1)  cancels the s-term of the
+   numerator against the denominator's, producing the notch
+   H = -(s^2 + w0^2) / (s^2 + s/(R2 C1) + w0^2). *)
+let make ?(f0_hz = 1000.0) ?(q = 1.0) () =
+  let p = Tow_thomas.params_for ~q ~f0_hz () in
+  let biquad = (Tow_thomas.make ~params:p ()).Benchmark.netlist in
+  let rf = 10_000.0 in
+  let rb = rf *. p.Tow_thomas.r2 /. p.Tow_thomas.r1 in
+  let netlist =
+    biquad
+    |> Netlist.resistor ~name:"RA" "in" "m4" rf
+    |> Netlist.resistor ~name:"RB" "v1" "m4" rb
+    |> Netlist.resistor ~name:"RF" "m4" "notch" rf
+    |> Netlist.opamp ~name:"OP4" ~inp:"0" ~inn:"m4" ~out:"notch"
+  in
+  {
+    Benchmark.name = "tt-notch";
+    description = "Tow-Thomas based notch filter (4 opamps, cross-stage feedback)";
+    netlist;
+    source = "Vin";
+    output = "notch";
+    center_hz = f0_hz;
+  }

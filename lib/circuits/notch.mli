@@ -1,0 +1,8 @@
+(** Notch filter: a Tow–Thomas biquad whose bandpass output is summed
+    back with the input so the s-term cancels, leaving a transmission
+    zero at f₀. Four opamps — a circuit where feedback crosses stage
+    boundaries, the situation the paper's multi-configuration technique
+    is designed for. *)
+
+val make : ?f0_hz:float -> ?q:float -> unit -> Benchmark.t
+(** Defaults: f₀ = 1 kHz, Q = 1. Output is the summing stage. *)

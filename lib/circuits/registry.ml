@@ -1,0 +1,19 @@
+let all () =
+  [
+    Sallen_key.lowpass ();
+    Sallen_key.highpass ();
+    Mfb.bandpass ();
+    Allpass.first_order ();
+    Wien.bandpass ();
+    Tow_thomas.make ();
+    Khn.make ();
+    Notch.make ();
+    Universal.make ();
+    Universal.make ~response:Universal.Allpass ();
+    Cascade.sallen_key_chain ();
+    Cascade.tow_thomas_pair ();
+    Leapfrog.make ();
+  ]
+
+let find name = List.find_opt (fun b -> b.Benchmark.name = name) (all ())
+let names () = List.map (fun b -> b.Benchmark.name) (all ())

@@ -1,0 +1,10 @@
+(** The benchmark registry: every circuit in the zoo under its stable
+    name, for the CLI and the benches. *)
+
+val all : unit -> Benchmark.t list
+(** Every benchmark with default parameters, smallest first. *)
+
+val find : string -> Benchmark.t option
+(** Look up by {!Benchmark.t.name}, e.g. ["tow-thomas"]. *)
+
+val names : unit -> string list

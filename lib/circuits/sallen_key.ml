@@ -1,0 +1,51 @@
+module Netlist = Circuit.Netlist
+
+(* Unity-gain Sallen-Key with equal resistors: Q is set by the
+   capacitor ratio, C1 = 2 Q C and C2 = C / (2 Q), giving
+   w0 = 1/(R C) with C = sqrt(C1 C2). *)
+let lowpass ?(f0_hz = 1000.0) ?(q = 1.0) () =
+  if f0_hz <= 0.0 || q <= 0.0 then invalid_arg "Sallen_key.lowpass: positive parameters";
+  let r = 10_000.0 in
+  let c = 1.0 /. (2.0 *. Float.pi *. f0_hz *. r) in
+  let c1 = 2.0 *. q *. c and c2 = c /. (2.0 *. q) in
+  let netlist =
+    Netlist.empty ~title:"Sallen-Key lowpass" ()
+    |> Netlist.vsource ~name:"Vin" "in" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "in" "a" r
+    |> Netlist.resistor ~name:"R2" "a" "b" r
+    |> Netlist.capacitor ~name:"C1" "a" "out" c1
+    |> Netlist.capacitor ~name:"C2" "b" "0" c2
+    |> Netlist.opamp ~name:"OP1" ~inp:"b" ~inn:"out" ~out:"out"
+  in
+  {
+    Benchmark.name = "sallen-key-lp";
+    description = "Unity-gain Sallen-Key lowpass section (1 opamp)";
+    netlist;
+    source = "Vin";
+    output = "out";
+    center_hz = f0_hz;
+  }
+
+let highpass ?(f0_hz = 1000.0) ?(q = 1.0) () =
+  if f0_hz <= 0.0 || q <= 0.0 then invalid_arg "Sallen_key.highpass: positive parameters";
+  let c = 10e-9 in
+  let r = 1.0 /. (2.0 *. Float.pi *. f0_hz *. c) in
+  (* dual of the lowpass: R1 = R/(2Q) to ground path swap *)
+  let r1 = r /. (2.0 *. q) and r2 = r *. 2.0 *. q in
+  let netlist =
+    Netlist.empty ~title:"Sallen-Key highpass" ()
+    |> Netlist.vsource ~name:"Vin" "in" "0" 1.0
+    |> Netlist.capacitor ~name:"C1" "in" "a" c
+    |> Netlist.capacitor ~name:"C2" "a" "b" c
+    |> Netlist.resistor ~name:"R1" "a" "out" r1
+    |> Netlist.resistor ~name:"R2" "b" "0" r2
+    |> Netlist.opamp ~name:"OP1" ~inp:"b" ~inn:"out" ~out:"out"
+  in
+  {
+    Benchmark.name = "sallen-key-hp";
+    description = "Unity-gain Sallen-Key highpass section (1 opamp)";
+    netlist;
+    source = "Vin";
+    output = "out";
+    center_hz = f0_hz;
+  }

@@ -1,0 +1,12 @@
+(** Unity-gain Sallen–Key second-order sections (one opamp each).
+
+    The smallest members of the benchmark zoo: with a single opamp the
+    multi-configuration space has just 2 configurations, which makes
+    them handy for exhaustive hand-checked tests. *)
+
+val lowpass : ?f0_hz:float -> ?q:float -> unit -> Benchmark.t
+(** Unity-gain lowpass: Vin -R1- a -R2- b, C1 from a to the output,
+    C2 from b to ground, follower opamp. Defaults: f₀ = 1 kHz, Q = 1. *)
+
+val highpass : ?f0_hz:float -> ?q:float -> unit -> Benchmark.t
+(** The RC-CR dual of {!lowpass}. *)

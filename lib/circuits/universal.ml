@@ -1,0 +1,44 @@
+module Netlist = Circuit.Netlist
+
+type response = Notch | Allpass
+
+(* KHN states (equal-R summer, unity integrators):
+     HP = v1 = -s^2 T(s),  BP = v2 = s w0 T(s) /?,  LP = v3
+   with v2 = -v1/(s tau) and v3 = -v2/(s tau), tau = 1/w0:
+     v1/vin = -s^2 tau^2 / D,  v2/vin = s tau / D,  v3/vin = -1 / D
+   where D = s^2 tau^2 + (s tau)/Q + 1.
+
+   The summer  sum = -(v1 + a v2 + v3) * (Rf/Ri ratios)  then gives
+     notch  (a = 0):      sum/vin =  (s^2 tau^2 + 1) / D
+     allpass(a = 1/Q):    sum/vin =  (s^2 tau^2 - s tau/Q + 1) / D. *)
+let make ?(f0_hz = 1000.0) ?(q = 1.0) ?(response = Notch) () =
+  let khn = Khn.make ~f0_hz ~q () in
+  let rf = 10_000.0 in
+  let netlist = khn.Benchmark.netlist in
+  let netlist =
+    netlist
+    |> Netlist.resistor ~name:"RS1" "v1" "ms" rf
+    |> Netlist.resistor ~name:"RS3" "v3" "ms" rf
+  in
+  let netlist =
+    match response with
+    | Notch -> netlist
+    | Allpass -> Netlist.resistor ~name:"RS2" "v2" "ms" (rf *. q) netlist
+  in
+  let netlist =
+    netlist
+    |> Netlist.resistor ~name:"RSF" "ms" "sum" rf
+    |> Netlist.opamp ~name:"OP4" ~inp:"0" ~inn:"ms" ~out:"sum"
+  in
+  {
+    Benchmark.name =
+      (match response with Notch -> "universal-notch" | Allpass -> "universal-ap");
+    description =
+      (match response with
+      | Notch -> "Universal biquad, notch output (KHN + summing amp, 4 opamps)"
+      | Allpass -> "Universal biquad, allpass output (KHN + summing amp, 4 opamps)");
+    netlist;
+    source = "Vin";
+    output = "sum";
+    center_hz = f0_hz;
+  }

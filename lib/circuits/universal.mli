@@ -1,0 +1,11 @@
+(** Universal (four-opamp) filter: a KHN core plus an output summing
+    amplifier that recombines the HP/BP/LP states into a notch or an
+    allpass response — the classic "universal biquad" configuration.
+    The richest small benchmark: 4 opamps, 12 passives, and an output
+    stage whose faults are invisible at the internal taps. *)
+
+type response = Notch | Allpass
+
+val make : ?f0_hz:float -> ?q:float -> ?response:response -> unit -> Benchmark.t
+(** Defaults: f₀ = 1 kHz, Q = 1, {!Notch}. Output: the summing stage
+    ("sum"). *)

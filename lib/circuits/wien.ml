@@ -1,0 +1,42 @@
+module Netlist = Circuit.Netlist
+
+(* Q-enhanced Wien bandpass: the Wien divider's series RC branch is
+   driven from the amplifier output (positive feedback), the input is
+   injected into the divider node through R3, and a non-inverting stage
+   of gain G = 1 + RB/RA closes the loop:
+
+     out - R1 - C1 - vp        (series branch, feedback)
+     vp  - R2 || C2 - ground   (parallel branch)
+     in  - R3 - vp             (input injection)
+     out = G vp
+
+   The Wien divider peaks at 1/3 at f0 = 1/(2 pi R C), so the loop gain
+   is G/3 and the circuit oscillates at G = 3; below that the pole pair
+   Q rises as G approaches 3. *)
+let bandpass ?(f0_hz = 1000.0) ?(gain = 2.0) () =
+  if gain >= 3.0 then invalid_arg "Wien.bandpass: gain must stay below 3";
+  if gain <= 1.0 then invalid_arg "Wien.bandpass: non-inverting gain must exceed 1";
+  let c = 10e-9 in
+  let r = 1.0 /. (2.0 *. Float.pi *. f0_hz *. c) in
+  let ra = 10_000.0 in
+  let rb = (gain -. 1.0) *. ra in
+  let netlist =
+    Netlist.empty ~title:"Wien-bridge bandpass" ()
+    |> Netlist.vsource ~name:"Vin" "in" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "out" "x" r
+    |> Netlist.capacitor ~name:"C1" "x" "vp" c
+    |> Netlist.resistor ~name:"R2" "vp" "0" r
+    |> Netlist.capacitor ~name:"C2" "vp" "0" c
+    |> Netlist.resistor ~name:"R3" "in" "vp" (10.0 *. r)
+    |> Netlist.resistor ~name:"RA" "vm" "0" ra
+    |> Netlist.resistor ~name:"RB" "vm" "out" rb
+    |> Netlist.opamp ~name:"OP1" ~inp:"vp" ~inn:"vm" ~out:"out"
+  in
+  {
+    Benchmark.name = "wien-bp";
+    description = "Q-enhanced Wien-bridge bandpass (1 opamp, positive feedback)";
+    netlist;
+    source = "Vin";
+    output = "out";
+    center_hz = f0_hz;
+  }

@@ -1,0 +1,7 @@
+(** Wien-bridge bandpass: the series-RC / parallel-RC divider buffered
+    by a non-inverting amplifier of gain below the oscillation limit.
+    One opamp, six passives; peak gain G/3 at f₀ = 1/(2πRC). *)
+
+val bandpass : ?f0_hz:float -> ?gain:float -> unit -> Benchmark.t
+(** [gain] is the amplifier gain (default 2.0; must stay below 3, the
+    Wien oscillation threshold). *)

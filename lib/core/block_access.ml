@@ -1,0 +1,53 @@
+type report = {
+  but : int;
+  access : Multiconfig.Configuration.t;
+  faults_in_scope : string list;
+  coverage_access : float;
+  coverage_functional : float;
+}
+
+let coverage_of matrix ~row ~columns =
+  match columns with
+  | [] -> 0.0
+  | _ ->
+      let detected =
+        List.length
+          (List.filter
+             (fun j -> matrix.Testability.Matrix.detect.(row).(j))
+             columns)
+      in
+      float_of_int detected /. float_of_int (List.length columns)
+
+let per_opamp (pipeline : Pipeline.t) =
+  let dft = pipeline.Pipeline.dft in
+  let n = Multiconfig.Transform.n_opamps dft in
+  let matrix = pipeline.Pipeline.matrix in
+  let fault_index =
+    Array.to_list
+      (Array.mapi (fun j f -> (f.Fault.element, j)) matrix.Testability.Matrix.faults)
+  in
+  List.map
+    (fun k ->
+      let access_index = ((1 lsl n) - 1) land lnot (1 lsl k) in
+      let access = Multiconfig.Configuration.make ~n_opamps:n access_index in
+      let view = Multiconfig.Transform.emulate dft access in
+      let influence =
+        Circuit.Influence.analyse ~output:dft.Multiconfig.Transform.output view
+      in
+      let in_scope_elements = Circuit.Influence.influential_passives influence in
+      let columns =
+        List.filter_map (fun e -> List.assoc_opt e fault_index) in_scope_elements
+      in
+      let faults_in_scope =
+        List.map
+          (fun j -> matrix.Testability.Matrix.faults.(j).Fault.id)
+          columns
+      in
+      {
+        but = k;
+        access;
+        faults_in_scope;
+        coverage_access = coverage_of matrix ~row:access_index ~columns;
+        coverage_functional = coverage_of matrix ~row:0 ~columns;
+      })
+    (List.init n Fun.id)

@@ -1,0 +1,30 @@
+(** Embedded-block access — the paper's original motivation for the
+    multi-configuration technique (§1): to test a block under test
+    (BUT) buried in a multi-stage circuit, switch {e every other} opamp
+    into follower mode, so the stimulus propagates transparently to the
+    BUT's input and its response propagates transparently to the
+    primary output.
+
+    The access configuration of a BUT is itself one of the 2ⁿ−1 test
+    configurations (all selection bits set except the BUT's), so this
+    module is a structured reading of the pipeline's matrix: per block,
+    which faults are in scope there (structurally observable) and how
+    their coverage compares with testing the block in situ (C₀). *)
+
+type report = {
+  but : int;  (** 0-based opamp position of the block under test. *)
+  access : Multiconfig.Configuration.t;
+      (** All other opamps in follower mode. *)
+  faults_in_scope : string list;
+      (** Fault ids structurally observable in the access
+          configuration — the BUT's own neighbourhood. *)
+  coverage_access : float;
+      (** Coverage of the in-scope faults in the access
+          configuration. *)
+  coverage_functional : float;
+      (** Coverage of the same faults in C₀ — the in-situ baseline. *)
+}
+
+val per_opamp : Pipeline.t -> report list
+(** One report per opamp of the pipeline's circuit, in chain order.
+    Blocks with no in-scope fault report coverage 0/0 as 0. *)

@@ -1,0 +1,44 @@
+(** Dictionary-based fault diagnosis over the multi-configuration
+    space.
+
+    The paper's testability work sits in a literature centred on fault
+    {e diagnosis} (its refs [7–10]); this module closes that loop. The
+    fault dictionary stores, for every fault, its pass/fail signature
+    across all (configuration, frequency) measurements; faults with
+    identical signatures form ambiguity groups. Reconfiguration
+    improves diagnosability for the same reason it improves coverage:
+    different configurations separate faults that look alike at the
+    functional output. *)
+
+type dictionary = {
+  configs : int list;  (** Configuration indices, measurement-major order. *)
+  freqs_hz : float array;  (** Grid frequencies within each configuration. *)
+  faults : Fault.t array;
+  signatures : bool array array;
+      (** [signatures.(j)] is fault j's pass/fail pattern over
+          [configs x freqs] (configuration-major). *)
+}
+
+val build : ?configs:int list -> Pipeline.t -> dictionary
+(** Build the dictionary over the given configurations (default: all
+    test configurations of the pipeline). *)
+
+val ambiguity_groups : dictionary -> Fault.t list list
+(** Partition of the faults by identical signature. The all-pass
+    (undetectable) faults, if any, form one group. Groups are ordered
+    by first fault occurrence. *)
+
+val resolution : dictionary -> float
+(** Diagnostic resolution: (number of singleton groups among detectable
+    faults) / (number of detectable faults); 1.0 means every detectable
+    fault is uniquely identifiable. 0 when nothing is detectable. *)
+
+val diagnose : dictionary -> bool array -> (Fault.t * int) list
+(** Candidate faults for an observed signature, sorted by Hamming
+    distance (distance 0 first — exact matches). Raises
+    [Invalid_argument] on a signature length mismatch. *)
+
+val signature_of : Pipeline.t -> dictionary -> Fault.t -> bool array
+(** Simulate the signature a given fault would produce under the
+    dictionary's measurement set — the "tester side" for closed-loop
+    experiments. *)

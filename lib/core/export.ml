@@ -1,0 +1,93 @@
+module J = Report.Json
+module IntSet = Cover.Clause.IntSet
+
+let config_set s = J.List (List.map J.int (IntSet.elements s))
+
+let criterion_to_json (c : Testability.Detect.criterion) =
+  let rec go = function
+    | Testability.Detect.Fixed_tolerance e ->
+        J.Object [ ("kind", J.String "fixed"); ("epsilon", J.Number e) ]
+    | Testability.Detect.Process_envelope { component_tol; floor } ->
+        J.Object
+          [
+            ("kind", J.String "envelope");
+            ("component_tol", J.Number component_tol);
+            ("floor", J.Number floor);
+          ]
+    | Testability.Detect.Phase_fixed r ->
+        J.Object [ ("kind", J.String "phase"); ("radians", J.Number r) ]
+    | Testability.Detect.Phase_envelope { component_tol; floor_rad } ->
+        J.Object
+          [
+            ("kind", J.String "phase-envelope");
+            ("component_tol", J.Number component_tol);
+            ("floor_rad", J.Number floor_rad);
+          ]
+    | Testability.Detect.Any_of l -> J.List (List.map go l)
+  in
+  go c
+
+let report_to_json ?faults (r : Optimizer.report) =
+  let fault_labels =
+    match faults with
+    | Some fs -> List.map (fun f -> J.String f.Fault.id) fs
+    | None ->
+        List.init
+          (if Array.length r.Optimizer.input.Optimizer.detect = 0 then 0
+           else Array.length r.Optimizer.input.Optimizer.detect.(0))
+          (fun j -> J.String (Printf.sprintf "f%d" j))
+  in
+  J.Object
+    [
+      ("n_opamps", J.int r.Optimizer.input.Optimizer.n_opamps);
+      ("faults", J.List fault_labels);
+      ("max_coverage", J.Number r.Optimizer.max_coverage);
+      ("functional_coverage", J.Number r.Optimizer.functional_coverage);
+      ("functional_avg_omega", J.Number r.Optimizer.functional_avg_omega);
+      ("brute_force_avg_omega", J.Number r.Optimizer.brute_force_avg_omega);
+      ("uncoverable_faults", J.List (List.map J.int r.Optimizer.uncoverable));
+      ("essential_configs", J.List (List.map J.int r.Optimizer.essential));
+      ("minimal_config_sets", J.List (List.map config_set r.Optimizer.min_config_sets));
+      ( "choice_configs",
+        J.Object
+          [
+            ( "configs",
+              J.List (List.map J.int r.Optimizer.choice_a.Optimizer.configs) );
+            ("avg_omega", J.Number r.Optimizer.choice_a.Optimizer.avg_omega);
+          ] );
+      ( "choice_opamps",
+        J.Object
+          [
+            ("opamps", J.List (List.map J.int r.Optimizer.choice_b.Optimizer.opamps));
+            ( "reachable_configs",
+              J.List (List.map J.int r.Optimizer.choice_b.Optimizer.reachable_configs) );
+            ( "avg_omega",
+              J.Number r.Optimizer.choice_b.Optimizer.avg_omega_reachable );
+          ] );
+      ( "detect_matrix",
+        J.List
+          (Array.to_list
+             (Array.map
+                (fun row -> J.List (Array.to_list (Array.map (fun b -> J.Bool b) row)))
+                r.Optimizer.input.Optimizer.detect)) );
+      ( "omega_matrix",
+        J.List
+          (Array.to_list
+             (Array.map
+                (fun row -> J.List (Array.to_list (Array.map (fun w -> J.Number w) row)))
+                r.Optimizer.input.Optimizer.omega)) );
+    ]
+
+let pipeline_to_json (t : Pipeline.t) r =
+  let b = t.Pipeline.benchmark in
+  J.Object
+    [
+      ("circuit", J.String b.Circuits.Benchmark.name);
+      ("description", J.String b.Circuits.Benchmark.description);
+      ("source", J.String b.Circuits.Benchmark.source);
+      ("output", J.String b.Circuits.Benchmark.output);
+      ("center_hz", J.Number b.Circuits.Benchmark.center_hz);
+      ("criterion", criterion_to_json t.Pipeline.criterion);
+      ("grid_points", J.int (Testability.Grid.n_points t.Pipeline.grid));
+      ("report", report_to_json ~faults:t.Pipeline.faults r);
+    ]

@@ -1,0 +1,12 @@
+(** Machine-readable export of optimization results (JSON), for CI
+    pipelines and external tooling. *)
+
+val report_to_json : ?faults:Fault.t list -> Optimizer.report -> Report.Json.t
+(** The full ordered-requirements report: coverages, essential
+    configurations, minimal sets, both objective choices, and the
+    detectability/ω matrices. [faults] labels the columns when
+    given. *)
+
+val pipeline_to_json : Pipeline.t -> Optimizer.report -> Report.Json.t
+(** {!report_to_json} wrapped with circuit metadata (name, opamps,
+    criterion, grid). *)

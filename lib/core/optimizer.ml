@@ -1,0 +1,234 @@
+module Clause = Cover.Clause
+module IntSet = Clause.IntSet
+
+type input = {
+  n_opamps : int;
+  detect : bool array array;
+  omega : float array array;
+}
+
+let input_of_matrices ~n_opamps detect omega =
+  let expected_rows = (1 lsl n_opamps) - 1 in
+  if Array.length detect <> expected_rows then
+    invalid_arg
+      (Printf.sprintf "Optimizer.input_of_matrices: expected %d rows, got %d"
+         expected_rows (Array.length detect));
+  if Array.length omega <> expected_rows then
+    invalid_arg "Optimizer.input_of_matrices: omega row count mismatch";
+  let cols = if expected_rows = 0 then 0 else Array.length detect.(0) in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> cols then
+        invalid_arg "Optimizer.input_of_matrices: ragged detect matrix";
+      if Array.length omega.(i) <> cols then
+        invalid_arg "Optimizer.input_of_matrices: ragged omega matrix";
+      Array.iteri
+        (fun j d ->
+          if d && omega.(i).(j) <= 0.0 then
+            invalid_arg
+              (Printf.sprintf
+                 "Optimizer.input_of_matrices: fault %d detectable in C%d but omega = 0"
+                 j i))
+        row)
+    detect;
+  { n_opamps; detect; omega }
+
+type config_choice = { configs : int list; avg_omega : float }
+
+type opamp_choice = {
+  opamps : int list;
+  reachable_configs : int list;
+  avg_omega_reachable : float;
+}
+
+type report = {
+  input : input;
+  uncoverable : int list;
+  max_coverage : float;
+  functional_coverage : float;
+  functional_avg_omega : float;
+  brute_force_avg_omega : float;
+  essential : int list;
+  xi : Clause.t;
+  xi_reduced : Clause.t;
+  xi_terms_raw : IntSet.t list option;
+  xi_terms_min : IntSet.t list option;
+  min_config_sets : IntSet.t list;
+  choice_a : config_choice;
+  xi_star : IntSet.t list option;
+  min_opamp_sets : IntSet.t list;
+  choice_b : opamp_choice;
+}
+
+let n_faults input =
+  if Array.length input.detect = 0 then 0 else Array.length input.detect.(0)
+
+let avg_omega_of input configs =
+  let m = n_faults input in
+  if m = 0 then 0.0
+  else
+    Util.Floatx.fold_range m ~init:0.0 ~f:(fun acc j ->
+        acc
+        +. List.fold_left (fun best i -> Float.max best input.omega.(i).(j)) 0.0 configs)
+    /. float_of_int m
+
+let coverage_of_rows input rows =
+  let m = n_faults input in
+  if m = 0 then 0.0
+  else
+    Util.Floatx.fold_range m ~init:0 ~f:(fun acc j ->
+        if List.exists (fun i -> input.detect.(i).(j)) rows then acc + 1 else acc)
+    |> fun covered -> float_of_int covered /. float_of_int m
+
+(* ---- objective B: exact minimum configurable-opamp subsets --------
+
+   The opamp count of a solution is the cardinality of a bit union, not
+   an additive cost, so instead of weighted covering we enumerate opamp
+   subsets by increasing size and keep the first size at which the
+   reachable configurations still cover every coverable fault.  With
+   n <= 20 opamps this is cheap. *)
+
+let subset_covers input ~mask =
+  let rows = Array.length input.detect in
+  let m = n_faults input in
+  let covered_by_any j =
+    let rec probe i =
+      if i >= rows then false
+      else if i land lnot mask = 0 && input.detect.(i).(j) then true
+      else probe (i + 1)
+    in
+    probe 0
+  in
+  let coverable j =
+    let rec probe i =
+      if i >= rows then false
+      else if input.detect.(i).(j) then true
+      else probe (i + 1)
+    in
+    probe 0
+  in
+  let rec check j =
+    if j >= m then true
+    else if coverable j && not (covered_by_any j) then false
+    else check (j + 1)
+  in
+  check 0
+
+let rec combinations n k start =
+  if k = 0 then [ [] ]
+  else if start >= n then []
+  else
+    List.map (fun rest -> start :: rest) (combinations n (k - 1) (start + 1))
+    @ combinations n k (start + 1)
+
+let mask_of positions = List.fold_left (fun m k -> m lor (1 lsl k)) 0 positions
+
+let min_opamp_subsets input =
+  let n = input.n_opamps in
+  let rec search k =
+    if k > n then []
+    else
+      let winners =
+        List.filter
+          (fun subset -> subset_covers input ~mask:(mask_of subset))
+          (combinations n k 0)
+      in
+      if winners = [] then search (k + 1) else winners
+  in
+  List.map IntSet.of_list (search 0)
+
+let reachable_test_configs input ~mask =
+  let rows = Array.length input.detect in
+  List.filter (fun i -> i land lnot mask = 0) (List.init rows Fun.id)
+
+(* ---- the full ordered-requirements flow --------------------------- *)
+
+let optimize ?(petrick_limit = 5) input =
+  let xi = Clause.of_matrix input.detect in
+  let uncoverable = Clause.uncoverable_faults input.detect in
+  let essential = Clause.essentials xi in
+  let xi_reduced = Clause.reduce xi ~chosen:essential in
+  let use_petrick = input.n_opamps <= petrick_limit in
+  let with_essential terms = List.map (IntSet.union essential) terms in
+  let xi_terms_raw =
+    if use_petrick then Some (with_essential (Cover.Petrick.expand_raw xi_reduced))
+    else None
+  in
+  let xi_terms_min =
+    if use_petrick then
+      Some
+        (List.sort_uniq
+           (fun a b -> List.compare Int.compare (IntSet.elements a) (IntSet.elements b))
+           (with_essential (Cover.Petrick.expand xi_reduced)))
+    else None
+  in
+  let min_config_sets =
+    match xi_terms_min with
+    | Some terms -> Cover.Petrick.cheapest terms
+    | None -> [ Cover.Solver.exact xi ]
+  in
+  let choice_a =
+    let scored =
+      List.map
+        (fun s ->
+          let configs = IntSet.elements s in
+          { configs; avg_omega = avg_omega_of input configs })
+        min_config_sets
+    in
+    List.fold_left
+      (fun best c ->
+        if c.avg_omega > best.avg_omega +. 1e-12 then c
+        else if
+          Float.abs (c.avg_omega -. best.avg_omega) <= 1e-12
+          && List.compare Int.compare c.configs best.configs < 0
+        then c
+        else best)
+      (List.hd scored) (List.tl scored)
+  in
+  let xi_star = Option.map Cover.Mapping.xi_star xi_terms_raw in
+  let min_opamp_sets = min_opamp_subsets input in
+  let choice_b =
+    let scored =
+      List.map
+        (fun s ->
+          let opamps = IntSet.elements s in
+          let reachable = reachable_test_configs input ~mask:(mask_of opamps) in
+          {
+            opamps;
+            reachable_configs = reachable;
+            avg_omega_reachable = avg_omega_of input reachable;
+          })
+        min_opamp_sets
+    in
+    match scored with
+    | [] -> { opamps = []; reachable_configs = [ 0 ]; avg_omega_reachable = avg_omega_of input [ 0 ] }
+    | first :: rest ->
+        List.fold_left
+          (fun best c ->
+            if c.avg_omega_reachable > best.avg_omega_reachable +. 1e-12 then c
+            else if
+              Float.abs (c.avg_omega_reachable -. best.avg_omega_reachable) <= 1e-12
+              && List.compare Int.compare c.opamps best.opamps < 0
+            then c
+            else best)
+          first rest
+  in
+  let all_rows = List.init (Array.length input.detect) Fun.id in
+  {
+    input;
+    uncoverable;
+    max_coverage = coverage_of_rows input all_rows;
+    functional_coverage = coverage_of_rows input [ 0 ];
+    functional_avg_omega = avg_omega_of input [ 0 ];
+    brute_force_avg_omega = avg_omega_of input all_rows;
+    essential = IntSet.elements essential;
+    xi;
+    xi_reduced;
+    xi_terms_raw;
+    xi_terms_min;
+    min_config_sets;
+    choice_a;
+    xi_star;
+    min_opamp_sets;
+    choice_b;
+  }

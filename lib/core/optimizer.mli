@@ -1,0 +1,80 @@
+(** The paper's ordered-requirements optimization (Section 4).
+
+    Input: a fault detectability matrix and its ω-detectability
+    companion over the test configurations C₀ … C_{2ⁿ-2} of an n-opamp
+    circuit (the transparent configuration is excluded, as in the
+    paper). Whether the matrices come from our fault simulator or from
+    the paper's published tables is irrelevant here.
+
+    The flow is:
+    + 1st order (fundamental): enumerate configuration sets reaching
+      the maximum achievable fault coverage — essential configurations,
+      matrix reduction, Petrick expansion;
+    + 2nd order, objective A: minimize the number of test
+      configurations (test time / BIST control simplicity);
+    + 2nd order, objective B: minimize the number of configurable
+      opamps (area / performance cost — partial DFT);
+    + 3rd order: break remaining ties by the average best-case
+      ω-detectability. *)
+
+module IntSet := Cover.Clause.IntSet
+
+type input = {
+  n_opamps : int;
+  detect : bool array array;
+      (** Rows C₀ … C_{2ⁿ-2}, one column per fault. *)
+  omega : float array array;
+      (** Same shape; any consistent unit (the paper uses percent). *)
+}
+
+val input_of_matrices : n_opamps:int -> bool array array -> float array array -> input
+(** Validates shapes: [2^n - 1] rows, consistent column counts,
+    ω present wherever a fault is detectable. *)
+
+type config_choice = {
+  configs : int list;  (** Chosen configuration indices, increasing. *)
+  avg_omega : float;  (** ⟨ω-det⟩: mean over all faults of the best chosen-view value. *)
+}
+
+type opamp_choice = {
+  opamps : int list;  (** 0-based positions of configurable opamps. *)
+  reachable_configs : int list;
+      (** All test configurations usable with those opamps (followers
+          within the set), including C₀. *)
+  avg_omega_reachable : float;
+}
+
+type report = {
+  input : input;
+  uncoverable : int list;  (** Fault columns no configuration detects. *)
+  max_coverage : float;  (** The fundamental requirement's target. *)
+  functional_coverage : float;  (** Coverage of C₀ alone. *)
+  functional_avg_omega : float;
+  brute_force_avg_omega : float;  (** Best configuration per fault over all. *)
+  essential : int list;  (** Essential configurations (paper: {C₂}). *)
+  xi : Cover.Clause.t;  (** The full POS expression. *)
+  xi_reduced : Cover.Clause.t;  (** After removing essential-covered faults. *)
+  xi_terms_raw : IntSet.t list option;
+      (** The paper-style SOP (no absorption), essential configurations
+          included in every term; [None] when Petrick expansion was
+          skipped for size. *)
+  xi_terms_min : IntSet.t list option;
+      (** All irredundant covers (with absorption), same convention. *)
+  min_config_sets : IntSet.t list;  (** 2nd-order-A ties. *)
+  choice_a : config_choice;  (** After the 3rd-order tie-break. *)
+  xi_star : IntSet.t list option;  (** Opamp-mapped SOP terms. *)
+  min_opamp_sets : IntSet.t list;  (** 2nd-order-B ties. *)
+  choice_b : opamp_choice;  (** After the 3rd-order tie-break. *)
+}
+
+val avg_omega_of : input -> int list -> float
+(** ⟨ω-det⟩ of a configuration subset: mean over every fault of the
+    best ω among the subset's rows. *)
+
+val optimize : ?petrick_limit:int -> input -> report
+(** Run the full flow. Petrick expansion (and the raw SOP listing) is
+    only attempted when the number of opamps is at most
+    [petrick_limit] (default 5); beyond that the exact
+    branch-and-bound solver provides the minimum-cardinality set and
+    opamp subsets are found by direct subset enumeration (which is
+    exact at any size). *)

@@ -1,0 +1,38 @@
+let fault_names = [| "fR1"; "fR2"; "fR3"; "fR4"; "fR5"; "fR6"; "fC1"; "fC2" |]
+
+let n_opamps = 3
+
+(* Figure 5 of the paper, rows C0..C6. *)
+let detectability_matrix =
+  let b = ( = ) 1 in
+  Array.map (Array.map b)
+    [|
+      [| 1; 0; 0; 1; 0; 0; 0; 0 |];
+      [| 0; 0; 1; 0; 1; 1; 0; 1 |];
+      [| 1; 1; 0; 1; 1; 1; 1; 0 |];
+      [| 0; 0; 0; 0; 1; 1; 0; 0 |];
+      [| 1; 1; 1; 1; 1; 0; 0; 0 |];
+      [| 0; 0; 1; 0; 0; 0; 0; 1 |];
+      [| 1; 1; 0; 1; 0; 0; 0; 0 |];
+    |]
+
+(* Table 2 of the paper, percentages, rows C0..C6. *)
+let omega_table =
+  [|
+    [| 54.0; 0.0; 0.0; 46.0; 0.0; 0.0; 0.0; 0.0 |];
+    [| 0.0; 0.0; 30.0; 0.0; 30.0; 30.0; 0.0; 30.0 |];
+    [| 30.0; 30.0; 0.0; 30.0; 30.0; 30.0; 30.0; 0.0 |];
+    [| 0.0; 0.0; 0.0; 0.0; 100.0; 100.0; 0.0; 0.0 |];
+    [| 14.0; 70.0; 70.0; 70.0; 70.0; 0.0; 0.0; 0.0 |];
+    [| 0.0; 0.0; 40.0; 0.0; 0.0; 0.0; 0.0; 40.0 |];
+    [| 66.0; 40.0; 0.0; 40.0; 0.0; 0.0; 0.0; 0.0 |];
+  |]
+
+let functional_coverage = 0.25
+let functional_avg_omega = 12.5
+let dft_avg_omega = 68.25 (* the paper rounds to 68.3 *)
+let optimal_config_set = [ 2; 5 ]
+let optimal_config_avg_omega = 32.5
+let rejected_config_avg_omega = 30.0
+let optimal_opamp_set = [ 0; 1 ]
+let partial_dft_avg_omega = 52.5

@@ -1,0 +1,46 @@
+(** The published measurements of the paper, embedded verbatim.
+
+    Running the optimization flow on these tables reproduces every
+    number of Section 4 exactly (essential configuration, ξ and ξ*
+    expressions, minimal sets, ⟨ω-det⟩ percentages); running it on our
+    own simulated biquad reproduces the qualitative shape. Keeping both
+    separates "is the optimizer right?" from "is the simulator
+    faithful?". *)
+
+val fault_names : string array
+(** fR1 fR2 fR3 fR4 fR5 fR6 fC1 fC2 — the 8 soft faults of the
+    biquad. *)
+
+val n_opamps : int
+(** 3 — hence test configurations C₀ … C₆. *)
+
+val detectability_matrix : bool array array
+(** Figure 5: rows C₀…C₆, columns the 8 faults. *)
+
+val omega_table : float array array
+(** Table 2: ω-detectability in percent, same indexing. *)
+
+val functional_coverage : float
+(** 25 % — faults fR1 and fR4 only (Section 2). *)
+
+val functional_avg_omega : float
+(** 12.5 % (Graph 1). *)
+
+val dft_avg_omega : float
+(** 68.3 % — brute-force DFT, best configuration per fault (Graph 2). *)
+
+val optimal_config_set : int list
+(** {C₂, C₅} — the §4.2 optimum. *)
+
+val optimal_config_avg_omega : float
+(** 32.5 %. *)
+
+val rejected_config_avg_omega : float
+(** 30 % — the ⟨ω-det⟩ of the tied set {C₁, C₂}. *)
+
+val optimal_opamp_set : int list
+(** {OP1, OP2} as 0-based positions [0; 1] — the §4.3 optimum. *)
+
+val partial_dft_avg_omega : float
+(** 52.5 % — partial DFT over its 4 reachable configurations
+    (Table 4 / Graph 4). *)

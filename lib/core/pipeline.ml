@@ -1,0 +1,63 @@
+type t = {
+  benchmark : Circuits.Benchmark.t;
+  dft : Multiconfig.Transform.t;
+  grid : Testability.Grid.t;
+  criterion : Testability.Detect.criterion;
+  faults : Fault.t list;
+  matrix : Testability.Matrix.t;
+  input : Optimizer.input;
+}
+
+let default_criterion =
+  Testability.Detect.Process_envelope { component_tol = 0.04; floor = 0.02 }
+
+let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
+    ?follower_model ?jobs (benchmark : Circuits.Benchmark.t) =
+  let netlist = benchmark.Circuits.Benchmark.netlist in
+  Circuit.Validate.check_exn netlist;
+  let dft =
+    Multiconfig.Transform.make ~source:benchmark.Circuits.Benchmark.source
+      ~output:benchmark.Circuits.Benchmark.output netlist
+  in
+  let grid =
+    Testability.Grid.around ~points_per_decade
+      ~center_hz:benchmark.Circuits.Benchmark.center_hz ()
+  in
+  let faults = match faults with Some f -> f | None -> Fault.deviation_faults netlist in
+  let probe =
+    {
+      Testability.Detect.source = benchmark.Circuits.Benchmark.source;
+      output = benchmark.Circuits.Benchmark.output;
+    }
+  in
+  let views =
+    List.map
+      (fun config ->
+        {
+          Testability.Matrix.label = Multiconfig.Configuration.label config;
+          netlist = Multiconfig.Transform.emulate ?follower_model dft config;
+          probe;
+        })
+      (Multiconfig.Transform.test_configurations dft)
+  in
+  let matrix = Testability.Matrix.build ~criterion ?jobs grid views faults in
+  let omega_percent =
+    Array.map (Array.map (fun v -> v *. 100.0)) matrix.Testability.Matrix.omega
+  in
+  let input =
+    Optimizer.input_of_matrices ~n_opamps:(Multiconfig.Transform.n_opamps dft)
+      matrix.Testability.Matrix.detect omega_percent
+  in
+  { benchmark; dft; grid; criterion; faults; matrix; input }
+
+let optimize ?petrick_limit t = Optimizer.optimize ?petrick_limit t.input
+
+let functional_results t =
+  let probe =
+    {
+      Testability.Detect.source = t.benchmark.Circuits.Benchmark.source;
+      output = t.benchmark.Circuits.Benchmark.output;
+    }
+  in
+  Testability.Detect.analyze ~criterion:t.criterion probe t.grid
+    t.benchmark.Circuits.Benchmark.netlist t.faults

@@ -1,0 +1,47 @@
+(** End-to-end flow on a benchmark circuit: multi-configuration
+    transform → fault-simulation campaign over every test configuration
+    → detectability matrices → ordered-requirements optimization.
+
+    This is the programmatic equivalent of the paper's experimental
+    procedure, with our MNA engine standing in for HSPICE. *)
+
+type t = {
+  benchmark : Circuits.Benchmark.t;
+  dft : Multiconfig.Transform.t;
+  grid : Testability.Grid.t;
+  criterion : Testability.Detect.criterion;
+  faults : Fault.t list;
+  matrix : Testability.Matrix.t;
+      (** Rows are the test configurations C₀ … C_{2ⁿ-2} in index
+          order; ω values in [0, 1]. *)
+  input : Optimizer.input;  (** Same data, ω in percent. *)
+}
+
+val default_criterion : Testability.Detect.criterion
+(** [Process_envelope { component_tol = 0.04; floor = 0.02 }] — the
+    calibrated criterion under which our simulated biquad lands in the
+    paper's regime (low functional coverage, 100 % with DFT, two
+    2-configuration optima; see DESIGN.md §5). Pass
+    [Fixed_tolerance 0.10] for the paper's literal Definition 1. *)
+
+val run :
+  ?criterion:Testability.Detect.criterion ->
+  ?points_per_decade:int ->
+  ?faults:Fault.t list ->
+  ?follower_model:Circuit.Element.opamp_model ->
+  ?jobs:int ->
+  Circuits.Benchmark.t ->
+  t
+(** Defaults: {!default_criterion}, the paper's +20 % deviation fault
+    per passive component, and a grid spanning two decades either side
+    of the benchmark's centre frequency with [points_per_decade]
+    (default 30) points per decade. [follower_model] emulates
+    follower-mode opamps as finite-GBW unity buffers instead of ideal
+    ones (see {!Multiconfig.Transform.emulate}); [jobs] parallelizes
+    the campaign across domains (see {!Testability.Matrix.build}). *)
+
+val optimize : ?petrick_limit:int -> t -> Optimizer.report
+
+val functional_results : t -> Testability.Detect.result list
+(** Per-fault results in the functional configuration C₀ alone —
+    the paper's Section 2 analysis (Graph 1). *)

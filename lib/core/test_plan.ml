@@ -1,0 +1,163 @@
+module IntSet = Cover.Clause.IntSet
+
+type measurement = { config : int; freq_hz : float }
+
+type t = {
+  measurements : measurement list;
+  covered : int;
+  total_coverable : int;
+  witnesses : (Fault.t * measurement) list;
+}
+
+(* Candidate encoding: measurement (config position c, grid point k)
+   becomes integer c * n_points + k, where c indexes into the chosen
+   configuration list. *)
+let build_with ~distinguish ~configs (pipeline : Pipeline.t) =
+  let grid = pipeline.Pipeline.grid in
+  let n_points = Testability.Grid.n_points grid in
+  let freqs = Testability.Grid.freqs_hz grid in
+  let probe =
+    {
+      Testability.Detect.source =
+        pipeline.Pipeline.benchmark.Circuits.Benchmark.source;
+      output = pipeline.Pipeline.benchmark.Circuits.Benchmark.output;
+    }
+  in
+  (* per chosen configuration: the per-fault detectability regions,
+     as arrays for random access in the pair loops below *)
+  let per_config_results =
+    List.map
+      (fun config_index ->
+        let config =
+          Multiconfig.Configuration.make
+            ~n_opamps:(Multiconfig.Transform.n_opamps pipeline.Pipeline.dft)
+            config_index
+        in
+        let view = Multiconfig.Transform.emulate pipeline.Pipeline.dft config in
+        Array.of_list
+          (Testability.Detect.analyze ~criterion:pipeline.Pipeline.criterion probe grid
+             view pipeline.Pipeline.faults))
+      configs
+  in
+  let catches k (r : Testability.Detect.result) =
+    Util.Interval.Set.contains r.Testability.Detect.regions (log10 freqs.(k))
+  in
+  let faults = Array.of_list pipeline.Pipeline.faults in
+  let n_faults = Array.length faults in
+  (* clause per coverable fault: the measurements that catch it *)
+  let clauses = ref [] in
+  let coverable = ref 0 in
+  for j = 0 to n_faults - 1 do
+    let candidates = ref IntSet.empty in
+    List.iteri
+      (fun c results ->
+        let r = results.(j) in
+        for k = 0 to n_points - 1 do
+          if catches k r then candidates := IntSet.add ((c * n_points) + k) !candidates
+        done)
+      per_config_results;
+    if not (IntSet.is_empty !candidates) then begin
+      incr coverable;
+      clauses := !candidates :: !clauses
+    end
+  done;
+  (* diagnosis mode: additionally, for every separable fault pair, at
+     least one separating measurement must be scheduled *)
+  if distinguish then begin
+    for j1 = 0 to n_faults - 1 do
+      for j2 = j1 + 1 to n_faults - 1 do
+        let separating = ref IntSet.empty in
+        List.iteri
+          (fun c results ->
+            let r1 = results.(j1) and r2 = results.(j2) in
+            for k = 0 to n_points - 1 do
+              if catches k r1 <> catches k r2 then
+                separating := IntSet.add ((c * n_points) + k) !separating
+            done)
+          per_config_results;
+        if not (IntSet.is_empty !separating) then clauses := !separating :: !clauses
+      done
+    done
+  end;
+  let problem =
+    {
+      Cover.Clause.n_candidates = List.length configs * n_points;
+      clauses = List.rev !clauses;
+    }
+  in
+  let chosen = Cover.Solver.exact problem in
+  let decode m =
+    let c = m / n_points and k = m mod n_points in
+    { config = List.nth configs c; freq_hz = freqs.(k) }
+  in
+  let measurements =
+    List.sort
+      (fun a b ->
+        match Int.compare a.config b.config with
+        | 0 -> Float.compare a.freq_hz b.freq_hz
+        | cmp -> cmp)
+      (List.map decode (IntSet.elements chosen))
+  in
+  (* witness: the first scheduled measurement catching each fault *)
+  let witnesses = ref [] in
+  let covered = ref 0 in
+  for j = 0 to n_faults - 1 do
+    let witness =
+      List.find_opt
+        (fun m ->
+          List.exists2
+            (fun config_index results ->
+              config_index = m.config
+              &&
+              let r = results.(j) in
+              Util.Interval.Set.contains r.Testability.Detect.regions (log10 m.freq_hz))
+            configs per_config_results)
+        measurements
+    in
+    match witness with
+    | Some m ->
+        incr covered;
+        witnesses := (faults.(j), m) :: !witnesses
+    | None -> ()
+  done;
+  {
+    measurements;
+    covered = !covered;
+    total_coverable = !coverable;
+    witnesses = List.rev !witnesses;
+  }
+
+let build ?configs pipeline =
+  let configs =
+    match configs with
+    | Some c -> c
+    | None -> (Pipeline.optimize pipeline).Optimizer.choice_a.Optimizer.configs
+  in
+  build_with ~distinguish:false ~configs pipeline
+
+let build_diagnostic ?configs (pipeline : Pipeline.t) =
+  let configs =
+    match configs with
+    | Some c -> c
+    | None ->
+        List.map Multiconfig.Configuration.index
+          (Multiconfig.Transform.test_configurations pipeline.Pipeline.dft)
+  in
+  build_with ~distinguish:true ~configs pipeline
+
+let to_string plan =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "test plan: %d measurements cover %d/%d coverable faults\n"
+       (List.length plan.measurements) plan.covered plan.total_coverable);
+  List.iter
+    (fun m ->
+      Buffer.add_string buf (Printf.sprintf "  C%d @ %8.1f Hz\n" m.config m.freq_hz))
+    plan.measurements;
+  Buffer.add_string buf "fault witnesses:\n";
+  List.iter
+    (fun (fault, m) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-10s -> C%d @ %.1f Hz\n" fault.Fault.id m.config m.freq_hz))
+    plan.witnesses;
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Quantitative test time — turning the paper's 2nd-order objective
+    from a proxy (configuration count) into seconds.
+
+    A measurement at (configuration, frequency) costs: settling after
+    the configuration switch (the emulated circuit's dominant time
+    constant, from the symbolic poles), plus a number of stimulus
+    periods for the amplitude measurement. Configurations are visited
+    in order, so the settle cost is paid once per configuration, not
+    per frequency. Marginal or unstable configurations (poles at or
+    right of the imaginary axis) get a fallback settle time — a real
+    tester would use a bounded burst there. *)
+
+type parameters = {
+  settle_taus : float;  (** Settling accuracy, in time constants (default 7). *)
+  measure_periods : float;  (** Stimulus periods per measurement (default 5). *)
+  switch_overhead_s : float;  (** Per configuration-switch fixed cost. *)
+  fallback_settle_s : float;  (** Used when no stable pole bounds settling. *)
+}
+
+val default_parameters : parameters
+
+val settle_time_s : ?parameters:parameters -> Pipeline.t -> int -> float
+(** Settling time of one emulated configuration, from its slowest
+    stable pole. *)
+
+val estimate_s : ?parameters:parameters -> Pipeline.t -> Test_plan.t -> float
+(** Total estimated test time of a measurement schedule, in seconds. *)
+
+val compare_sets :
+  ?parameters:parameters -> Pipeline.t -> int list list -> (int list * float) list
+(** For each candidate configuration set: the estimated time of its
+    minimal measurement schedule. Sorted fastest first — a quantitative
+    re-ranking of the paper's 2nd-order ties. *)

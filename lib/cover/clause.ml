@@ -1,0 +1,55 @@
+module IntSet = Set.Make (Int)
+
+type t = { n_candidates : int; clauses : IntSet.t list }
+
+let column_candidates d j =
+  let n = Array.length d in
+  let rec collect i acc =
+    if i >= n then acc
+    else collect (i + 1) (if d.(i).(j) then IntSet.add i acc else acc)
+  in
+  collect 0 IntSet.empty
+
+let of_matrix d =
+  let n = Array.length d in
+  let m = if n = 0 then 0 else Array.length d.(0) in
+  let clauses =
+    List.filter_map
+      (fun j ->
+        let c = column_candidates d j in
+        if IntSet.is_empty c then None else Some c)
+      (List.init m Fun.id)
+  in
+  { n_candidates = n; clauses }
+
+let uncoverable_faults d =
+  let m = if Array.length d = 0 then 0 else Array.length d.(0) in
+  List.filter (fun j -> IntSet.is_empty (column_candidates d j)) (List.init m Fun.id)
+
+let essentials t =
+  List.fold_left
+    (fun acc clause ->
+      if IntSet.cardinal clause = 1 then IntSet.union acc clause else acc)
+    IntSet.empty t.clauses
+
+let reduce t ~chosen =
+  {
+    t with
+    clauses = List.filter (fun c -> IntSet.is_empty (IntSet.inter c chosen)) t.clauses;
+  }
+
+let is_cover t set =
+  List.for_all (fun c -> not (IntSet.is_empty (IntSet.inter c set))) t.clauses
+
+let candidates t = List.fold_left IntSet.union IntSet.empty t.clauses
+
+let pp ppf t =
+  let pp_clause ppf c =
+    Format.fprintf ppf "(%s)"
+      (String.concat "+" (List.map (Printf.sprintf "C%d") (IntSet.elements c)))
+  in
+  match t.clauses with
+  | [] -> Format.fprintf ppf "1"
+  | clauses ->
+      Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ".") pp_clause ppf
+        clauses

@@ -1,0 +1,43 @@
+(** The covering problem ξ = ∏_faults (Σ_configs d_ij · C_i) in
+    product-of-sums form (paper §4.1).
+
+    Candidates are identified by integers (configuration indices); each
+    clause is the set of candidates that detect one fault. A solution
+    is a candidate set hitting every clause. *)
+
+module IntSet : Set.S with type elt = int
+
+type t = {
+  n_candidates : int;
+  clauses : IntSet.t list;
+      (** One clause per coverable fault, in fault order. Empty clauses
+          are never present (uncoverable faults are reported
+          separately). *)
+}
+
+val of_matrix : bool array array -> t
+(** [of_matrix d] where [d.(i).(j)] says candidate [i] covers fault
+    [j]. Faults covered by no candidate are skipped (they do not
+    constrain the fundamental requirement, which is to reach the
+    {e maximum achievable} coverage). *)
+
+val uncoverable_faults : bool array array -> int list
+(** Fault columns with no covering candidate. *)
+
+val essentials : t -> IntSet.t
+(** Candidates appearing in singleton clauses — the paper's essential
+    configurations, forced into every solution. *)
+
+val reduce : t -> chosen:IntSet.t -> t
+(** Drop every clause already hit by [chosen] — the paper's reduced
+    fault detectability matrix. *)
+
+val is_cover : t -> IntSet.t -> bool
+(** Does the candidate set hit every clause? True on the empty clause
+    list. *)
+
+val candidates : t -> IntSet.t
+(** All candidates appearing in at least one clause. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as the paper does: (C0+C2+C4+C6).(C2+C4+C6)... *)

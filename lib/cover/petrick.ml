@@ -1,0 +1,60 @@
+module IntSet = Clause.IntSet
+
+let dedup terms =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun t ->
+      let key = IntSet.elements t in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    terms
+
+(* One distribution step: multiply the running sum of products by a
+   clause (a sum of literals). *)
+let distribute products clause =
+  List.concat_map
+    (fun p -> List.map (fun c -> IntSet.add c p) (IntSet.elements clause))
+    products
+
+let expand_raw (t : Clause.t) =
+  List.fold_left
+    (fun products clause -> dedup (distribute products clause))
+    [ IntSet.empty ] t.Clause.clauses
+
+let absorb terms =
+  (* keep only minimal terms: t is dropped when some other term is a
+     proper subset (or an equal earlier term) *)
+  let arr = Array.of_list (dedup terms) in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && keep.(i) && keep.(j) && IntSet.subset arr.(j) arr.(i) && not (IntSet.equal arr.(i) arr.(j))
+      then keep.(i) <- false
+    done
+  done;
+  List.filteri (fun i _ -> keep.(i)) (Array.to_list arr)
+
+let compare_terms a b =
+  match Int.compare (IntSet.cardinal a) (IntSet.cardinal b) with
+  | 0 -> List.compare Int.compare (IntSet.elements a) (IntSet.elements b)
+  | c -> c
+
+let expand (t : Clause.t) =
+  let products =
+    List.fold_left
+      (fun products clause -> absorb (distribute products clause))
+      [ IntSet.empty ] t.Clause.clauses
+  in
+  List.sort compare_terms products
+
+let cheapest ?(cost = fun _ -> 1.0) terms =
+  match terms with
+  | [] -> []
+  | _ ->
+      let total t = IntSet.fold (fun c acc -> acc +. cost c) t 0.0 in
+      let best = List.fold_left (fun acc t -> Float.min acc (total t)) infinity terms in
+      List.filter (fun t -> total t <= best +. 1e-12) terms

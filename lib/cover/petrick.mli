@@ -1,0 +1,24 @@
+(** Petrick's method: expand the product-of-sums ξ into a sum of
+    products. Every product term is a configuration set satisfying the
+    fundamental requirement (maximum fault coverage).
+
+    Two variants are exposed because the paper's worked example (§4.1)
+    develops ξ applying idempotence but {e not} absorption — its five
+    product terms include absorbable ones like C1·C2·C5 ⊃ C1·C2. *)
+
+val expand_raw : Clause.t -> Clause.IntSet.t list
+(** Distribute, apply idempotence (x·x = x) and drop duplicate terms,
+    but keep absorbable terms — reproduces the paper's ξ expression
+    verbatim. Terms are ordered by the derivation (clause order), then
+    deduplicated keeping first occurrences. Exponential in the worst
+    case; intended for paper-scale instances. *)
+
+val expand : Clause.t -> Clause.IntSet.t list
+(** Full Petrick expansion with absorption: the result is the antichain
+    of all minimal (irredundant) covers, sorted by cardinality then
+    lexicographically. *)
+
+val cheapest : ?cost:(int -> float) -> Clause.IntSet.t list -> Clause.IntSet.t list
+(** The terms of minimum total cost (default cost: 1 per candidate,
+    i.e. cardinality) — the paper's 2nd-order selection. Returns all
+    ties. *)

@@ -1,0 +1,127 @@
+module IntSet = Clause.IntSet
+
+let cost_of ?(cost = fun _ -> 1.0) set = IntSet.fold (fun c acc -> acc +. cost c) set 0.0
+
+let greedy ?(cost = fun _ -> 1.0) (t : Clause.t) =
+  let rec loop clauses chosen =
+    match clauses with
+    | [] -> chosen
+    | _ ->
+        let candidates =
+          List.fold_left IntSet.union IntSet.empty clauses |> IntSet.elements
+        in
+        let gain c =
+          let hits =
+            List.length (List.filter (fun clause -> IntSet.mem c clause) clauses)
+          in
+          float_of_int hits /. Float.max 1e-12 (cost c)
+        in
+        let best =
+          List.fold_left
+            (fun acc c ->
+              match acc with
+              | None -> Some (c, gain c)
+              | Some (_, g) -> if gain c > g then Some (c, gain c) else acc)
+            None candidates
+        in
+        let c = match best with Some (c, _) -> c | None -> assert false in
+        let remaining = List.filter (fun clause -> not (IntSet.mem c clause)) clauses in
+        loop remaining (IntSet.add c chosen)
+  in
+  loop t.Clause.clauses IntSet.empty
+
+(* Lower bound: greedily pick pairwise-disjoint clauses; any cover
+   needs one candidate per picked clause, each costing at least the
+   clause's cheapest literal. *)
+let lower_bound ~cost clauses =
+  let rec loop clauses acc =
+    match clauses with
+    | [] -> acc
+    | clause :: rest ->
+        let min_cost =
+          IntSet.fold (fun c m -> Float.min m (cost c)) clause infinity
+        in
+        let disjoint =
+          List.filter (fun c -> IntSet.is_empty (IntSet.inter c clause)) rest
+        in
+        loop disjoint (acc +. min_cost)
+  in
+  (* sorting small-first strengthens the bound *)
+  let sorted =
+    List.sort (fun a b -> Int.compare (IntSet.cardinal a) (IntSet.cardinal b)) clauses
+  in
+  loop sorted 0.0
+
+(* Essential literals and clause-dominance reductions, applied to a
+   fixed point. Returns the forced choices and the residual clauses. *)
+let preprocess ~clauses =
+  let rec loop clauses forced =
+    let singletons =
+      List.fold_left
+        (fun acc c -> if IntSet.cardinal c = 1 then IntSet.union acc c else acc)
+        IntSet.empty clauses
+    in
+    if not (IntSet.is_empty singletons) then
+      let remaining =
+        List.filter (fun c -> IntSet.is_empty (IntSet.inter c singletons)) clauses
+      in
+      loop remaining (IntSet.union forced singletons)
+    else begin
+      (* clause dominance: a superset clause is implied by its subset *)
+      let arr = Array.of_list clauses in
+      let n = Array.length arr in
+      let keep = Array.make n true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j && keep.(i) && keep.(j) && IntSet.subset arr.(j) arr.(i)
+             && (not (IntSet.equal arr.(i) arr.(j)) || j < i)
+          then keep.(i) <- false
+        done
+      done;
+      let reduced = List.filteri (fun i _ -> keep.(i)) (Array.to_list arr) in
+      (forced, reduced)
+    end
+  in
+  loop clauses IntSet.empty
+
+let exact ?(cost = fun _ -> 1.0) (t : Clause.t) =
+  let best = ref None in
+  let best_cost = ref infinity in
+  let consider chosen =
+    let c = cost_of ~cost chosen in
+    let better =
+      c < !best_cost -. 1e-12
+      || (Float.abs (c -. !best_cost) <= 1e-12
+         && match !best with
+            | Some b -> List.compare Int.compare (IntSet.elements chosen) (IntSet.elements b) < 0
+            | None -> true)
+    in
+    if better then begin
+      best := Some chosen;
+      best_cost := c
+    end
+  in
+  let rec branch clauses chosen chosen_cost =
+    let forced, clauses = preprocess ~clauses in
+    let chosen = IntSet.union chosen forced in
+    let chosen_cost = chosen_cost +. cost_of ~cost forced in
+    match clauses with
+    | [] -> consider chosen
+    | _ when chosen_cost +. lower_bound ~cost clauses >= !best_cost -. 1e-12 -> ()
+    | clause :: _ ->
+        (* branch on the literals of a smallest clause *)
+        let smallest =
+          List.fold_left
+            (fun acc c -> if IntSet.cardinal c < IntSet.cardinal acc then c else acc)
+            clause clauses
+        in
+        IntSet.iter
+          (fun c ->
+            let remaining =
+              List.filter (fun cl -> not (IntSet.mem c cl)) clauses
+            in
+            branch remaining (IntSet.add c chosen) (chosen_cost +. cost c))
+          smallest
+  in
+  branch t.Clause.clauses IntSet.empty 0.0;
+  match !best with Some b -> b | None -> IntSet.empty

@@ -1,0 +1,18 @@
+(** Unate-covering solvers.
+
+    {!exact} is a branch-and-bound search with essential/dominance
+    reductions and an independent-set lower bound — optimal, used for
+    the headline results. {!greedy} is the classical largest-gain
+    heuristic, kept as the baseline the benches compare against.
+    Both accept an additive candidate cost (default: cardinality). *)
+
+val greedy : ?cost:(int -> float) -> Clause.t -> Clause.IntSet.t
+(** Repeatedly pick the candidate with the best
+    (covered clauses / cost) ratio. Always returns a valid cover of the
+    coverable clauses. *)
+
+val exact : ?cost:(int -> float) -> Clause.t -> Clause.IntSet.t
+(** A minimum-cost cover. Ties are broken deterministically (prefer
+    smaller candidate indices). *)
+
+val cost_of : ?cost:(int -> float) -> Clause.IntSet.t -> float

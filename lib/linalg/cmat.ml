@@ -1,0 +1,217 @@
+type vec = Complex.t array
+
+type t = { nrows : int; ncols : int; data : Complex.t array }
+(* Row-major storage; element (i, j) lives at [i * ncols + j]. *)
+
+exception Singular
+
+let create nrows ncols =
+  if nrows < 0 || ncols < 0 then invalid_arg "Cmat.create: negative dimension";
+  { nrows; ncols; data = Array.make (nrows * ncols) Complex.zero }
+
+let rows m = m.nrows
+let cols m = m.ncols
+
+let check_bounds m i j =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then
+    invalid_arg
+      (Printf.sprintf "Cmat: index (%d, %d) out of bounds for %dx%d" i j m.nrows m.ncols)
+
+let get m i j =
+  check_bounds m i j;
+  m.data.((i * m.ncols) + j)
+
+let set m i j v =
+  check_bounds m i j;
+  m.data.((i * m.ncols) + j) <- v
+
+let add_to m i j v =
+  check_bounds m i j;
+  let k = (i * m.ncols) + j in
+  m.data.(k) <- Complex.add m.data.(k) v
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i Complex.one
+  done;
+  m
+
+let copy m = { m with data = Array.copy m.data }
+
+let of_arrays a =
+  let nrows = Array.length a in
+  let ncols = if nrows = 0 then 0 else Array.length a.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> ncols then invalid_arg "Cmat.of_arrays: ragged rows")
+    a;
+  let m = create nrows ncols in
+  Array.iteri (fun i row -> Array.iteri (fun j v -> set m i j v) row) a;
+  m
+
+let to_arrays m =
+  Array.init m.nrows (fun i -> Array.init m.ncols (fun j -> get m i j))
+
+let transpose m =
+  let r = create m.ncols m.nrows in
+  for i = 0 to m.nrows - 1 do
+    for j = 0 to m.ncols - 1 do
+      set r j i (get m i j)
+    done
+  done;
+  r
+
+let map f m = { m with data = Array.map f m.data }
+
+let mul a b =
+  if a.ncols <> b.nrows then invalid_arg "Cmat.mul: dimension mismatch";
+  let r = create a.nrows b.ncols in
+  for i = 0 to a.nrows - 1 do
+    for j = 0 to b.ncols - 1 do
+      let acc = ref Complex.zero in
+      for k = 0 to a.ncols - 1 do
+        acc := Complex.add !acc (Complex.mul (get a i k) (get b k j))
+      done;
+      set r i j !acc
+    done
+  done;
+  r
+
+let mul_vec a x =
+  if a.ncols <> Array.length x then invalid_arg "Cmat.mul_vec: dimension mismatch";
+  Array.init a.nrows (fun i ->
+      let acc = ref Complex.zero in
+      for k = 0 to a.ncols - 1 do
+        acc := Complex.add !acc (Complex.mul (get a i k) x.(k))
+      done;
+      !acc)
+
+let scale s m = map (Complex.mul s) m
+
+let elementwise op a b =
+  if a.nrows <> b.nrows || a.ncols <> b.ncols then
+    invalid_arg "Cmat: dimension mismatch";
+  { a with data = Array.init (Array.length a.data) (fun k -> op a.data.(k) b.data.(k)) }
+
+let add a b = elementwise Complex.add a b
+let sub a b = elementwise Complex.sub a b
+
+type lu = { mat : t; perm : int array; sign : int }
+
+(* Partial-pivoting LU (Doolittle).  Pivots on the largest |.| in the
+   column; a pivot below [tiny] relative to the matrix norm signals a
+   singular system. *)
+let lu_factor a =
+  if a.nrows <> a.ncols then invalid_arg "Cmat.lu_factor: non-square matrix";
+  let n = a.nrows in
+  let m = copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1 in
+  let scale_norm =
+    Array.fold_left (fun acc v -> Float.max acc (Complex.norm v)) 0.0 m.data
+  in
+  let tiny = 1e-300 +. (scale_norm *. 1e-14 *. epsilon_float) in
+  for k = 0 to n - 1 do
+    (* find pivot *)
+    let pivot_row = ref k and pivot_mag = ref (Complex.norm (get m k k)) in
+    for i = k + 1 to n - 1 do
+      let mag = Complex.norm (get m i k) in
+      if mag > !pivot_mag then begin
+        pivot_mag := mag;
+        pivot_row := i
+      end
+    done;
+    if !pivot_mag <= tiny then raise Singular;
+    if !pivot_row <> k then begin
+      sign := - !sign;
+      let p = !pivot_row in
+      for j = 0 to n - 1 do
+        let tmp = get m k j in
+        set m k j (get m p j);
+        set m p j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(p);
+      perm.(p) <- tmp
+    end;
+    let pivot = get m k k in
+    for i = k + 1 to n - 1 do
+      let factor = Complex.div (get m i k) pivot in
+      set m i k factor;
+      for j = k + 1 to n - 1 do
+        set m i j (Complex.sub (get m i j) (Complex.mul factor (get m k j)))
+      done
+    done
+  done;
+  { mat = m; perm; sign = !sign }
+
+let lu_solve { mat = m; perm; _ } b =
+  let n = m.nrows in
+  if Array.length b <> n then invalid_arg "Cmat.lu_solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution: L y = P b, with unit diagonal L *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := Complex.sub !acc (Complex.mul (get m i j) x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* back substitution: U x = y *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := Complex.sub !acc (Complex.mul (get m i j) x.(j))
+    done;
+    x.(i) <- Complex.div !acc (get m i i)
+  done;
+  x
+
+let solve a b = lu_solve (lu_factor a) b
+
+let determinant a =
+  if a.nrows <> a.ncols then invalid_arg "Cmat.determinant: non-square matrix";
+  match lu_factor a with
+  | exception Singular -> Complex.zero
+  | { mat = m; sign; _ } ->
+      let acc = ref (if sign >= 0 then Complex.one else Complex.{ re = -1.0; im = 0.0 }) in
+      for i = 0 to a.nrows - 1 do
+        acc := Complex.mul !acc (get m i i)
+      done;
+      !acc
+
+let inverse a =
+  let n = a.nrows in
+  let lu = lu_factor a in
+  let r = create n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n Complex.zero in
+    e.(j) <- Complex.one;
+    let col = lu_solve lu e in
+    Array.iteri (fun i v -> set r i j v) col
+  done;
+  r
+
+let residual_norm a x b =
+  let ax = mul_vec a x in
+  Util.Floatx.fold_range (Array.length b) ~init:0.0 ~f:(fun acc i ->
+      Float.max acc (Complex.norm (Complex.sub ax.(i) b.(i))))
+
+let norm_inf m =
+  Util.Floatx.fold_range m.nrows ~init:0.0 ~f:(fun acc i ->
+      let row_sum =
+        Util.Floatx.fold_range m.ncols ~init:0.0 ~f:(fun s j ->
+            s +. Complex.norm (get m i j))
+      in
+      Float.max acc row_sum)
+
+let pp ppf m =
+  for i = 0 to m.nrows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.ncols - 1 do
+      let v = get m i j in
+      Format.fprintf ppf " %8.3g%+8.3gi" v.Complex.re v.Complex.im
+    done;
+    Format.fprintf ppf " ]@."
+  done

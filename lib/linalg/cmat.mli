@@ -1,0 +1,65 @@
+(** Dense complex matrices and vectors with LU-based solving.
+
+    This is the numeric kernel behind the MNA AC analysis: systems are
+    small (tens of unknowns) and dense, so a straightforward
+    partial-pivoting LU is both simple and adequate. *)
+
+type vec = Complex.t array
+type t
+(** A dense [rows x cols] complex matrix. *)
+
+exception Singular
+(** Raised by factorization/solve when the matrix is numerically
+    singular. *)
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Complex.t
+val set : t -> int -> int -> Complex.t -> unit
+
+val add_to : t -> int -> int -> Complex.t -> unit
+(** [add_to m i j v] accumulates [v] into [m.(i).(j)] — the stamping
+    primitive used by MNA. *)
+
+val copy : t -> t
+val of_arrays : Complex.t array array -> t
+val to_arrays : t -> Complex.t array array
+val transpose : t -> t
+val map : (Complex.t -> Complex.t) -> t -> t
+val mul : t -> t -> t
+val mul_vec : t -> vec -> vec
+val scale : Complex.t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+type lu
+(** A partial-pivoting LU factorization of a square matrix. *)
+
+val lu_factor : t -> lu
+(** Factorize; raises {!Singular} when a pivot is (numerically) zero.
+    The input matrix is not modified. *)
+
+val lu_solve : lu -> vec -> vec
+(** Solve [A x = b] for a previously factorized [A]. *)
+
+val solve : t -> vec -> vec
+(** One-shot [solve a b]; factorizes internally. *)
+
+val determinant : t -> Complex.t
+(** Determinant via LU; [Complex.zero] for singular matrices. *)
+
+val inverse : t -> t
+(** Matrix inverse; raises {!Singular}. *)
+
+val residual_norm : t -> vec -> vec -> float
+(** [residual_norm a x b] is the infinity norm of [a*x - b]; used by
+    tests and by the solver's optional iterative refinement. *)
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(** Real-coefficient univariate polynomials in the Laplace variable s.
+
+    Used by the symbolic transfer-function extractor ([Mna.Symbolic]) and
+    for pole/zero analysis. Coefficients are stored lowest degree
+    first; the zero polynomial has an empty coefficient list. *)
+
+type t
+
+val zero : t
+val one : t
+val s : t
+(** The monomial [s]. *)
+
+val const : float -> t
+val of_coeffs : float array -> t
+(** [of_coeffs [|c0; c1; ...|]] is [c0 + c1 s + ...]; trailing zeros are
+    trimmed. *)
+
+val coeffs : t -> float array
+(** Coefficients, lowest degree first; empty for the zero polynomial. *)
+
+val coeff : t -> int -> float
+(** [coeff p k] is the coefficient of [s^k] (0 beyond the degree). *)
+
+val degree : t -> int
+(** Degree; [-1] for the zero polynomial. *)
+
+val is_zero : t -> bool
+val equal : ?tol:float -> t -> t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+
+val div_exact : t -> t -> t
+(** [div_exact a b] is the quotient when [b] divides [a] (numerically);
+    used by the fraction-free elimination. Raises [Invalid_argument] on
+    division by zero; a non-negligible remainder indicates accumulated
+    round-off and is tolerated (the remainder is dropped). *)
+
+val eval : t -> Complex.t -> Complex.t
+(** Evaluate at a complex point by Horner's rule. *)
+
+val eval_real : t -> float -> float
+val derivative : t -> t
+val normalize : t -> t
+(** Divide by the leading coefficient (monic form); zero stays zero. *)
+
+val roots : ?max_iter:int -> ?tol:float -> t -> Complex.t array
+(** All complex roots via the Aberth–Ehrlich simultaneous iteration.
+    Returns the empty array for constant polynomials. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,55 @@
+module Netlist = Circuit.Netlist
+exception Singular_circuit of string
+
+type solution = { index : Index.t; x : Complex.t array }
+
+let solve ?(sources = Assemble.Nominal) netlist ~omega =
+  let index = Index.build netlist in
+  let module A = Assemble.Make ((val Field.complex ~omega : Field.S with type t = Complex.t)) in
+  let { A.matrix; rhs } = A.assemble ~sources index netlist in
+  let m = Linalg.Cmat.of_arrays matrix in
+  match Linalg.Cmat.solve m rhs with
+  | x -> { index; x }
+  | exception Linalg.Cmat.Singular ->
+      raise
+        (Singular_circuit
+           (Printf.sprintf "MNA matrix singular at omega = %g rad/s for %S" omega
+              (Netlist.title netlist)))
+
+let voltage sol n =
+  match Index.node sol.index n with
+  | None -> Complex.zero
+  | Some i -> sol.x.(i)
+
+let current sol name = sol.x.(Index.branch sol.index name)
+
+let transfer ~source ~output netlist ~omega =
+  let sol = solve ~sources:(Assemble.Only source) netlist ~omega in
+  voltage sol output
+
+let sweep ~source ~output netlist ~freqs_hz =
+  (* The index is frequency-independent; build it once per sweep. *)
+  let index = Index.build netlist in
+  Array.map
+    (fun f ->
+      let omega = 2.0 *. Float.pi *. f in
+      let module A =
+        Assemble.Make ((val Field.complex ~omega : Field.S with type t = Complex.t))
+      in
+      let { A.matrix; rhs } = A.assemble ~sources:(Assemble.Only source) index netlist in
+      let m = Linalg.Cmat.of_arrays matrix in
+      match Linalg.Cmat.solve m rhs with
+      | x -> (
+          match Index.node index output with
+          | None -> Complex.zero
+          | Some i -> x.(i))
+      | exception Linalg.Cmat.Singular ->
+          raise
+            (Singular_circuit
+               (Printf.sprintf "MNA matrix singular at f = %g Hz for %S" f
+                  (Netlist.title netlist))))
+    freqs_hz
+
+let magnitude_db z =
+  let m = Complex.norm z in
+  if m = 0.0 then neg_infinity else 20.0 *. log10 m

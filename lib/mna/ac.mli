@@ -1,0 +1,34 @@
+module Netlist := Circuit.Netlist
+(** Numeric AC small-signal analysis.
+
+    Solves the MNA system over ℂ at fixed frequencies. This is the
+    drop-in replacement for the HSPICE AC sweeps the paper relies on:
+    linear(ized) opamp-RC networks driven by a sinusoidal source. *)
+
+exception Singular_circuit of string
+(** The MNA matrix is singular at the requested frequency — typically a
+    floating node or an ill-posed ideal-opamp configuration. *)
+
+type solution
+
+val solve : ?sources:Assemble.source_mode -> Netlist.t -> omega:float -> solution
+(** Full solve at angular frequency [omega] (rad/s). *)
+
+val voltage : solution -> string -> Complex.t
+(** Node voltage; [Complex.zero] for ground. *)
+
+val current : solution -> string -> Complex.t
+(** Branch current of a group-2 element (voltage sources, inductors,
+    opamp outputs); raises [Not_found] otherwise. *)
+
+val transfer : source:string -> output:string -> Netlist.t -> omega:float -> Complex.t
+(** [transfer ~source ~output n ~omega] is V(output)/V(source-amplitude)
+    with the named independent source driven at unit amplitude and all
+    other independent sources zeroed. *)
+
+val sweep :
+  source:string -> output:string -> Netlist.t -> freqs_hz:float array -> Complex.t array
+(** Transfer function sampled on a frequency grid (Hz). *)
+
+val magnitude_db : Complex.t -> float
+(** 20 log10 |z|; [-inf] for zero. *)

@@ -1,0 +1,27 @@
+module Netlist := Circuit.Netlist
+(** Generic MNA stamping, parametric in the coefficient field.
+
+    Produces the system [A x = b] for a netlist: Kirchhoff current
+    equations for every non-ground node followed by one branch equation
+    per group-2 element. The functor is instantiated with a complex
+    field (numeric AC analysis at a fixed ω) or with the polynomial
+    field (symbolic transfer functions). *)
+
+type source_mode =
+  | Nominal  (** Every independent source keeps its declared amplitude. *)
+  | Only of string
+      (** The named independent source is driven with unit amplitude;
+          all others are zeroed. Used for transfer functions. *)
+  | Zeroed
+      (** Every independent source is zeroed (V sources short, I
+          sources open). Used by noise analysis, where the signal
+          enters through the adjoint instead. *)
+
+module Make (F : Field.S) : sig
+  type system = { matrix : F.t array array; rhs : F.t array }
+
+  val assemble : ?sources:source_mode -> Index.t -> Netlist.t -> system
+  (** Raises [Not_found] if a current-sensing element references a
+      voltage source absent from the index (catch earlier with
+      {!Validate.check}). *)
+end

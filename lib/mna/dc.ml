@@ -1,0 +1,5 @@
+type solution = Ac.solution
+
+let solve ?sources netlist = Ac.solve ?sources netlist ~omega:0.0
+let voltage sol n = (Ac.voltage sol n).Complex.re
+let current sol name = (Ac.current sol name).Complex.re

@@ -1,0 +1,12 @@
+module Netlist := Circuit.Netlist
+(** DC operating point (s = 0): capacitors open, inductors short.
+
+    A thin wrapper over the AC solver at ω = 0, with real-valued
+    accessors. Useful for checking bias/offset paths of the benchmark
+    circuits and for sanity tests. *)
+
+type solution
+
+val solve : ?sources:Assemble.source_mode -> Netlist.t -> solution
+val voltage : solution -> string -> float
+val current : solution -> string -> float

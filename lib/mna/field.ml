@@ -1,0 +1,53 @@
+(** Coefficient fields for MNA assembly.
+
+    The same stamping code serves two back-ends: numeric AC analysis
+    (entries in ℂ with s = jω fixed) and symbolic transfer-function
+    extraction (entries are real polynomials in s). *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_float : float -> t
+  val s : t
+  (** The Laplace variable: jω for the numeric field, the monomial s
+      for the symbolic field. *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val neg : t -> t
+  val is_zero : t -> bool
+end
+
+(** Numeric field at a fixed angular frequency. *)
+let complex ~omega : (module S with type t = Complex.t) =
+  (module struct
+    type t = Complex.t
+
+    let zero = Complex.zero
+    let one = Complex.one
+    let of_float re = Complex.{ re; im = 0.0 }
+    let s = Complex.{ re = 0.0; im = omega }
+    let add = Complex.add
+    let sub = Complex.sub
+    let mul = Complex.mul
+    let neg = Complex.neg
+    let is_zero (z : t) = z.re = 0.0 && z.im = 0.0
+  end)
+
+(** Symbolic field: real polynomials in s. *)
+module Polynomial : S with type t = Linalg.Poly.t = struct
+  type t = Linalg.Poly.t
+
+  let zero = Linalg.Poly.zero
+  let one = Linalg.Poly.one
+  let of_float = Linalg.Poly.const
+  let s = Linalg.Poly.s
+  let add = Linalg.Poly.add
+  let sub = Linalg.Poly.sub
+  let mul = Linalg.Poly.mul
+  let neg = Linalg.Poly.neg
+  let is_zero = Linalg.Poly.is_zero
+end

@@ -1,0 +1,64 @@
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+
+type contribution = { element : string; psd : float }
+
+let boltzmann = 1.380649e-23
+
+let at_omega ?(temperature = 300.0) ~output netlist ~omega =
+  let index = Index.build netlist in
+  let module A =
+    Assemble.Make ((val Field.complex ~omega : Field.S with type t = Complex.t))
+  in
+  let { A.matrix; rhs = _ } = A.assemble ~sources:Assemble.Zeroed index netlist in
+  let a = Linalg.Cmat.of_arrays matrix in
+  let out_idx =
+    match Index.node index output with
+    | Some i -> i
+    | None -> invalid_arg "Noise.at_omega: output node is ground"
+  in
+  let e_out = Array.make (Index.size index) Complex.zero in
+  e_out.(out_idx) <- Complex.one;
+  let xi =
+    match Linalg.Cmat.solve (Linalg.Cmat.transpose a) e_out with
+    | xi -> xi
+    | exception Linalg.Cmat.Singular ->
+        raise (Ac.Singular_circuit "Noise.at_omega: singular adjoint system")
+  in
+  let adjoint_at n =
+    match Index.node index n with None -> Complex.zero | Some i -> xi.(i)
+  in
+  let contributions =
+    List.filter_map
+      (fun e ->
+        match e with
+        | Element.Resistor { name; n1; n2; value } ->
+            (* current noise 4kT/R across (n1, n2); output PSD is
+               |transimpedance|^2 times that *)
+            let z = Complex.sub (adjoint_at n1) (adjoint_at n2) in
+            let psd =
+              4.0 *. boltzmann *. temperature /. value *. (Complex.norm z ** 2.0)
+            in
+            Some { element = name; psd }
+        | Element.Capacitor _ | Element.Inductor _ | Element.Vsource _
+        | Element.Isource _ | Element.Vcvs _ | Element.Vccs _ | Element.Ccvs _
+        | Element.Cccs _ | Element.Opamp _ -> None)
+      (Netlist.elements netlist)
+  in
+  let total = List.fold_left (fun acc c -> acc +. c.psd) 0.0 contributions in
+  (contributions, total)
+
+let integrated_rms ?temperature ~output netlist ~freqs_hz =
+  let n = Array.length freqs_hz in
+  if n < 2 then invalid_arg "Noise.integrated_rms: need at least two frequencies";
+  let psd =
+    Array.map
+      (fun f -> snd (at_omega ?temperature ~output netlist ~omega:(2.0 *. Float.pi *. f)))
+      freqs_hz
+  in
+  let variance = ref 0.0 in
+  for i = 0 to n - 2 do
+    let df = freqs_hz.(i + 1) -. freqs_hz.(i) in
+    variance := !variance +. ((psd.(i) +. psd.(i + 1)) /. 2.0 *. df)
+  done;
+  sqrt !variance

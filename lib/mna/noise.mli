@@ -1,0 +1,28 @@
+module Netlist := Circuit.Netlist
+
+(** Output-referred thermal noise by the adjoint method.
+
+    Every resistor contributes a white current noise of power spectral
+    density 4kT/R; the transimpedance from a current injected across
+    the resistor's terminals to the output voltage is the adjoint
+    voltage difference across those terminals, so a single adjoint
+    solve per frequency prices every noise source at once. Independent
+    sources are zeroed (shorted/opened) during the analysis. *)
+
+type contribution = { element : string; psd : float }
+(** One resistor's output-referred noise PSD, in V²/Hz. *)
+
+val at_omega :
+  ?temperature:float -> output:string -> Netlist.t -> omega:float ->
+  contribution list * float
+(** Per-resistor contributions and the total output noise PSD at one
+    angular frequency. [temperature] defaults to 300 K. Raises
+    {!Ac.Singular_circuit} when the adjoint system is singular,
+    [Invalid_argument] when [output] is ground. *)
+
+val integrated_rms :
+  ?temperature:float -> output:string -> Netlist.t -> freqs_hz:float array -> float
+(** Total output noise voltage (V rms) over the given frequency grid,
+    by trapezoidal integration of the PSD. The grid should cover the
+    circuit's full noise bandwidth (e.g. for an RC lowpass the result
+    approaches sqrt(kT/C)). *)

@@ -1,0 +1,100 @@
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+
+type t = {
+  element : string;
+  d_transfer : Complex.t;
+  normalized : Complex.t;
+  rel_magnitude : float;
+}
+
+(* dV_out/dp = -xi^T (dA/dp) x  with  A^T xi = e_out.  The stamp
+   derivative of a two-terminal admittance y(p) between n1 and n2
+   contracts to  (xi_n1 - xi_n2)(x_n1 - x_n2) * dy/dp, so each element
+   needs only its own terminal values of x and xi. *)
+let at_omega ~source ~output netlist ~omega =
+  let index = Index.build netlist in
+  let module A =
+    Assemble.Make ((val Field.complex ~omega : Field.S with type t = Complex.t))
+  in
+  let { A.matrix; rhs } = A.assemble ~sources:(Assemble.Only source) index netlist in
+  let a = Linalg.Cmat.of_arrays matrix in
+  let x =
+    match Linalg.Cmat.solve a rhs with
+    | x -> x
+    | exception Linalg.Cmat.Singular ->
+        raise (Ac.Singular_circuit "Sensitivity.at_omega: singular system")
+  in
+  let out_idx =
+    match Index.node index output with
+    | Some i -> i
+    | None -> invalid_arg "Sensitivity.at_omega: output node is ground"
+  in
+  let e_out = Array.make (Index.size index) Complex.zero in
+  e_out.(out_idx) <- Complex.one;
+  let xi =
+    match Linalg.Cmat.solve (Linalg.Cmat.transpose a) e_out with
+    | xi -> xi
+    | exception Linalg.Cmat.Singular ->
+        raise (Ac.Singular_circuit "Sensitivity.at_omega: singular adjoint system")
+  in
+  let value_at n =
+    match Index.node index n with None -> Complex.zero | Some i -> x.(i)
+  in
+  let adjoint_at n =
+    match Index.node index n with None -> Complex.zero | Some i -> xi.(i)
+  in
+  let s = Complex.{ re = 0.0; im = omega } in
+  let transfer = x.(out_idx) in
+  let pattern n1 n2 =
+    Complex.mul
+      (Complex.sub (adjoint_at n1) (adjoint_at n2))
+      (Complex.sub (value_at n1) (value_at n2))
+  in
+  let sensitivity e =
+    match e with
+    | Element.Resistor { name; n1; n2; value } ->
+        (* y = 1/R, dy/dR = -1/R^2; dV/dR = -pattern * dy/dR *)
+        let d = Complex.div (pattern n1 n2) { Complex.re = value *. value; im = 0.0 } in
+        Some (name, value, d)
+    | Element.Capacitor { name; n1; n2; value } ->
+        (* y = s C, dy/dC = s; dV/dC = -pattern * s *)
+        let d = Complex.neg (Complex.mul s (pattern n1 n2)) in
+        Some (name, value, d)
+    | Element.Inductor { name; value; _ } ->
+        (* branch equation entry -sL at (b,b): dV/dL = s xi_b x_b *)
+        let b = Index.branch index name in
+        let d = Complex.mul s (Complex.mul xi.(b) x.(b)) in
+        Some (name, value, d)
+    | Element.Vsource _ | Element.Isource _ | Element.Vcvs _ | Element.Vccs _
+    | Element.Ccvs _ | Element.Cccs _ | Element.Opamp _ -> None
+  in
+  List.filter_map
+    (fun e ->
+      Option.map
+        (fun (element, value, d_transfer) ->
+          let normalized =
+            if Complex.norm transfer = 0.0 then Complex.zero
+            else
+              Complex.div
+                (Complex.mul { Complex.re = value; im = 0.0 } d_transfer)
+                transfer
+          in
+          { element; d_transfer; normalized; rel_magnitude = normalized.Complex.re })
+        (sensitivity e))
+    (Netlist.elements netlist)
+
+let magnitude_sweep ~source ~output netlist ~freqs_hz =
+  let per_freq =
+    Array.map
+      (fun f -> at_omega ~source ~output netlist ~omega:(2.0 *. Float.pi *. f))
+      freqs_hz
+  in
+  match Array.length per_freq with
+  | 0 -> []
+  | _ ->
+      List.mapi
+        (fun k (first : t) ->
+          ( first.element,
+            Array.map (fun results -> Complex.norm (List.nth results k).normalized) per_freq ))
+        per_freq.(0)

@@ -1,0 +1,32 @@
+module Netlist := Circuit.Netlist
+
+(** Exact small-signal sensitivities by the adjoint (transpose) method.
+
+    The fault-observability metric of Slamani & Kaminska — the
+    foundation the paper's detectability builds on — is the sensitivity
+    of the measured response T to each component value. One forward
+    solve A·x = b plus one adjoint solve Aᵀ·ξ = e_out yield
+    ∂T/∂p = −ξᵀ(∂A/∂p)x for {e every} component p at once, instead of
+    one extra solve per component. *)
+
+type t = {
+  element : string;
+  d_transfer : Complex.t;  (** ∂T/∂p at the given frequency. *)
+  normalized : Complex.t;  (** (p/T)·∂T/∂p — the classical Sᵀ_p. *)
+  rel_magnitude : float;
+      (** ∂|T|/|T| per unit relative change of p:
+          Re(normalized) in exact arithmetic. *)
+}
+
+val at_omega :
+  source:string -> output:string -> Netlist.t -> omega:float -> t list
+(** Sensitivities of T = V(output) (unit source) to every passive
+    component, in netlist order. Raises {!Ac.Singular_circuit} when the
+    circuit has no solution at [omega]. *)
+
+val magnitude_sweep :
+  source:string -> output:string -> Netlist.t -> freqs_hz:float array ->
+  (string * float array) list
+(** |normalized sensitivity| per passive component across a frequency
+    grid — the observability profile used to choose test
+    frequencies. *)

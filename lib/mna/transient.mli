@@ -1,0 +1,40 @@
+module Netlist := Circuit.Netlist
+
+(** Linear transient simulation (fixed-step trapezoidal rule).
+
+    Reactive elements become their trapezoidal companion models, so the
+    system matrix is constant over the run: it is assembled and
+    LU-factored once, and every time step is a forward/back
+    substitution with an updated right-hand side. Ideal opamps keep
+    their nullor stamp; single-pole opamps integrate their one-pole
+    state equation. Used by the examples to show configuration
+    switching in the time domain, and as an independent check of the AC
+    engine (steady-state sine amplitude vs. |H(jω)|). *)
+
+type waveform =
+  | Dc of float
+  | Step of { t0 : float; v0 : float; v1 : float }
+  | Sine of { amplitude : float; freq_hz : float; phase : float }
+  | Pwl of (float * float) list
+      (** Piecewise-linear (time, value) points; constant extrapolation
+          outside the given range. Times must be increasing. *)
+
+val value_at : waveform -> float -> float
+
+type trace = {
+  times : float array;
+  signals : (string * float array) list;
+      (** One series per recorded node, in request order. *)
+}
+
+val simulate :
+  ?waveforms:(string * waveform) list ->
+  record:string list ->
+  t_stop:float -> dt:float ->
+  Netlist.t ->
+  trace
+(** Simulate from t = 0 (all states zero) to [t_stop]. Independent
+    sources follow their entry in [waveforms]; sources not listed hold
+    their netlist value as DC. [record] lists the node voltages to
+    capture. Raises {!Ac.Singular_circuit} when the companion system is
+    singular, [Invalid_argument] on a non-positive step or horizon. *)

@@ -1,0 +1,75 @@
+let popcount n =
+  let rec loop n acc = if n = 0 then acc else loop (n lsr 1) (acc + (n land 1)) in
+  loop n 0
+
+let hamming a b = popcount (a lxor b)
+
+let switch_cost path =
+  let rec walk prev = function
+    | [] -> 0
+    | c :: rest -> hamming prev c + walk c rest
+  in
+  walk 0 path
+
+let nearest_neighbour configs =
+  let rec pick prev remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let best =
+          List.fold_left
+            (fun acc_best c ->
+              match acc_best with
+              | None -> Some c
+              | Some b ->
+                  let dc = hamming prev c and db = hamming prev b in
+                  if dc < db || (dc = db && c < b) then Some c else acc_best)
+            None remaining
+        in
+        let c = Option.get best in
+        pick c (List.filter (fun x -> x <> c) remaining) (c :: acc)
+  in
+  pick 0 configs []
+
+(* 2-opt: reverse any sub-segment that shortens the path, to a fixed
+   point. Paths here have at most a few dozen nodes. *)
+let two_opt path =
+  let arr = Array.of_list path in
+  let n = Array.length arr in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        let before_i = if i = 0 then 0 else arr.(i - 1) in
+        let old_cost =
+          hamming before_i arr.(i)
+          + if j + 1 < n then hamming arr.(j) arr.(j + 1) else 0
+        in
+        let new_cost =
+          hamming before_i arr.(j)
+          + if j + 1 < n then hamming arr.(i) arr.(j + 1) else 0
+        in
+        if new_cost < old_cost then begin
+          (* reverse arr[i..j] *)
+          let lo = ref i and hi = ref j in
+          while !lo < !hi do
+            let tmp = arr.(!lo) in
+            arr.(!lo) <- arr.(!hi);
+            arr.(!hi) <- tmp;
+            incr lo;
+            decr hi
+          done;
+          improved := true
+        end
+      done
+    done
+  done;
+  Array.to_list arr
+
+let order configs =
+  match configs with
+  | [] | [ _ ] -> configs
+  | _ ->
+      let candidate = two_opt (nearest_neighbour configs) in
+      if switch_cost candidate <= switch_cost configs then candidate else configs

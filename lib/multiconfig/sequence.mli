@@ -1,0 +1,21 @@
+(** Ordering of test configurations for application on a tester or in
+    BIST.
+
+    Each differing selection bit between consecutive configurations is
+    a switch event that disturbs the circuit and forces a new settling
+    period, so a good test schedule visits configurations in an order
+    minimizing total Hamming switching distance — the Gray-code idea
+    applied to the chosen configuration subset. The exact minimum is an
+    open-path TSP; for the handful of configurations a real schedule
+    contains, nearest-neighbour followed by 2-opt refinement is
+    optimal or near-optimal and fast. *)
+
+val switch_cost : int list -> int
+(** Total Hamming distance between consecutive configuration indices
+    (the functional configuration C₀ is implicitly the starting state).
+    0 for lists of length <= 0. *)
+
+val order : int list -> int list
+(** A permutation of the given configuration indices with low total
+    switching cost, starting from C₀'s all-normal state. Deterministic.
+    Never worse than the input order. *)

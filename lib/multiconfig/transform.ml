@@ -1,0 +1,77 @@
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+
+type t = {
+  base : Netlist.t;
+  opamp_names : string array;
+  input_node : string;
+  source : string;
+  output : string;
+}
+
+let make ?chain ~source ~output netlist =
+  let input_node =
+    match Netlist.find netlist source with
+    | Some (Element.Vsource { npos; _ }) -> npos
+    | Some _ ->
+        invalid_arg
+          (Printf.sprintf "Transform.make: %S is not a voltage source" source)
+    | None -> invalid_arg (Printf.sprintf "Transform.make: no source %S" source)
+  in
+  let default_chain = List.map Element.name (Netlist.opamps netlist) in
+  let chain = Option.value chain ~default:default_chain in
+  if chain = [] then invalid_arg "Transform.make: circuit has no opamp";
+  if List.sort String.compare chain <> List.sort String.compare default_chain then
+    invalid_arg "Transform.make: chain is not a permutation of the circuit's opamps";
+  { base = netlist; opamp_names = Array.of_list chain; input_node; source; output }
+
+let n_opamps t = Array.length t.opamp_names
+
+let configurations t = Configuration.all ~n_opamps:(n_opamps t)
+let test_configurations t = Configuration.test_configurations ~n_opamps:(n_opamps t)
+
+let opamp_label t k =
+  if k < 0 || k >= n_opamps t then invalid_arg "Transform.opamp_label: bad position";
+  t.opamp_names.(k)
+
+let output_node_of_opamp t k =
+  match Netlist.find_exn t.base t.opamp_names.(k) with
+  | Element.Opamp { out; _ } -> out
+  | _ -> assert false
+
+(* In_test(OP_k): the circuit input for the chain head, the output node
+   of the previous opamp otherwise.  The previous opamp's *node* is
+   used (not its mode), so chained followers compose naturally: with
+   everything in follower mode the input propagates node by node to the
+   primary output — the transparent configuration. *)
+let test_input t k = if k = 0 then t.input_node else output_node_of_opamp t (k - 1)
+
+let emulate ?follower_model t config =
+  if Configuration.n_opamps config <> n_opamps t then
+    invalid_arg "Transform.emulate: configuration arity mismatch";
+  Util.Floatx.fold_range (n_opamps t) ~init:t.base ~f:(fun acc k ->
+      if not (Configuration.follower config k) then acc
+      else
+        let name = t.opamp_names.(k) in
+        match Netlist.find_exn acc name with
+        | Element.Opamp { out; _ } ->
+            let follower_stage =
+              match follower_model with
+              | None ->
+                  (* ideal buffer of the chained test input *)
+                  Element.Vcvs
+                    {
+                      name;
+                      npos = out;
+                      nneg = Element.ground;
+                      cpos = test_input t k;
+                      cneg = Element.ground;
+                      gain = 1.0;
+                    }
+              | Some model ->
+                  (* real unity-feedback buffer: finite gain/bandwidth *)
+                  Element.Opamp
+                    { name; inp = test_input t k; inn = out; out; model }
+            in
+            Netlist.replace follower_stage acc
+        | _ -> assert false)

@@ -1,0 +1,52 @@
+module Netlist := Circuit.Netlist
+
+(** The multi-configuration netlist transform.
+
+    Every opamp of the circuit is (conceptually) replaced by a
+    configurable opamp whose test input is chained from the primary
+    input towards the primary output: In_test(OP₁) is the circuit input
+    node and In_test(OPₖ) is the output node of OPₖ₋₁. Emulating a
+    configuration rewrites each follower-mode opamp into a unity-gain
+    VCVS driven by its chained test input — exactly the behavioural
+    model of the configurable opamp of the paper ([14], [15]). Normal-
+    mode opamps and the whole passive network are left untouched, so
+    fault injection by element name works uniformly across all
+    configuration views. *)
+
+type t = {
+  base : Netlist.t;  (** The original (functional) circuit. *)
+  opamp_names : string array;  (** Opamps in chain order. *)
+  input_node : string;  (** Head of the test-input chain. *)
+  source : string;  (** The driving voltage source. *)
+  output : string;  (** The observed output node. *)
+}
+
+val make : ?chain:string list -> source:string -> output:string -> Netlist.t -> t
+(** Build the DFT view of a circuit. The chain defaults to the opamps
+    in netlist insertion order; pass [chain] to override. The input
+    node is the positive terminal of [source]. Raises
+    [Invalid_argument] when [source] is not a voltage source of the
+    netlist, when the circuit has no opamp, or when [chain] is not a
+    permutation of the circuit's opamps. *)
+
+val n_opamps : t -> int
+
+val configurations : t -> Configuration.t list
+(** All 2ⁿ configurations of this circuit. *)
+
+val test_configurations : t -> Configuration.t list
+(** All but the transparent one — the rows of the paper's matrices. *)
+
+val emulate : ?follower_model:Circuit.Element.opamp_model -> t -> Configuration.t -> Netlist.t
+(** The circuit as seen in a given configuration. Raises
+    [Invalid_argument] when the configuration's opamp count differs
+    from the circuit's.
+
+    By default follower-mode opamps become ideal unity buffers, the
+    paper's "bandwidth limitation not reached" assumption. Pass
+    [follower_model] (e.g. [Single_pole {dc_gain; pole_hz}]) to emulate
+    them as real unity-feedback buffers instead and study how finite
+    GBW degrades the emulated configurations. *)
+
+val opamp_label : t -> int -> string
+(** Name of the opamp at 0-based chain position [k]. *)

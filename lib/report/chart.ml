@@ -1,0 +1,55 @@
+let bar_glyphs = [| '#'; '*'; '+'; '~'; 'o'; '='; '%'; '@' |]
+
+let bars ?(width = 50) ~labels ~series () =
+  List.iter
+    (fun (_, values) ->
+      if Array.length values <> Array.length labels then
+        invalid_arg "Chart.bars: series length mismatch")
+    series;
+  let buf = Buffer.create 1024 in
+  let label_width =
+    Array.fold_left (fun acc l -> Int.max acc (String.length l)) 0 labels
+  in
+  let series_width =
+    List.fold_left (fun acc (name, _) -> Int.max acc (String.length name)) 0 series
+  in
+  Array.iteri
+    (fun i label ->
+      List.iteri
+        (fun k (name, values) ->
+          let v = Util.Floatx.clamp ~lo:0.0 ~hi:100.0 values.(i) in
+          let n = int_of_float (Float.round (v /. 100.0 *. float_of_int width)) in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s %-*s |%s%s %5.1f\n"
+               label_width
+               (if k = 0 then label else "")
+               series_width name
+               (String.make n bar_glyphs.(k mod Array.length bar_glyphs))
+               (String.make (width - n) ' ')
+               values.(i)))
+        series;
+      if i < Array.length labels - 1 then Buffer.add_char buf '\n')
+    labels;
+  Buffer.contents buf
+
+let sparkline values =
+  if Array.length values = 0 then ""
+  else begin
+    let levels = [| " "; "_"; "."; "-"; "="; "*"; "#"; "@" |] in
+    let finite = Array.of_list (List.filter Float.is_finite (Array.to_list values)) in
+    if Array.length finite = 0 then String.make (Array.length values) '?'
+    else begin
+      let lo = Array.fold_left Float.min infinity finite in
+      let hi = Array.fold_left Float.max neg_infinity finite in
+      let span = if hi > lo then hi -. lo else 1.0 in
+      String.concat ""
+        (Array.to_list
+           (Array.map
+              (fun v ->
+                if not (Float.is_finite v) then "?"
+                else
+                  let idx = int_of_float ((v -. lo) /. span *. 7.0 +. 0.5) in
+                  levels.(Int.max 0 (Int.min 7 idx)))
+              values))
+    end
+  end

@@ -1,0 +1,15 @@
+(** Terminal bar charts — the renderings of the paper's Graphs 1–4
+    (grouped per-fault ω-detectability bars). *)
+
+val bars :
+  ?width:int -> labels:string array -> series:(string * float array) list -> unit ->
+  string
+(** Horizontal grouped bars. One block per label, one bar per series,
+    values expected in [0, 100] (percent). [width] (default 50) is the
+    full-scale bar width. Raises [Invalid_argument] on length
+    mismatch. *)
+
+val sparkline : float array -> string
+(** One-line magnitude profile (eight-level blocks), handy for showing
+    a frequency response or deviation profile inline. Empty string on
+    the empty array. *)

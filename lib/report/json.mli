@@ -1,0 +1,25 @@
+(** Minimal JSON tree, emitter and parser — machine-readable export of
+    reports without external dependencies. Numbers are floats (ints
+    print without a fractional part); strings must be valid UTF-8 and
+    are escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Object of (string * t) list
+
+val int : int -> t
+(** Convenience: an integral {!Number}. *)
+
+val to_string : ?indent:int -> t -> string
+(** Serialize; [indent] > 0 pretty-prints (default 0: compact). *)
+
+val of_string : string -> (t, string) result
+(** Parse a JSON document. Objects keep field order; duplicate keys are
+    kept as-is. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Object]; [None] otherwise. *)

@@ -1,0 +1,40 @@
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+
+let card e =
+  let q = Util.Quantity.to_string in
+  match e with
+  | Element.Resistor { name; n1; n2; value } -> Printf.sprintf "%s %s %s %s" name n1 n2 (q value)
+  | Element.Capacitor { name; n1; n2; value } -> Printf.sprintf "%s %s %s %s" name n1 n2 (q value)
+  | Element.Inductor { name; n1; n2; value } -> Printf.sprintf "%s %s %s %s" name n1 n2 (q value)
+  | Element.Vsource { name; npos; nneg; value } -> Printf.sprintf "%s %s %s AC %g" name npos nneg value
+  | Element.Isource { name; npos; nneg; value } -> Printf.sprintf "%s %s %s AC %g" name npos nneg value
+  | Element.Vcvs { name; npos; nneg; cpos; cneg; gain } ->
+      Printf.sprintf "%s %s %s %s %s %g" name npos nneg cpos cneg gain
+  | Element.Vccs { name; npos; nneg; cpos; cneg; gm } ->
+      Printf.sprintf "%s %s %s %s %s %g" name npos nneg cpos cneg gm
+  | Element.Ccvs { name; npos; nneg; vsense; r } ->
+      Printf.sprintf "%s %s %s %s %g" name npos nneg vsense r
+  | Element.Cccs { name; npos; nneg; vsense; gain } ->
+      Printf.sprintf "%s %s %s %s %g" name npos nneg vsense gain
+  | Element.Opamp { name; inp; inn; out; model } -> (
+      match model with
+      | Element.Ideal -> Printf.sprintf "%s %s %s %s OPAMP" name inp inn out
+      | Element.Single_pole { dc_gain; pole_hz } ->
+          Printf.sprintf "%s %s %s %s OPAMP A0=%g FP=%g" name inp inn out dc_gain pole_hz)
+
+let to_string netlist =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("* " ^ Netlist.title netlist ^ "\n");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (card e);
+      Buffer.add_char buf '\n')
+    (Netlist.elements netlist);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let to_file path netlist =
+  let oc = open_out path in
+  output_string oc (to_string netlist);
+  close_out oc

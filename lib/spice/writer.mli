@@ -1,0 +1,8 @@
+module Netlist := Circuit.Netlist
+
+(** Render a netlist back to the SPICE-flavoured format accepted by
+    {!Parser} — [Parser.parse_string (Writer.to_string n)] reproduces
+    [n] up to value formatting. *)
+
+val to_string : Netlist.t -> string
+val to_file : string -> Netlist.t -> unit

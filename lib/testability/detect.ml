@@ -1,0 +1,182 @@
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+
+type probe = { source : string; output : string }
+
+type criterion =
+  | Fixed_tolerance of float
+  | Process_envelope of { component_tol : float; floor : float }
+  | Phase_fixed of float
+  | Phase_envelope of { component_tol : float; floor_rad : float }
+  | Any_of of criterion list
+
+type result = {
+  fault : Fault.t;
+  detectable : bool;
+  omega_det : float;
+  regions : Util.Interval.Set.t;
+}
+
+let default_tolerance = 0.10
+let default_criterion = Fixed_tolerance default_tolerance
+
+let magnitude_dev t0 tf =
+  let m0 = Complex.norm t0 and mf = Complex.norm tf in
+  if m0 = 0.0 then if mf = 0.0 then 0.0 else infinity
+  else Float.abs (mf -. m0) /. m0
+
+let phase_dev t0 tf =
+  if Complex.norm t0 = 0.0 || Complex.norm tf = 0.0 then 0.0
+  else begin
+    let d = Float.abs (Complex.arg tf -. Complex.arg t0) in
+    if d > Float.pi then (2.0 *. Float.pi) -. d else d
+  end
+
+let response_deviation ~nominal ~faulty =
+  if Array.length nominal <> Array.length faulty then
+    invalid_arg "Detect.response_deviation: length mismatch";
+  Array.map2 magnitude_dev nominal faulty
+
+let phase_deviation ~nominal ~faulty =
+  if Array.length nominal <> Array.length faulty then
+    invalid_arg "Detect.phase_deviation: length mismatch";
+  Array.map2 phase_dev nominal faulty
+
+let nominal_response probe grid netlist =
+  Mna.Ac.sweep ~source:probe.source ~output:probe.output netlist
+    ~freqs_hz:(Grid.freqs_hz grid)
+
+(* One instantiated sub-criterion: which deviation to measure and the
+   per-frequency threshold it must exceed. *)
+type prepared_one = {
+  deviation : Complex.t -> Complex.t -> float;
+  thresholds : float array;
+}
+
+type prepared = prepared_one list
+
+let envelope_thresholds ~deviation ~floor probe grid netlist ~nominal ~component_tol =
+  let envelope = Array.make (Grid.n_points grid) floor in
+  List.iter
+    (fun e ->
+      let element = Element.name e in
+      let drifted =
+        Fault.inject (Fault.deviation ~element (1.0 +. component_tol)) netlist
+      in
+      let response = nominal_response probe grid drifted in
+      Array.iteri
+        (fun i tf -> envelope.(i) <- envelope.(i) +. deviation nominal.(i) tf)
+        response)
+    (Netlist.passives netlist);
+  envelope
+
+let rec prepare criterion probe grid netlist ~nominal =
+  match criterion with
+  | Fixed_tolerance eps ->
+      [ { deviation = magnitude_dev; thresholds = Array.make (Grid.n_points grid) eps } ]
+  | Phase_fixed rad ->
+      [ { deviation = phase_dev; thresholds = Array.make (Grid.n_points grid) rad } ]
+  | Process_envelope { component_tol; floor } ->
+      [
+        {
+          deviation = magnitude_dev;
+          thresholds =
+            envelope_thresholds ~deviation:magnitude_dev ~floor probe grid netlist
+              ~nominal ~component_tol;
+        };
+      ]
+  | Phase_envelope { component_tol; floor_rad } ->
+      [
+        {
+          deviation = phase_dev;
+          thresholds =
+            envelope_thresholds ~deviation:phase_dev ~floor:floor_rad probe grid netlist
+              ~nominal ~component_tol;
+        };
+      ]
+  | Any_of criteria ->
+      List.concat_map (fun c -> prepare c probe grid netlist ~nominal) criteria
+
+(* Sweep the faulty circuit point by point; a frequency where the MNA
+   system becomes singular counts as detectable under every criterion
+   (the faulty circuit has no well-defined response there, which any
+   tester would notice). *)
+let faulty_response probe grid netlist fault =
+  let faulty = Fault.inject fault netlist in
+  let freqs = Grid.freqs_hz grid in
+  Array.map
+    (fun f ->
+      match
+        Mna.Ac.transfer ~source:probe.source ~output:probe.output faulty
+          ~omega:(2.0 *. Float.pi *. f)
+      with
+      | v -> Some v
+      | exception Mna.Ac.Singular_circuit _ -> None)
+    freqs
+
+let analyze_fault ?(criterion = default_criterion) ?nominal ?prepared probe grid netlist
+    fault =
+  let nominal =
+    match nominal with Some n -> n | None -> nominal_response probe grid netlist
+  in
+  let prepared =
+    match prepared with
+    | Some p -> p
+    | None -> prepare criterion probe grid netlist ~nominal
+  in
+  let faulty = faulty_response probe grid netlist fault in
+  let deviates i =
+    match faulty.(i) with
+    | None -> true
+    | Some tf ->
+        List.exists (fun p -> p.deviation nominal.(i) tf > p.thresholds.(i)) prepared
+  in
+  let intervals = ref [] in
+  for i = 0 to Grid.n_points grid - 1 do
+    if deviates i then intervals := Grid.point_interval grid i :: !intervals
+  done;
+  let regions = Util.Interval.Set.of_intervals !intervals in
+  let measure = Util.Interval.Set.measure regions in
+  let omega_det = measure /. Grid.log_measure grid in
+  { fault; detectable = not (Util.Interval.Set.is_empty regions); omega_det; regions }
+
+let analyze ?(criterion = default_criterion) probe grid netlist faults =
+  let nominal = nominal_response probe grid netlist in
+  let prepared = prepare criterion probe grid netlist ~nominal in
+  List.map (analyze_fault ~criterion ~nominal ~prepared probe grid netlist) faults
+
+let minimal_detectable_deviation ?(criterion = default_criterion) ?(max_factor = 10.0)
+    probe grid netlist ~element =
+  if max_factor <= 1.0 then
+    invalid_arg "Detect.minimal_detectable_deviation: max_factor must exceed 1";
+  let nominal = nominal_response probe grid netlist in
+  let prepared = prepare criterion probe grid netlist ~nominal in
+  let detectable factor =
+    (analyze_fault ~criterion ~nominal ~prepared probe grid netlist
+       (Fault.deviation ~element factor))
+      .detectable
+  in
+  if not (detectable max_factor) then None
+  else begin
+    (* bisect on log(factor) in (0, log max_factor] *)
+    let lo = ref 0.0 and hi = ref (log max_factor) in
+    for _ = 1 to 20 do
+      let mid = (!lo +. !hi) /. 2.0 in
+      if detectable (exp mid) then hi := mid else lo := mid
+    done;
+    Some (exp !hi)
+  end
+
+let fault_coverage results =
+  match results with
+  | [] -> 0.0
+  | _ ->
+      let detected = List.length (List.filter (fun r -> r.detectable) results) in
+      float_of_int detected /. float_of_int (List.length results)
+
+let average_omega_det results =
+  match results with
+  | [] -> 0.0
+  | _ ->
+      List.fold_left (fun acc r -> acc +. r.omega_det) 0.0 results
+      /. float_of_int (List.length results)

@@ -1,0 +1,109 @@
+module Netlist := Circuit.Netlist
+
+(** Fault detectability analysis (paper Definitions 1 and 2).
+
+    For each fault, the fault-free and faulty frequency responses are
+    compared point-wise on a grid. A fault is {e detectable} when its
+    response deviation exceeds a threshold at some frequency; its
+    {e ω-detectability} is the log-frequency measure of the region
+    where it does, normalized by the full grid width.
+
+    Criteria combine a deviation metric with a threshold model:
+    - {!Fixed_tolerance} is the paper's Definition 1 verbatim — the
+      relative magnitude deviation against a frequency-independent ε;
+    - {!Process_envelope} refines the paper's stated intent for ε
+      ("take into account possible fluctuations in the process
+      environment"): at each frequency the threshold is the worst-case
+      deviation a {e good} circuit can exhibit when every component
+      drifts by the process tolerance, plus a measurement floor.
+      Reconfiguration then helps for a structural reason the fixed-ε
+      model cannot express: follower-mode opamps isolate sub-networks,
+      which both shrinks the good-circuit envelope and amplifies the
+      fault's signature;
+    - {!Phase_fixed} / {!Phase_envelope} are the same two models on the
+      phase response (radians) — an extension for phase-sensitive test
+      setups;
+    - {!Any_of} declares a fault detectable wherever any sub-criterion
+      fires (region union), e.g. magnitude-or-phase testing. *)
+
+type probe = { source : string; output : string }
+(** Where the test stimulus enters and where the response is read. *)
+
+type criterion =
+  | Fixed_tolerance of float
+      (** Definition 1: detectable where |ΔT|/|T| > ε. *)
+  | Process_envelope of { component_tol : float; floor : float }
+      (** Detectable where |ΔT|/|T| exceeds the linear worst-case
+          good-circuit envelope plus [floor]. *)
+  | Phase_fixed of float
+      (** Detectable where the wrapped phase deviation exceeds the
+          given angle (radians). *)
+  | Phase_envelope of { component_tol : float; floor_rad : float }
+      (** Envelope model on the phase deviation. *)
+  | Any_of of criterion list
+      (** Union of the sub-criteria's detectability regions. *)
+
+type result = {
+  fault : Fault.t;
+  detectable : bool;  (** Definition 1. *)
+  omega_det : float;  (** Definition 2, in [0, 1]. *)
+  regions : Util.Interval.Set.t;
+      (** Detectability region Ω_detection, in log10(Hz) coordinates. *)
+}
+
+val default_tolerance : float
+(** ε = 0.10, the paper's setting. *)
+
+val default_criterion : criterion
+(** [Fixed_tolerance default_tolerance]. *)
+
+val response_deviation : nominal:Complex.t array -> faulty:Complex.t array -> float array
+(** Point-wise relative magnitude deviation | |Tf| - |T0| | / |T0|.
+    Infinite when the nominal response is exactly zero at a point and
+    the faulty one is not. *)
+
+val phase_deviation : nominal:Complex.t array -> faulty:Complex.t array -> float array
+(** Point-wise wrapped phase difference |∠Tf - ∠T0| in [0, π]. *)
+
+val nominal_response : probe -> Grid.t -> Netlist.t -> Complex.t array
+(** The fault-free sweep; exposed so callers can reuse it across many
+    faults. *)
+
+type prepared
+(** A criterion instantiated for one circuit view: per-frequency
+    thresholds (envelope criteria cost one sweep per passive
+    component), reusable across the whole fault list of that view. *)
+
+val prepare : criterion -> probe -> Grid.t -> Netlist.t -> nominal:Complex.t array -> prepared
+
+val analyze_fault :
+  ?criterion:criterion ->
+  ?nominal:Complex.t array ->
+  ?prepared:prepared ->
+  probe -> Grid.t -> Netlist.t -> Fault.t -> result
+(** Simulate one fault. [nominal] and [prepared] avoid recomputation
+    when analyzing many faults of one view ([prepared] must come from
+    the same criterion/view). A frequency where the faulty circuit has
+    no solution (singular system) counts as detectable — the response
+    is wildly wrong, not merely deviated. *)
+
+val analyze :
+  ?criterion:criterion -> probe -> Grid.t -> Netlist.t -> Fault.t list -> result list
+(** Analyze a fault list against one circuit, sharing the nominal sweep
+    and prepared thresholds. *)
+
+val minimal_detectable_deviation :
+  ?criterion:criterion -> ?max_factor:float ->
+  probe -> Grid.t -> Netlist.t -> element:string -> float option
+(** The smallest multiplicative deviation factor above 1 whose fault on
+    [element] is detectable, found by bisection on the log-factor (20
+    iterations, ~1e-4 relative resolution); [None] when even
+    [max_factor] (default 10, i.e. +900 %) stays undetected. Assumes
+    detectability is monotone in the deviation size, which holds for
+    the circuits of this library away from exact response crossings. *)
+
+val fault_coverage : result list -> float
+(** Fraction of faults with [detectable = true]; 0 on the empty list. *)
+
+val average_omega_det : result list -> float
+(** Mean ω-detectability over the fault list; 0 on the empty list. *)

@@ -1,0 +1,33 @@
+type t = { freqs : float array; log_lo : float; log_hi : float }
+
+let make ?(points_per_decade = 60) ~f_lo ~f_hi () =
+  if points_per_decade <= 0 then
+    invalid_arg "Grid.make: points_per_decade must be positive";
+  if f_lo <= 0.0 || f_hi <= 0.0 then
+    invalid_arg "Grid.make: frequencies must be positive";
+  if f_lo >= f_hi then invalid_arg "Grid.make: f_lo >= f_hi";
+  let decades = log10 f_hi -. log10 f_lo in
+  let n = Int.max 2 (1 + int_of_float (Float.round (decades *. float_of_int points_per_decade))) in
+  { freqs = Util.Floatx.logspace f_lo f_hi n; log_lo = log10 f_lo; log_hi = log10 f_hi }
+
+let around ?(decades_below = 2.0) ?(decades_above = 2.0) ?points_per_decade ~center_hz () =
+  if center_hz <= 0.0 then invalid_arg "Grid.around: center must be positive";
+  make ?points_per_decade
+    ~f_lo:(center_hz /. (10.0 ** decades_below))
+    ~f_hi:(center_hz *. (10.0 ** decades_above))
+    ()
+
+let freqs_hz t = t.freqs
+let n_points t = Array.length t.freqs
+let f_lo t = t.freqs.(0)
+let f_hi t = t.freqs.(Array.length t.freqs - 1)
+let log_measure t = t.log_hi -. t.log_lo
+
+let point_interval t i =
+  let n = Array.length t.freqs in
+  if i < 0 || i >= n then invalid_arg "Grid.point_interval: index out of bounds";
+  let step = (t.log_hi -. t.log_lo) /. float_of_int (n - 1) in
+  let center = t.log_lo +. (float_of_int i *. step) in
+  let lo = Float.max t.log_lo (center -. (step /. 2.0)) in
+  let hi = Float.min t.log_hi (center +. (step /. 2.0)) in
+  Util.Interval.make lo hi

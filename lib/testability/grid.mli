@@ -1,0 +1,34 @@
+(** Logarithmic frequency grids — the discretized reference region
+    Ω_reference of the paper (Definition 2).
+
+    The paper prescribes "about two orders of magnitude in the passband
+    and two orders of magnitude in the stopband"; {!around} builds
+    exactly that window centred on a circuit's characteristic
+    frequency. *)
+
+type t
+
+val make : ?points_per_decade:int -> f_lo:float -> f_hi:float -> unit -> t
+(** Log-spaced grid over [f_lo, f_hi] Hz. Defaults to 60 points per
+    decade. Raises [Invalid_argument] on a non-positive or inverted
+    range or a non-positive density. *)
+
+val around :
+  ?decades_below:float -> ?decades_above:float -> ?points_per_decade:int ->
+  center_hz:float -> unit -> t
+(** Grid spanning [decades_below] decades under and [decades_above]
+    decades above [center_hz] (both default to 2.0 — the paper's
+    reference region). *)
+
+val freqs_hz : t -> float array
+val n_points : t -> int
+val f_lo : t -> float
+val f_hi : t -> float
+
+val log_measure : t -> float
+(** Width of the grid in decades: log10(f_hi) - log10(f_lo). *)
+
+val point_interval : t -> int -> Util.Interval.t
+(** The sub-interval of the log-frequency axis owned by grid point [i]:
+    half a step on each side, clipped to the grid bounds. The point
+    intervals tile the full grid exactly. *)

@@ -1,0 +1,97 @@
+module Netlist = Circuit.Netlist
+
+type view = { label : string; netlist : Netlist.t; probe : Detect.probe }
+
+type t = {
+  views : view array;
+  faults : Fault.t array;
+  detect : bool array array;
+  omega : float array array;
+}
+
+let build ?criterion ?(jobs = 1) grid views faults =
+  let views = Array.of_list views in
+  let faults = Array.of_list faults in
+  let n = Array.length views and m = Array.length faults in
+  let detect = Array.make_matrix n m false in
+  let omega = Array.make_matrix n m 0.0 in
+  let analyse_view i =
+    let view = views.(i) in
+    let results =
+      Detect.analyze ?criterion view.probe grid view.netlist (Array.to_list faults)
+    in
+    List.iteri
+      (fun j (r : Detect.result) ->
+        detect.(i).(j) <- r.Detect.detectable;
+        omega.(i).(j) <- r.Detect.omega_det)
+      results
+  in
+  if jobs <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      analyse_view i
+    done
+  else begin
+    (* each view writes a distinct row, so domains share nothing but
+       the atomic work counter *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          analyse_view i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers =
+      List.init (Int.min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers
+  end;
+  { views; faults; detect; omega }
+
+let n_views t = Array.length t.views
+let n_faults t = Array.length t.faults
+
+let detectable_anywhere t j =
+  Util.Floatx.fold_range (n_views t) ~init:false ~f:(fun acc i -> acc || t.detect.(i).(j))
+
+let max_fault_coverage t =
+  let m = n_faults t in
+  if m = 0 then 0.0
+  else
+    let covered =
+      Util.Floatx.fold_range m ~init:0 ~f:(fun acc j ->
+          if detectable_anywhere t j then acc + 1 else acc)
+    in
+    float_of_int covered /. float_of_int m
+
+let coverage_of_view t i =
+  let m = n_faults t in
+  if m = 0 then 0.0
+  else
+    let covered =
+      Util.Floatx.fold_range m ~init:0 ~f:(fun acc j ->
+          if t.detect.(i).(j) then acc + 1 else acc)
+    in
+    float_of_int covered /. float_of_int m
+
+let best_omega_det_over t views j =
+  List.fold_left (fun acc i -> Float.max acc t.omega.(i).(j)) 0.0 views
+
+let best_omega_det t j =
+  best_omega_det_over t (List.init (n_views t) Fun.id) j
+
+let average_best_omega_det ?views t =
+  let views = Option.value views ~default:(List.init (n_views t) Fun.id) in
+  let m = n_faults t in
+  if m = 0 then 0.0
+  else
+    Util.Floatx.fold_range m ~init:0.0 ~f:(fun acc j ->
+        acc +. best_omega_det_over t views j)
+    /. float_of_int m
+
+let column t j = Array.init (n_views t) (fun i -> t.detect.(i).(j))
+let row t i = Array.copy t.detect.(i)

@@ -1,0 +1,54 @@
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+
+type stats = {
+  samples : int;
+  component_tol : float;
+  max_dev : float array;
+  mean_dev : float array;
+  per_sample_peak : float array;
+}
+
+let drift_all rng ~component_tol netlist =
+  List.fold_left
+    (fun acc e ->
+      let factor = 1.0 +. (component_tol *. ((Random.State.float rng 2.0) -. 1.0)) in
+      Netlist.map_value ~name:(Element.name e) ~f:(fun v -> v *. factor) acc)
+    netlist (Netlist.passives netlist)
+
+let run ?(seed = 42) ?(samples = 200) ~component_tol probe grid netlist =
+  if samples <= 0 then invalid_arg "Montecarlo.run: samples must be positive";
+  let rng = Random.State.make [| seed |] in
+  let nominal = Detect.nominal_response probe grid netlist in
+  let n = Grid.n_points grid in
+  let max_dev = Array.make n 0.0 in
+  let sum_dev = Array.make n 0.0 in
+  let per_sample_peak = Array.make samples 0.0 in
+  for s = 0 to samples - 1 do
+    let drifted = drift_all rng ~component_tol netlist in
+    let response = Detect.nominal_response probe grid drifted in
+    let dev = Detect.response_deviation ~nominal ~faulty:response in
+    let peak = ref 0.0 in
+    Array.iteri
+      (fun i d ->
+        max_dev.(i) <- Float.max max_dev.(i) d;
+        sum_dev.(i) <- sum_dev.(i) +. d;
+        peak := Float.max !peak d)
+      dev;
+    per_sample_peak.(s) <- !peak
+  done;
+  {
+    samples;
+    component_tol;
+    max_dev;
+    mean_dev = Array.map (fun s -> s /. float_of_int samples) sum_dev;
+    per_sample_peak;
+  }
+
+let false_alarm_rate stats ~epsilon =
+  let rejected =
+    Array.fold_left
+      (fun acc peak -> if peak > epsilon then acc + 1 else acc)
+      0 stats.per_sample_peak
+  in
+  float_of_int rejected /. float_of_int stats.samples

@@ -1,0 +1,32 @@
+module Netlist := Circuit.Netlist
+
+(** Monte-Carlo analysis of good-circuit response variation.
+
+    Samples circuits whose passive components drift uniformly within
+    ±[component_tol] and records the response deviation from nominal.
+    Two uses:
+    - validating the {!Detect.Process_envelope} threshold (the linear
+      worst-case envelope should dominate sampled good circuits);
+    - quantifying the false-alarm rate of the paper's fixed-ε test: a
+      good circuit whose natural variation exceeds ε somewhere would be
+      rejected as faulty. *)
+
+type stats = {
+  samples : int;
+  component_tol : float;
+  max_dev : float array;
+      (** Per grid frequency: the largest deviation any sample showed. *)
+  mean_dev : float array;  (** Per grid frequency: mean deviation. *)
+  per_sample_peak : float array;
+      (** Per sample: its worst deviation over the whole grid. *)
+}
+
+val run :
+  ?seed:int -> ?samples:int -> component_tol:float ->
+  Detect.probe -> Grid.t -> Netlist.t -> stats
+(** Defaults: [seed] 42, [samples] 200. Deterministic for a fixed
+    seed. *)
+
+val false_alarm_rate : stats -> epsilon:float -> float
+(** Fraction of sampled good circuits a fixed-ε magnitude test would
+    reject (their peak deviation exceeds [epsilon]). *)

@@ -1,0 +1,57 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg "Interval.make: bounds must be finite";
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let length i = i.hi -. i.lo
+let contains i x = i.lo <= x && x <= i.hi
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+
+let intersect a b =
+  if overlaps a b then Some { lo = Float.max a.lo b.lo; hi = Float.min a.hi b.hi }
+  else None
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let pp ppf i = Format.fprintf ppf "[%g, %g]" i.lo i.hi
+
+module Set = struct
+  type interval = t
+
+  (* Invariant: sorted by [lo], pairwise disjoint and non-touching. *)
+  type t = interval list
+
+  let empty = []
+  let is_empty s = s = []
+
+  let of_intervals is =
+    let sorted = List.sort (fun a b -> Float.compare a.lo b.lo) is in
+    (* merge with a small relative slack so intervals that touch up to
+       floating-point rounding coalesce *)
+    let touches last i =
+      i.lo <= last.hi +. (1e-9 *. Float.max 1.0 (Float.abs last.hi))
+    in
+    let merge acc i =
+      match acc with
+      | last :: rest when touches last i ->
+          { last with hi = Float.max last.hi i.hi } :: rest
+      | _ -> i :: acc
+    in
+    List.rev (List.fold_left merge [] sorted)
+
+  let to_intervals s = s
+  let add i s = of_intervals (i :: s)
+  let union a b = of_intervals (a @ b)
+
+  let inter a b =
+    let pairwise i = List.filter_map (intersect i) b in
+    of_intervals (List.concat_map pairwise a)
+
+  let measure s = List.fold_left (fun acc i -> acc +. length i) 0.0 s
+  let contains s x = List.exists (fun i -> contains i x) s
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " u ") pp) s
+end

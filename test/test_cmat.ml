@@ -1,0 +1,121 @@
+open Linalg
+
+let c re im = Complex.{ re; im }
+let cr re = c re 0.0
+
+let complex_close ?(tol = 1e-9) a b = Complex.norm (Complex.sub a b) <= tol
+
+let check_complex msg expected actual =
+  if not (complex_close expected actual) then
+    Alcotest.fail
+      (Printf.sprintf "%s: expected %g%+gi, got %g%+gi" msg expected.Complex.re
+         expected.Complex.im actual.Complex.re actual.Complex.im)
+
+let test_identity_solve () =
+  let m = Cmat.identity 3 in
+  let b = [| cr 1.0; cr 2.0; cr 3.0 |] in
+  let x = Cmat.solve m b in
+  Array.iteri (fun i v -> check_complex "id" b.(i) v) x
+
+let test_solve_2x2 () =
+  (* [1 2; 3 4] x = [5; 11]  =>  x = [1; 2] *)
+  let m = Cmat.of_arrays [| [| cr 1.0; cr 2.0 |]; [| cr 3.0; cr 4.0 |] |] in
+  let x = Cmat.solve m [| cr 5.0; cr 11.0 |] in
+  check_complex "x0" (cr 1.0) x.(0);
+  check_complex "x1" (cr 2.0) x.(1)
+
+let test_complex_solve () =
+  (* (1+i) x = 2  =>  x = 1 - i *)
+  let m = Cmat.of_arrays [| [| c 1.0 1.0 |] |] in
+  let x = Cmat.solve m [| cr 2.0 |] in
+  check_complex "x" (c 1.0 (-1.0)) x.(0)
+
+let test_singular () =
+  let m = Cmat.of_arrays [| [| cr 1.0; cr 2.0 |]; [| cr 2.0; cr 4.0 |] |] in
+  (match Cmat.lu_factor m with
+  | exception Cmat.Singular -> ()
+  | _ -> Alcotest.fail "expected Singular");
+  check_complex "det" Complex.zero (Cmat.determinant m)
+
+let test_determinant () =
+  let m = Cmat.of_arrays [| [| cr 1.0; cr 2.0 |]; [| cr 3.0; cr 4.0 |] |] in
+  check_complex "det" (cr (-2.0)) (Cmat.determinant m);
+  let p = Cmat.of_arrays [| [| cr 0.0; cr 1.0 |]; [| cr 1.0; cr 0.0 |] |] in
+  check_complex "permutation det" (cr (-1.0)) (Cmat.determinant p)
+
+let test_inverse () =
+  let m = Cmat.of_arrays [| [| cr 4.0; cr 7.0 |]; [| cr 2.0; cr 6.0 |] |] in
+  let inv = Cmat.inverse m in
+  let prod = Cmat.mul m inv in
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      let expected = if i = j then Complex.one else Complex.zero in
+      check_complex "m*m^-1" expected (Cmat.get prod i j)
+    done
+  done
+
+let test_mul_vec () =
+  let m = Cmat.of_arrays [| [| cr 1.0; cr 2.0 |]; [| cr 3.0; cr 4.0 |] |] in
+  let y = Cmat.mul_vec m [| cr 1.0; cr 1.0 |] in
+  check_complex "y0" (cr 3.0) y.(0);
+  check_complex "y1" (cr 7.0) y.(1)
+
+let test_transpose () =
+  let m = Cmat.of_arrays [| [| cr 1.0; cr 2.0; cr 3.0 |] |] in
+  let t = Cmat.transpose m in
+  Alcotest.(check int) "rows" 3 (Cmat.rows t);
+  Alcotest.(check int) "cols" 1 (Cmat.cols t);
+  check_complex "entry" (cr 2.0) (Cmat.get t 1 0)
+
+let test_bounds () =
+  let m = Cmat.create 2 2 in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Cmat: index (2, 0) out of bounds for 2x2") (fun () ->
+      ignore (Cmat.get m 2 0))
+
+let random_matrix rng n =
+  Cmat.of_arrays
+    (Array.init n (fun _ ->
+         Array.init n (fun _ ->
+             c (QCheck.Gen.float_range (-10.0) 10.0 rng) (QCheck.Gen.float_range (-10.0) 10.0 rng))))
+
+let qcheck_solve_residual =
+  QCheck.Test.make ~name:"LU solve has small residual" ~count:100
+    (QCheck.make QCheck.Gen.(pair (int_range 1 12) (int_range 0 1000000)))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let m = random_matrix rng n in
+      let b =
+        Array.init n (fun _ ->
+            c (QCheck.Gen.float_range (-10.0) 10.0 rng) (QCheck.Gen.float_range (-10.0) 10.0 rng))
+      in
+      match Cmat.solve m b with
+      | x -> Cmat.residual_norm m x b <= 1e-7 *. Float.max 1.0 (Cmat.norm_inf m)
+      | exception Cmat.Singular -> true (* random singular matrices are legal *))
+
+let qcheck_det_product =
+  QCheck.Test.make ~name:"det(AB) = det(A) det(B)" ~count:50
+    (QCheck.make QCheck.Gen.(pair (int_range 1 6) (int_range 0 1000000)))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let a = random_matrix rng n and b = random_matrix rng n in
+      let da = Cmat.determinant a and db = Cmat.determinant b in
+      let dab = Cmat.determinant (Cmat.mul a b) in
+      let expected = Complex.mul da db in
+      Complex.norm (Complex.sub dab expected)
+      <= 1e-6 *. Float.max 1.0 (Complex.norm expected))
+
+let suite =
+  [
+    Alcotest.test_case "identity solve" `Quick test_identity_solve;
+    Alcotest.test_case "solve 2x2" `Quick test_solve_2x2;
+    Alcotest.test_case "complex solve" `Quick test_complex_solve;
+    Alcotest.test_case "singular" `Quick test_singular;
+    Alcotest.test_case "determinant" `Quick test_determinant;
+    Alcotest.test_case "inverse" `Quick test_inverse;
+    Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "bounds check" `Quick test_bounds;
+    QCheck_alcotest.to_alcotest qcheck_solve_residual;
+    QCheck_alcotest.to_alcotest qcheck_det_product;
+  ]

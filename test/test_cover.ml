@@ -1,0 +1,238 @@
+module Clause = Cover.Clause
+module IntSet = Clause.IntSet
+
+let set = IntSet.of_list
+
+let matrix_3x4 =
+  (* candidates 0..2, faults 0..3; fault 3 uncoverable *)
+  [|
+    [| true; false; true; false |];
+    [| false; true; true; false |];
+    [| true; true; false; false |];
+  |]
+
+let test_of_matrix () =
+  let p = Clause.of_matrix matrix_3x4 in
+  Alcotest.(check int) "clauses (uncoverable skipped)" 3 (List.length p.Clause.clauses);
+  Alcotest.(check (list int)) "uncoverable" [ 3 ] (Clause.uncoverable_faults matrix_3x4)
+
+let test_essentials () =
+  let p = Clause.of_matrix [| [| true; true |]; [| false; true |] |] in
+  (* fault 0 only covered by candidate 0 *)
+  Alcotest.(check (list int)) "essential" [ 0 ] (IntSet.elements (Clause.essentials p))
+
+let test_reduce () =
+  let p = Clause.of_matrix matrix_3x4 in
+  let reduced = Clause.reduce p ~chosen:(set [ 0 ]) in
+  (* candidate 0 covers faults 0 and 2; fault 1 remains *)
+  Alcotest.(check int) "one clause left" 1 (List.length reduced.Clause.clauses)
+
+let test_is_cover () =
+  let p = Clause.of_matrix matrix_3x4 in
+  Alcotest.(check bool) "0,1 covers" true (Clause.is_cover p (set [ 0; 1 ]));
+  Alcotest.(check bool) "0 alone does not" false (Clause.is_cover p (set [ 0 ]));
+  Alcotest.(check bool) "2 alone does not" false (Clause.is_cover p (set [ 2 ]));
+  let empty = Clause.of_matrix [| [||] |] in
+  Alcotest.(check bool) "empty problem covered by nothing" true
+    (Clause.is_cover empty IntSet.empty)
+
+let test_pp () =
+  let p = Clause.of_matrix [| [| true; false |]; [| true; true |] |] in
+  Alcotest.(check string) "rendering" "(C0+C1).(C1)" (Format.asprintf "%a" Clause.pp p)
+
+(* --- Petrick --- *)
+
+let paper_reduced =
+  (* xi_compl of the paper: (C1+C4+C5).(C1+C5) *)
+  { Clause.n_candidates = 7; clauses = [ set [ 1; 4; 5 ]; set [ 1; 5 ] ] }
+
+let test_expand_raw_paper () =
+  (* the paper's development keeps absorbable terms:
+     C1 + C1C5 + C1C4 + C4C5 + C5 *)
+  let terms = Cover.Petrick.expand_raw paper_reduced in
+  let printable = List.map (fun t -> IntSet.elements t) terms in
+  Alcotest.(check (list (list int)))
+    "raw expansion"
+    [ [ 1 ]; [ 1; 5 ]; [ 1; 4 ]; [ 4; 5 ]; [ 5 ] ]
+    printable
+
+let test_expand_absorbs () =
+  let terms = Cover.Petrick.expand paper_reduced in
+  let printable = List.map IntSet.elements terms in
+  Alcotest.(check (list (list int))) "minimal covers" [ [ 1 ]; [ 5 ] ] printable
+
+let test_expand_empty_problem () =
+  let p = { Clause.n_candidates = 3; clauses = [] } in
+  Alcotest.(check int) "single empty product" 1 (List.length (Cover.Petrick.expand p));
+  Alcotest.(check bool) "which is empty" true
+    (IntSet.is_empty (List.hd (Cover.Petrick.expand p)))
+
+let test_cheapest () =
+  let terms = [ set [ 1 ]; set [ 4; 5 ]; set [ 5 ] ] in
+  let best = Cover.Petrick.cheapest terms in
+  Alcotest.(check int) "two singletons tie" 2 (List.length best);
+  let cost c = if c = 5 then 10.0 else 2.0 in
+  let weighted = Cover.Petrick.cheapest ~cost terms in
+  Alcotest.(check (list (list int))) "weights change the pick" [ [ 1 ] ]
+    (List.map IntSet.elements weighted)
+
+(* --- solvers --- *)
+
+let test_greedy_covers () =
+  let p = Clause.of_matrix matrix_3x4 in
+  Alcotest.(check bool) "valid cover" true (Clause.is_cover p (Cover.Solver.greedy p))
+
+let test_exact_paper_instance () =
+  let p =
+    Clause.of_matrix
+      (Array.map (Array.map Fun.id) Mcdft_core.Paper_data.detectability_matrix)
+  in
+  let s = Cover.Solver.exact p in
+  Alcotest.(check bool) "covers" true (Clause.is_cover p s);
+  Alcotest.(check int) "two configurations suffice" 2 (IntSet.cardinal s)
+
+let test_exact_weighted () =
+  (* candidate 0 covers everything but is expensive *)
+  let p = Clause.of_matrix [| [| true; true |]; [| true; false |]; [| false; true |] |] in
+  let cheap = Cover.Solver.exact p in
+  Alcotest.(check (list int)) "cardinality optimum" [ 0 ] (IntSet.elements cheap);
+  let weighted = Cover.Solver.exact ~cost:(fun c -> if c = 0 then 5.0 else 1.0) p in
+  Alcotest.(check (list int)) "weighted optimum avoids 0" [ 1; 2 ] (IntSet.elements weighted)
+
+let random_problem rng =
+  let n = 2 + QCheck.Gen.int_bound 5 rng in
+  let m = 1 + QCheck.Gen.int_bound 6 rng in
+  let d =
+    Array.init n (fun _ -> Array.init m (fun _ -> QCheck.Gen.bool rng))
+  in
+  (* ensure every fault coverable to make cardinalities comparable *)
+  for j = 0 to m - 1 do
+    let covered = ref false in
+    for i = 0 to n - 1 do
+      if d.(i).(j) then covered := true
+    done;
+    if not !covered then d.(QCheck.Gen.int_bound (n - 1) rng).(j) <- true
+  done;
+  Clause.of_matrix d
+
+let brute_force_minimum p =
+  let candidates = IntSet.elements (Clause.candidates p) in
+  let rec subsets = function
+    | [] -> [ IntSet.empty ]
+    | c :: rest ->
+        let without = subsets rest in
+        without @ List.map (IntSet.add c) without
+  in
+  List.fold_left
+    (fun acc s ->
+      if Clause.is_cover p s then Int.min acc (IntSet.cardinal s) else acc)
+    max_int (subsets candidates)
+
+let qcheck_exact_is_minimum =
+  QCheck.Test.make ~name:"exact solver matches brute force minimum" ~count:100
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let p = random_problem rng in
+      let s = Cover.Solver.exact p in
+      Clause.is_cover p s && IntSet.cardinal s = brute_force_minimum p)
+
+let qcheck_greedy_valid_and_bounded =
+  QCheck.Test.make ~name:"greedy covers; never better than exact" ~count:100
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let p = random_problem rng in
+      let g = Cover.Solver.greedy p in
+      let e = Cover.Solver.exact p in
+      Clause.is_cover p g && IntSet.cardinal g >= IntSet.cardinal e)
+
+let qcheck_petrick_matches_exact =
+  QCheck.Test.make ~name:"petrick minimal terms match exact cardinality" ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let p = random_problem rng in
+      let terms = Cover.Petrick.expand p in
+      let best = Cover.Petrick.cheapest terms in
+      let e = Cover.Solver.exact p in
+      (* every petrick term is a cover; the cheapest have exact cardinality *)
+      List.for_all (Clause.is_cover p) terms
+      && List.for_all (fun t -> IntSet.cardinal t = IntSet.cardinal e) best)
+
+(* --- mapping --- *)
+
+let test_opamps_of_config () =
+  Alcotest.(check (list int)) "C5 -> OP1 OP3" [ 0; 2 ]
+    (IntSet.elements (Cover.Mapping.opamps_of_config 5));
+  Alcotest.(check (list int)) "C0 -> none" []
+    (IntSet.elements (Cover.Mapping.opamps_of_config 0))
+
+let test_paper_mapping () =
+  (* the paper's xi terms map to OP sets; minimum is {OP1, OP2} *)
+  let xi_terms =
+    [ set [ 1; 2 ]; set [ 1; 2; 5 ]; set [ 1; 2; 4 ]; set [ 2; 4; 5 ]; set [ 2; 5 ] ]
+  in
+  let mapped = Cover.Mapping.xi_star xi_terms in
+  Alcotest.(check int) "five mapped terms" 5 (List.length mapped);
+  Alcotest.(check (list int)) "first term = OP1 OP2" [ 0; 1 ]
+    (IntSet.elements (List.hd mapped));
+  let minimal = Cover.Mapping.minimal_opamp_sets xi_terms in
+  Alcotest.(check (list (list int))) "unique minimum" [ [ 0; 1 ] ]
+    (List.map IntSet.elements minimal)
+
+let suite =
+  [
+    Alcotest.test_case "of_matrix" `Quick test_of_matrix;
+    Alcotest.test_case "essentials" `Quick test_essentials;
+    Alcotest.test_case "reduce" `Quick test_reduce;
+    Alcotest.test_case "is_cover" `Quick test_is_cover;
+    Alcotest.test_case "pp" `Quick test_pp;
+    Alcotest.test_case "petrick raw (paper)" `Quick test_expand_raw_paper;
+    Alcotest.test_case "petrick absorption" `Quick test_expand_absorbs;
+    Alcotest.test_case "petrick empty" `Quick test_expand_empty_problem;
+    Alcotest.test_case "cheapest" `Quick test_cheapest;
+    Alcotest.test_case "greedy covers" `Quick test_greedy_covers;
+    Alcotest.test_case "exact on paper matrix" `Quick test_exact_paper_instance;
+    Alcotest.test_case "exact weighted" `Quick test_exact_weighted;
+    Alcotest.test_case "opamps of config" `Quick test_opamps_of_config;
+    Alcotest.test_case "paper mapping" `Quick test_paper_mapping;
+    QCheck_alcotest.to_alcotest qcheck_exact_is_minimum;
+    QCheck_alcotest.to_alcotest qcheck_greedy_valid_and_bounded;
+    QCheck_alcotest.to_alcotest qcheck_petrick_matches_exact;
+  ]
+
+let qcheck_expand_is_antichain =
+  QCheck.Test.make ~name:"petrick expand yields an antichain of covers" ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let p = random_problem rng in
+      let terms = Cover.Petrick.expand p in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              IntSet.equal a b
+              || not (IntSet.subset a b || IntSet.subset b a))
+            terms)
+        terms)
+
+let qcheck_essentials_in_every_minimal_cover =
+  QCheck.Test.make ~name:"essential candidates appear in every irredundant cover"
+    ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let p = random_problem rng in
+      let essentials = Clause.essentials p in
+      List.for_all
+        (fun t -> IntSet.subset essentials t)
+        (Cover.Petrick.expand p))
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest qcheck_expand_is_antichain;
+      QCheck_alcotest.to_alcotest qcheck_essentials_in_every_minimal_cover;
+    ]

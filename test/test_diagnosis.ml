@@ -1,0 +1,74 @@
+module P = Mcdft_core.Pipeline
+module D = Mcdft_core.Diagnosis
+
+let pipeline = lazy (P.run ~points_per_decade:12 (Circuits.Tow_thomas.make ()))
+let dict = lazy (D.build (Lazy.force pipeline))
+
+let test_dictionary_shape () =
+  let d = Lazy.force dict in
+  Alcotest.(check int) "7 configurations" 7 (List.length d.D.configs);
+  Alcotest.(check int) "8 faults" 8 (Array.length d.D.faults);
+  let expected_len = 7 * Array.length d.D.freqs_hz in
+  Array.iter
+    (fun s -> Alcotest.(check int) "signature length" expected_len (Array.length s))
+    d.D.signatures
+
+let test_groups_partition_faults () =
+  let d = Lazy.force dict in
+  let groups = D.ambiguity_groups d in
+  let total = List.fold_left (fun acc g -> acc + List.length g) 0 groups in
+  Alcotest.(check int) "partition" (Array.length d.D.faults) total;
+  List.iter
+    (fun g -> Alcotest.(check bool) "non-empty group" true (g <> []))
+    groups
+
+let test_multiconfig_improves_resolution () =
+  let t = Lazy.force pipeline in
+  let functional_only = D.build ~configs:[ 0 ] t in
+  let all_configs = Lazy.force dict in
+  Alcotest.(check bool)
+    (Printf.sprintf "resolution %.2f (C0) <= %.2f (all)"
+       (D.resolution functional_only) (D.resolution all_configs))
+    true
+    (D.resolution functional_only <= D.resolution all_configs);
+  Alcotest.(check bool) "multi-config resolution is high" true
+    (D.resolution all_configs >= 0.7)
+
+let test_diagnose_identifies_injected_fault () =
+  (* closed loop: simulate each fault's signature and ask the
+     dictionary; the true fault must rank at distance 0 *)
+  let t = Lazy.force pipeline in
+  let d = Lazy.force dict in
+  Array.iter
+    (fun fault ->
+      let observed = D.signature_of t d fault in
+      match D.diagnose d observed with
+      | [] -> Alcotest.fail "empty diagnosis"
+      | ranked ->
+          let exact = List.filter (fun (_, dist) -> dist = 0) ranked in
+          Alcotest.(check bool)
+            (fault.Fault.id ^ " among exact matches")
+            true
+            (List.exists (fun (f, _) -> f.Fault.id = fault.Fault.id) exact))
+    d.D.faults
+
+let test_diagnose_rejects_bad_length () =
+  let d = Lazy.force dict in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Diagnosis.diagnose: signature length mismatch") (fun () ->
+      ignore (D.diagnose d [| true |]))
+
+let test_resolution_bounds () =
+  let d = Lazy.force dict in
+  let r = D.resolution d in
+  Alcotest.(check bool) "within [0,1]" true (r >= 0.0 && r <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "dictionary shape" `Quick test_dictionary_shape;
+    Alcotest.test_case "groups partition" `Quick test_groups_partition_faults;
+    Alcotest.test_case "multiconfig improves resolution" `Quick test_multiconfig_improves_resolution;
+    Alcotest.test_case "closed-loop diagnosis" `Quick test_diagnose_identifies_injected_fault;
+    Alcotest.test_case "bad length rejected" `Quick test_diagnose_rejects_bad_length;
+    Alcotest.test_case "resolution bounds" `Quick test_resolution_bounds;
+  ]

@@ -1,0 +1,188 @@
+(* Edge cases and small behaviours across modules that deserve pinning
+   but do not warrant their own suite. *)
+
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+
+(* --- util --- *)
+
+let test_quantity_suffix_priority () =
+  (* "meg" must win over "m" *)
+  Alcotest.(check (float 0.0)) "1m is milli" 1e-3 (Util.Quantity.parse_exn "1m");
+  Alcotest.(check (float 0.0)) "1meg is mega" 1e6 (Util.Quantity.parse_exn "1meg");
+  Alcotest.(check (float 1e-12)) "mil is 25.4u" 25.4e-6 (Util.Quantity.parse_exn "1mil");
+  Alcotest.(check (float 0.0)) "exponent beats suffix" 1e-3
+    (Util.Quantity.parse_exn "1e-3")
+
+let test_interval_hull_overlaps () =
+  let a = Util.Interval.make 0.0 1.0 and b = Util.Interval.make 2.0 3.0 in
+  let h = Util.Interval.hull a b in
+  Alcotest.(check (float 0.0)) "hull lo" 0.0 h.Util.Interval.lo;
+  Alcotest.(check (float 0.0)) "hull hi" 3.0 h.Util.Interval.hi;
+  Alcotest.(check bool) "disjoint" false (Util.Interval.overlaps a b);
+  Alcotest.(check bool) "self" true (Util.Interval.overlaps a a)
+
+(* --- linalg --- *)
+
+let test_cmat_one_by_one () =
+  let m = Linalg.Cmat.of_arrays [| [| Complex.{ re = 4.0; im = 0.0 } |] |] in
+  let x = Linalg.Cmat.solve m [| Complex.{ re = 8.0; im = 0.0 } |] in
+  Alcotest.(check (float 1e-12)) "scalar solve" 2.0 x.(0).Complex.re;
+  Alcotest.(check (float 1e-12)) "residual" 0.0
+    (Linalg.Cmat.residual_norm m x [| Complex.{ re = 8.0; im = 0.0 } |])
+
+let test_poly_corner_cases () =
+  Alcotest.(check string) "zero prints" "0" (Linalg.Poly.to_string Linalg.Poly.zero);
+  Alcotest.(check bool) "normalize zero" true
+    (Linalg.Poly.is_zero (Linalg.Poly.normalize Linalg.Poly.zero));
+  Alcotest.(check int) "no roots of constants" 0
+    (Array.length (Linalg.Poly.roots Linalg.Poly.one));
+  let p = Linalg.Poly.of_coeffs [| 2.0; 0.0; 4.0 |] in
+  let monic = Linalg.Poly.normalize p in
+  Alcotest.(check (float 0.0)) "monic lead" 1.0
+    (Linalg.Poly.coeff monic (Linalg.Poly.degree monic))
+
+(* --- circuit --- *)
+
+let test_element_with_value_errors () =
+  let op = Element.Opamp { name = "OP"; inp = "a"; inn = "b"; out = "c"; model = Element.Ideal } in
+  Alcotest.check_raises "ideal opamp has no value"
+    (Invalid_argument "Element.with_value: ideal opamp has no scalar parameter")
+    (fun () -> ignore (Element.with_value op 2.0));
+  Alcotest.(check bool) "no value" true (Element.value op = None);
+  Alcotest.(check char) "kind letter" 'X' (Element.kind_letter op)
+
+let test_netlist_pp_contains_title () =
+  let n = Netlist.empty ~title:"my circuit" () |> Netlist.resistor ~name:"R1" "a" "0" 1.0 in
+  let s = Format.asprintf "%a" Netlist.pp n in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0 && String.sub s 0 2 = "* ")
+
+let test_single_pole_value_is_gain () =
+  let op =
+    Element.Opamp
+      { name = "OP"; inp = "a"; inn = "b"; out = "c";
+        model = Element.Single_pole { dc_gain = 5.0; pole_hz = 10.0 } }
+  in
+  Alcotest.(check bool) "value is dc gain" true (Element.value op = Some 5.0);
+  match Element.with_value op 7.0 with
+  | Element.Opamp { model = Element.Single_pole { dc_gain; _ }; _ } ->
+      Alcotest.(check (float 0.0)) "updated" 7.0 dc_gain
+  | _ -> Alcotest.fail "shape changed"
+
+(* --- mna --- *)
+
+let test_magnitude_db () =
+  Alcotest.(check (float 1e-9)) "0 dB" 0.0 (Mna.Ac.magnitude_db Complex.one);
+  Alcotest.(check (float 1e-9)) "-20 dB" (-20.0)
+    (Mna.Ac.magnitude_db Complex.{ re = 0.1; im = 0.0 });
+  Alcotest.(check bool) "zero is -inf" true
+    (Mna.Ac.magnitude_db Complex.zero = neg_infinity)
+
+let test_dc_with_nominal_sources () =
+  let n =
+    Netlist.empty ()
+    |> Netlist.vsource ~name:"V1" "a" "0" 2.0
+    |> Netlist.resistor ~name:"R1" "a" "b" 1000.0
+    |> Netlist.resistor ~name:"R2" "b" "0" 1000.0
+  in
+  let sol = Mna.Dc.solve n in
+  Alcotest.(check (float 1e-12)) "declared amplitude used" 1.0 (Mna.Dc.voltage sol "b")
+
+let test_symbolic_output_ground_rejected () =
+  let n =
+    Netlist.empty ()
+    |> Netlist.vsource ~name:"V1" "a" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "a" "0" 1.0
+  in
+  Alcotest.check_raises "ground output"
+    (Invalid_argument "Symbolic.transfer: output node is ground") (fun () ->
+      ignore (Mna.Symbolic.transfer ~source:"V1" ~output:"0" n))
+
+let test_transient_isource_waveform () =
+  let n =
+    Netlist.empty ()
+    |> Netlist.isource ~name:"I1" "0" "out" 0.0
+    |> Netlist.resistor ~name:"R1" "out" "0" 1000.0
+  in
+  let trace =
+    Mna.Transient.simulate
+      ~waveforms:[ ("I1", Mna.Transient.Dc 1e-3) ]
+      ~record:[ "out" ] ~t_stop:1e-3 ~dt:1e-4 n
+  in
+  let out = List.assoc "out" trace.Mna.Transient.signals in
+  Alcotest.(check (float 1e-9)) "ohm" 1.0 out.(Array.length out - 1)
+
+(* --- cover --- *)
+
+let test_solver_empty_problem () =
+  let p = { Cover.Clause.n_candidates = 5; clauses = [] } in
+  Alcotest.(check bool) "exact empty" true
+    (Cover.Clause.IntSet.is_empty (Cover.Solver.exact p));
+  Alcotest.(check bool) "greedy empty" true
+    (Cover.Clause.IntSet.is_empty (Cover.Solver.greedy p));
+  Alcotest.(check (float 0.0)) "zero cost" 0.0
+    (Cover.Solver.cost_of Cover.Clause.IntSet.empty)
+
+let test_mapping_empty () =
+  Alcotest.(check int) "no terms" 0 (List.length (Cover.Mapping.minimal_opamp_sets []))
+
+(* --- spice --- *)
+
+let test_spice_directives_and_case () =
+  let n =
+    match
+      Spice.Parser.parse_string
+        "t\n.TITLE whatever\nr1 a 0 1K\nl1 a b 1M\n.AC DEC 10 1 1e6\nC1 b 0 1U\n.END\n"
+    with
+    | Ok n -> n
+    | Error e -> Alcotest.fail (Spice.Parser.error_to_string e)
+  in
+  Alcotest.(check int) "three elements" 3 (Netlist.size n);
+  (match Netlist.find_exn n "l1" with
+  | Element.Inductor { value; _ } ->
+      Alcotest.(check (float 0.0)) "1M is milli-henry" 1e-3 value
+  | _ -> Alcotest.fail "l1 wrong kind")
+
+(* --- multiconfig --- *)
+
+let test_sequence_trivial () =
+  Alcotest.(check (list int)) "empty" [] (Multiconfig.Sequence.order []);
+  Alcotest.(check (list int)) "singleton" [ 5 ] (Multiconfig.Sequence.order [ 5 ]);
+  Alcotest.(check int) "cost from C0" 2 (Multiconfig.Sequence.switch_cost [ 3 ])
+
+let test_configuration_compare () =
+  let a = Multiconfig.Configuration.make ~n_opamps:3 1 in
+  let b = Multiconfig.Configuration.make ~n_opamps:3 2 in
+  Alcotest.(check bool) "equal self" true (Multiconfig.Configuration.equal a a);
+  Alcotest.(check bool) "ordered" true (Multiconfig.Configuration.compare a b < 0);
+  Alcotest.(check string) "pp" "C5(101)"
+    (Format.asprintf "%a" Multiconfig.Configuration.pp
+       (Multiconfig.Configuration.make ~n_opamps:3 5))
+
+(* --- report --- *)
+
+let test_json_member_non_object () =
+  Alcotest.(check bool) "list has no members" true
+    (Report.Json.member "x" (Report.Json.List []) = None)
+
+let suite =
+  [
+    Alcotest.test_case "quantity suffixes" `Quick test_quantity_suffix_priority;
+    Alcotest.test_case "interval hull" `Quick test_interval_hull_overlaps;
+    Alcotest.test_case "cmat 1x1" `Quick test_cmat_one_by_one;
+    Alcotest.test_case "poly corners" `Quick test_poly_corner_cases;
+    Alcotest.test_case "element with_value" `Quick test_element_with_value_errors;
+    Alcotest.test_case "netlist pp" `Quick test_netlist_pp_contains_title;
+    Alcotest.test_case "single-pole value" `Quick test_single_pole_value_is_gain;
+    Alcotest.test_case "magnitude db" `Quick test_magnitude_db;
+    Alcotest.test_case "dc nominal sources" `Quick test_dc_with_nominal_sources;
+    Alcotest.test_case "symbolic ground output" `Quick test_symbolic_output_ground_rejected;
+    Alcotest.test_case "transient isource" `Quick test_transient_isource_waveform;
+    Alcotest.test_case "solver empty" `Quick test_solver_empty_problem;
+    Alcotest.test_case "mapping empty" `Quick test_mapping_empty;
+    Alcotest.test_case "spice directives/case" `Quick test_spice_directives_and_case;
+    Alcotest.test_case "sequence trivial" `Quick test_sequence_trivial;
+    Alcotest.test_case "configuration compare" `Quick test_configuration_compare;
+    Alcotest.test_case "json member" `Quick test_json_member_non_object;
+  ]

@@ -1,0 +1,109 @@
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+
+let rc () =
+  Netlist.empty ~title:"rc" ()
+  |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+  |> Netlist.resistor ~name:"R1" "in" "out" 1000.0
+  |> Netlist.capacitor ~name:"C1" "out" "0" 1e-6
+
+let test_deviation_ids () =
+  let f = Fault.deviation ~element:"R1" 1.2 in
+  Alcotest.(check string) "id" "R1+20%" f.Fault.id;
+  let g = Fault.deviation ~element:"C1" 0.8 in
+  Alcotest.(check string) "id" "C1-20%" g.Fault.id
+
+let test_deviation_faults () =
+  let faults = Fault.deviation_faults (rc ()) in
+  Alcotest.(check (list string)) "one per passive" [ "R1+20%"; "C1+20%" ]
+    (List.map (fun f -> f.Fault.id) faults)
+
+let test_both_deviations () =
+  let faults = Fault.both_deviations ~factor:1.5 (rc ()) in
+  Alcotest.(check (list string)) "pairs"
+    [ "R1+50%"; "R1-50%"; "C1+50%"; "C1-50%" ]
+    (List.map (fun f -> f.Fault.id) faults)
+
+let test_catastrophic_list () =
+  let faults = Fault.catastrophic_faults (rc ()) in
+  Alcotest.(check (list string)) "open and short per passive"
+    [ "R1-open"; "R1-short"; "C1-open"; "C1-short" ]
+    (List.map (fun f -> f.Fault.id) faults)
+
+let test_inject_deviation () =
+  let n = Fault.inject (Fault.deviation ~element:"R1" 1.2) (rc ()) in
+  match Netlist.find_exn n "R1" with
+  | Element.Resistor { value; _ } -> Alcotest.(check (float 1e-9)) "scaled" 1200.0 value
+  | _ -> Alcotest.fail "R1 missing"
+
+let test_inject_does_not_mutate () =
+  let original = rc () in
+  let _faulty = Fault.inject (Fault.deviation ~element:"R1" 1.2) original in
+  match Netlist.find_exn original "R1" with
+  | Element.Resistor { value; _ } -> Alcotest.(check (float 0.0)) "untouched" 1000.0 value
+  | _ -> Alcotest.fail "R1 missing"
+
+let test_inject_open () =
+  let n = Fault.inject { Fault.id = "C1-open"; element = "C1"; kind = Fault.Open_circuit } (rc ()) in
+  match Netlist.find_exn n "C1" with
+  | Element.Resistor { value; n1; n2; _ } ->
+      Alcotest.(check (float 0.0)) "open resistance" Fault.open_resistance value;
+      Alcotest.(check (list string)) "terminals kept" [ "out"; "0" ] [ n1; n2 ]
+  | _ -> Alcotest.fail "expected resistor replacement"
+
+let test_inject_short_changes_response () =
+  let n = rc () in
+  let shorted =
+    Fault.inject { Fault.id = "R1-short"; element = "R1"; kind = Fault.Short_circuit } n
+  in
+  let h = Mna.Ac.transfer ~source:"V1" ~output:"out" shorted ~omega:(2.0 *. Float.pi *. 1e5) in
+  (* with R1 shorted the lowpass no longer attenuates *)
+  Alcotest.(check (float 1e-3)) "follows input" 1.0 (Complex.norm h)
+
+let test_inject_missing () =
+  Alcotest.check_raises "unknown element" Not_found (fun () ->
+      ignore (Fault.inject (Fault.deviation ~element:"R9" 1.2) (rc ())))
+
+let test_inject_preserved_across_dft_views () =
+  (* the multiconfig transform keeps passive names, so the same fault
+     injects into every configuration view *)
+  let b = Circuits.Tow_thomas.make () in
+  let dft =
+    Multiconfig.Transform.make ~source:"Vin" ~output:"v2" b.Circuits.Benchmark.netlist
+  in
+  let fault = Fault.deviation ~element:"R4" 1.2 in
+  List.iter
+    (fun config ->
+      let view = Multiconfig.Transform.emulate dft config in
+      let faulty = Fault.inject fault view in
+      match Netlist.find_exn faulty "R4" with
+      | Element.Resistor { value; _ } ->
+          Alcotest.(check bool) "scaled in view" true (value > 1.1 *. 15000.0)
+      | _ -> Alcotest.fail "R4 missing in view")
+    (Multiconfig.Transform.test_configurations dft)
+
+let qcheck_deviation_roundtrip =
+  QCheck.Test.make ~name:"deviation then inverse deviation restores value" ~count:100
+    QCheck.(float_range 0.1 10.0)
+    (fun factor ->
+      let n = rc () in
+      let there = Fault.inject (Fault.deviation ~element:"R1" factor) n in
+      let back = Fault.inject (Fault.deviation ~element:"R1" (1.0 /. factor)) there in
+      match Circuit.Netlist.find_exn back "R1" with
+      | Circuit.Element.Resistor { value; _ } -> Util.Floatx.approx_eq ~rel:1e-9 value 1000.0
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "deviation ids" `Quick test_deviation_ids;
+    Alcotest.test_case "deviation faults" `Quick test_deviation_faults;
+    Alcotest.test_case "both deviations" `Quick test_both_deviations;
+    Alcotest.test_case "catastrophic list" `Quick test_catastrophic_list;
+    Alcotest.test_case "inject deviation" `Quick test_inject_deviation;
+    Alcotest.test_case "inject is pure" `Quick test_inject_does_not_mutate;
+    Alcotest.test_case "inject open" `Quick test_inject_open;
+    Alcotest.test_case "inject short response" `Quick test_inject_short_changes_response;
+    Alcotest.test_case "inject missing" `Quick test_inject_missing;
+    Alcotest.test_case "inject across views" `Quick test_inject_preserved_across_dft_views;
+    QCheck_alcotest.to_alcotest qcheck_deviation_roundtrip;
+  ]

@@ -1,0 +1,92 @@
+open Util
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let test_make_invalid () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Interval.make: lo > hi") (fun () ->
+      ignore (Interval.make 2.0 1.0))
+
+let test_basic () =
+  let i = Interval.make 1.0 3.0 in
+  check_float "length" 2.0 (Interval.length i);
+  Alcotest.(check bool) "contains" true (Interval.contains i 2.0);
+  Alcotest.(check bool) "boundary" true (Interval.contains i 3.0);
+  Alcotest.(check bool) "outside" false (Interval.contains i 3.5)
+
+let test_intersect () =
+  let a = Interval.make 0.0 2.0 and b = Interval.make 1.0 3.0 in
+  (match Interval.intersect a b with
+  | Some i ->
+      check_float "lo" 1.0 i.Interval.lo;
+      check_float "hi" 2.0 i.Interval.hi
+  | None -> Alcotest.fail "expected overlap");
+  let c = Interval.make 5.0 6.0 in
+  Alcotest.(check bool) "disjoint" true (Interval.intersect a c = None)
+
+let test_set_merge () =
+  let s =
+    Interval.Set.of_intervals
+      [ Interval.make 0.0 1.0; Interval.make 0.5 2.0; Interval.make 3.0 4.0 ]
+  in
+  let is = Interval.Set.to_intervals s in
+  Alcotest.(check int) "two components" 2 (List.length is);
+  check_float "measure" 3.0 (Interval.Set.measure s)
+
+let test_set_touching_merge () =
+  let s = Interval.Set.of_intervals [ Interval.make 0.0 1.0; Interval.make 1.0 2.0 ] in
+  Alcotest.(check int) "merged" 1 (List.length (Interval.Set.to_intervals s));
+  check_float "measure" 2.0 (Interval.Set.measure s)
+
+let test_set_inter () =
+  let a = Interval.Set.of_intervals [ Interval.make 0.0 2.0; Interval.make 4.0 6.0 ] in
+  let b = Interval.Set.of_intervals [ Interval.make 1.0 5.0 ] in
+  let i = Interval.Set.inter a b in
+  check_float "measure" 2.0 (Interval.Set.measure i);
+  Alcotest.(check bool) "member" true (Interval.Set.contains i 1.5);
+  Alcotest.(check bool) "gap" false (Interval.Set.contains i 3.0)
+
+let test_set_empty () =
+  Alcotest.(check bool) "empty" true (Interval.Set.is_empty Interval.Set.empty);
+  check_float "zero measure" 0.0 (Interval.Set.measure Interval.Set.empty)
+
+let qcheck_measure_subadditive =
+  let interval_gen =
+    QCheck.Gen.(
+      map
+        (fun (a, len) -> Interval.make a (a +. Float.abs len))
+        (pair (float_bound_inclusive 100.0) (float_bound_inclusive 10.0)))
+  in
+  let set_gen = QCheck.Gen.(map Interval.Set.of_intervals (list_size (int_range 0 8) interval_gen)) in
+  QCheck.Test.make ~name:"union measure <= sum of measures" ~count:200
+    (QCheck.make QCheck.Gen.(pair set_gen set_gen))
+    (fun (a, b) ->
+      let u = Interval.Set.union a b in
+      Interval.Set.measure u <= Interval.Set.measure a +. Interval.Set.measure b +. 1e-9)
+
+let qcheck_inter_bounded =
+  let interval_gen =
+    QCheck.Gen.(
+      map
+        (fun (a, len) -> Interval.make a (a +. Float.abs len))
+        (pair (float_bound_inclusive 100.0) (float_bound_inclusive 10.0)))
+  in
+  let set_gen = QCheck.Gen.(map Interval.Set.of_intervals (list_size (int_range 0 8) interval_gen)) in
+  QCheck.Test.make ~name:"intersection measure <= min measure" ~count:200
+    (QCheck.make QCheck.Gen.(pair set_gen set_gen))
+    (fun (a, b) ->
+      let i = Interval.Set.inter a b in
+      Interval.Set.measure i
+      <= Float.min (Interval.Set.measure a) (Interval.Set.measure b) +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "make invalid" `Quick test_make_invalid;
+    Alcotest.test_case "basic" `Quick test_basic;
+    Alcotest.test_case "intersect" `Quick test_intersect;
+    Alcotest.test_case "set merge" `Quick test_set_merge;
+    Alcotest.test_case "set touching merge" `Quick test_set_touching_merge;
+    Alcotest.test_case "set inter" `Quick test_set_inter;
+    Alcotest.test_case "set empty" `Quick test_set_empty;
+    QCheck_alcotest.to_alcotest qcheck_measure_subadditive;
+    QCheck_alcotest.to_alcotest qcheck_inter_bounded;
+  ]

@@ -1,0 +1,70 @@
+module Netlist = Circuit.Netlist
+
+let rc ~r ~c () =
+  Netlist.empty ~title:"rc" ()
+  |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+  |> Netlist.resistor ~name:"R1" "in" "out" r
+  |> Netlist.capacitor ~name:"C1" "out" "0" c
+
+let boltzmann = 1.380649e-23
+
+let test_resistor_psd_at_dc () =
+  (* a bare resistor to ground seen directly: PSD = 4kTR *)
+  let n =
+    Netlist.empty ~title:"r" ()
+    |> Netlist.isource ~name:"I1" "0" "out" 0.0
+    |> Netlist.resistor ~name:"R1" "out" "0" 10_000.0
+  in
+  let _, total = Mna.Noise.at_omega ~output:"out" n ~omega:1.0 in
+  Alcotest.(check (float 1e-25)) "4kTR" (4.0 *. boltzmann *. 300.0 *. 10_000.0) total
+
+let test_rc_filtered_psd () =
+  (* through the RC lowpass the resistor PSD is shaped by |H|^2 *)
+  let r = 10_000.0 and c = 10e-9 in
+  let wc = 1.0 /. (r *. c) in
+  let _, at_corner = Mna.Noise.at_omega ~output:"out" (rc ~r ~c ()) ~omega:wc in
+  let psd0 = 4.0 *. boltzmann *. 300.0 *. r in
+  Alcotest.(check bool) "half power at the corner" true
+    (Util.Floatx.approx_eq ~rel:1e-9 at_corner (psd0 /. 2.0))
+
+let test_ktc_noise () =
+  (* integrated RC output noise approaches sqrt(kT/C) *)
+  let r = 10_000.0 and c = 10e-9 in
+  let fc = 1.0 /. (2.0 *. Float.pi *. r *. c) in
+  (* dense linear grid far beyond the corner; the integral converges
+     like arctan so 300x the corner captures ~99.8% of the variance *)
+  let freqs = Util.Floatx.linspace 1.0 (300.0 *. fc) 30_000 in
+  let rms = Mna.Noise.integrated_rms ~output:"out" (rc ~r ~c ()) ~freqs_hz:freqs in
+  let expected = sqrt (boltzmann *. 300.0 /. c) in
+  Alcotest.(check bool)
+    (Printf.sprintf "kT/C: got %g, expected %g" rms expected)
+    true
+    (Float.abs (rms -. expected) /. expected < 0.02)
+
+let test_temperature_scaling () =
+  let n = rc ~r:10_000.0 ~c:10e-9 () in
+  let _, cold = Mna.Noise.at_omega ~temperature:150.0 ~output:"out" n ~omega:100.0 in
+  let _, hot = Mna.Noise.at_omega ~temperature:300.0 ~output:"out" n ~omega:100.0 in
+  Alcotest.(check (float 1e-9)) "psd linear in T" 2.0 (hot /. cold)
+
+let test_contributions_sum () =
+  let b = Circuits.Tow_thomas.make () in
+  let contributions, total =
+    Mna.Noise.at_omega ~output:"v2" b.Circuits.Benchmark.netlist
+      ~omega:(2.0 *. Float.pi *. 1000.0)
+  in
+  Alcotest.(check int) "six resistors" 6 (List.length contributions);
+  let s = List.fold_left (fun acc c -> acc +. c.Mna.Noise.psd) 0.0 contributions in
+  Alcotest.(check bool) "sum = total" true (Util.Floatx.approx_eq s total);
+  List.iter
+    (fun c -> Alcotest.(check bool) "non-negative" true (c.Mna.Noise.psd >= 0.0))
+    contributions
+
+let suite =
+  [
+    Alcotest.test_case "bare resistor PSD" `Quick test_resistor_psd_at_dc;
+    Alcotest.test_case "rc shaped PSD" `Quick test_rc_filtered_psd;
+    Alcotest.test_case "kT/C" `Quick test_ktc_noise;
+    Alcotest.test_case "temperature scaling" `Quick test_temperature_scaling;
+    Alcotest.test_case "contribution sum" `Quick test_contributions_sum;
+  ]

@@ -1,0 +1,50 @@
+open Util
+
+let check_parse expected input () =
+  match Quantity.parse input with
+  | Ok v -> Alcotest.(check (float 1e-9)) input expected v
+  | Error msg -> Alcotest.fail (Printf.sprintf "parse %S failed: %s" input msg)
+
+let check_parse_fails input () =
+  match Quantity.parse input with
+  | Ok v -> Alcotest.fail (Printf.sprintf "parse %S unexpectedly gave %g" input v)
+  | Error _ -> ()
+
+let test_roundtrip () =
+  List.iter
+    (fun v ->
+      let s = Quantity.to_string v in
+      match Quantity.parse s with
+      | Ok v' ->
+          if not (Floatx.approx_eq ~rel:1e-6 v v') then
+            Alcotest.fail (Printf.sprintf "roundtrip %g -> %s -> %g" v s v')
+      | Error msg -> Alcotest.fail (Printf.sprintf "roundtrip %g -> %s: %s" v s msg))
+    [ 4700.0; 1e-9; 2.2e-6; 1e6; 0.0; 3.3; 1e12; 15.9e-9 ]
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"to_string/parse roundtrip" ~count:300
+    QCheck.(float_range 1e-14 1e13)
+    (fun v ->
+      match Quantity.parse (Quantity.to_string v) with
+      | Ok v' -> Floatx.approx_eq ~rel:1e-5 v v'
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "10k" `Quick (check_parse 1e4 "10k");
+    Alcotest.test_case "2.2u" `Quick (check_parse 2.2e-6 "2.2u");
+    Alcotest.test_case "1meg" `Quick (check_parse 1e6 "1meg");
+    Alcotest.test_case "1MEG" `Quick (check_parse 1e6 "1MEG");
+    Alcotest.test_case "100n" `Quick (check_parse 1e-7 "100n");
+    Alcotest.test_case "4.7p" `Quick (check_parse 4.7e-12 "4.7p");
+    Alcotest.test_case "1e3" `Quick (check_parse 1e3 "1e3");
+    Alcotest.test_case "1.5e-6" `Quick (check_parse 1.5e-6 "1.5e-6");
+    Alcotest.test_case "unit tail 10kOhm" `Quick (check_parse 1e4 "10kOhm");
+    Alcotest.test_case "bare unit 5ohm" `Quick (check_parse 5.0 "5ohm");
+    Alcotest.test_case "negative -3.3" `Quick (check_parse (-3.3) "-3.3");
+    Alcotest.test_case "millifarad 5m" `Quick (check_parse 5e-3 "5m");
+    Alcotest.test_case "empty fails" `Quick (check_parse_fails "");
+    Alcotest.test_case "letters fail" `Quick (check_parse_fails "abc");
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]

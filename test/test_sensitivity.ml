@@ -1,0 +1,134 @@
+module Netlist = Circuit.Netlist
+
+let divider ~r1 ~r2 () =
+  Netlist.empty ~title:"divider" ()
+  |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+  |> Netlist.resistor ~name:"R1" "in" "out" r1
+  |> Netlist.resistor ~name:"R2" "out" "0" r2
+
+let find name results =
+  List.find (fun (s : Mna.Sensitivity.t) -> s.Mna.Sensitivity.element = name) results
+
+let test_divider_analytic () =
+  (* T = R2/(R1+R2): S_R2 = R1/(R1+R2), S_R1 = -R1/(R1+R2) *)
+  let r1 = 1000.0 and r2 = 3000.0 in
+  let results =
+    Mna.Sensitivity.at_omega ~source:"V1" ~output:"out" (divider ~r1 ~r2 ()) ~omega:0.0
+  in
+  let expected = r1 /. (r1 +. r2) in
+  let s2 = find "R2" results in
+  Alcotest.(check (float 1e-9)) "S_R2" expected s2.Mna.Sensitivity.normalized.Complex.re;
+  let s1 = find "R1" results in
+  Alcotest.(check (float 1e-9)) "S_R1" (-.expected) s1.Mna.Sensitivity.normalized.Complex.re
+
+let test_rc_capacitor_sensitivity () =
+  (* T = 1/(1+sRC): S_C = -sRC/(1+sRC); at w = 1/RC, S_C = -j/(1+j),
+     |S_C| = 1/sqrt(2) *)
+  let r = 1000.0 and c = 1e-6 in
+  let n =
+    Netlist.empty ~title:"rc" ()
+    |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "in" "out" r
+    |> Netlist.capacitor ~name:"C1" "out" "0" c
+  in
+  let results =
+    Mna.Sensitivity.at_omega ~source:"V1" ~output:"out" n ~omega:(1.0 /. (r *. c))
+  in
+  let sc = find "C1" results in
+  Alcotest.(check (float 1e-9)) "|S_C| at corner" (1.0 /. sqrt 2.0)
+    (Complex.norm sc.Mna.Sensitivity.normalized);
+  (* R and C are interchangeable in sRC: identical sensitivities *)
+  let sr = find "R1" results in
+  Alcotest.(check (float 1e-12)) "S_R = S_C (re)"
+    sc.Mna.Sensitivity.normalized.Complex.re sr.Mna.Sensitivity.normalized.Complex.re;
+  Alcotest.(check (float 1e-12)) "S_R = S_C (im)"
+    sc.Mna.Sensitivity.normalized.Complex.im sr.Mna.Sensitivity.normalized.Complex.im
+
+let test_inductor_sensitivity () =
+  (* RL divider to ground: T = sL/(R+sL); S_L = R/(R+sL) *)
+  let r = 50.0 and l = 1e-3 in
+  let n =
+    Netlist.empty ~title:"rl" ()
+    |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "in" "out" r
+    |> Netlist.inductor ~name:"L1" "out" "0" l
+  in
+  let w = r /. l in
+  let results = Mna.Sensitivity.at_omega ~source:"V1" ~output:"out" n ~omega:w in
+  let sl = find "L1" results in
+  (* S_L = R/(R+jwL) = 1/(1+j) at w = R/L *)
+  Alcotest.(check (float 1e-9)) "re" 0.5 sl.Mna.Sensitivity.normalized.Complex.re;
+  Alcotest.(check (float 1e-9)) "im" (-0.5) sl.Mna.Sensitivity.normalized.Complex.im
+
+(* The decisive check: adjoint sensitivities against central finite
+   differences on every passive of every benchmark circuit, at several
+   frequencies, through opamps, feedback loops and all. *)
+let test_adjoint_matches_finite_difference () =
+  List.iter
+    (fun (b : Circuits.Benchmark.t) ->
+      let netlist = b.Circuits.Benchmark.netlist in
+      let source = b.Circuits.Benchmark.source and output = b.Circuits.Benchmark.output in
+      List.iter
+        (fun f_rel ->
+          let omega = 2.0 *. Float.pi *. b.Circuits.Benchmark.center_hz *. f_rel in
+          let adjoint = Mna.Sensitivity.at_omega ~source ~output netlist ~omega in
+          List.iter
+            (fun (s : Mna.Sensitivity.t) ->
+              let name = s.Mna.Sensitivity.element in
+              let h = 1e-6 in
+              let perturbed factor =
+                Mna.Ac.transfer ~source ~output
+                  (Netlist.map_value ~name ~f:(fun v -> v *. factor) netlist)
+                  ~omega
+              in
+              let tp = perturbed (1.0 +. h) and tm = perturbed (1.0 -. h) in
+              let base_value =
+                match Circuit.Element.value (Netlist.find_exn netlist name) with
+                | Some v -> v
+                | None -> Alcotest.fail "passive without value"
+              in
+              let fd =
+                Complex.div (Complex.sub tp tm)
+                  { Complex.re = 2.0 *. h *. base_value; im = 0.0 }
+              in
+              let err = Complex.norm (Complex.sub fd s.Mna.Sensitivity.d_transfer) in
+              let scale = Float.max 1e-9 (Complex.norm fd) in
+              if err > 1e-3 *. scale && err > 1e-12 then
+                Alcotest.fail
+                  (Printf.sprintf "%s/%s at %.0fx f0: adjoint %g, fd %g"
+                     b.Circuits.Benchmark.name name f_rel
+                     (Complex.norm s.Mna.Sensitivity.d_transfer)
+                     (Complex.norm fd)))
+            adjoint)
+        [ 0.1; 1.0; 10.0 ])
+    [
+      Circuits.Tow_thomas.make ();
+      Circuits.Sallen_key.lowpass ();
+      Circuits.Khn.make ();
+      Circuits.Notch.make ();
+    ]
+
+let test_magnitude_sweep_shape () =
+  let b = Circuits.Tow_thomas.make () in
+  let freqs = Util.Floatx.logspace 10.0 1e5 11 in
+  let sweep =
+    Mna.Sensitivity.magnitude_sweep ~source:"Vin" ~output:"v2"
+      b.Circuits.Benchmark.netlist ~freqs_hz:freqs
+  in
+  Alcotest.(check int) "one series per passive" 8 (List.length sweep);
+  List.iter
+    (fun (_, values) ->
+      Alcotest.(check int) "one value per freq" 11 (Array.length values);
+      Array.iter
+        (fun v -> Alcotest.(check bool) "finite" true (Float.is_finite v))
+        values)
+    sweep
+
+let suite =
+  [
+    Alcotest.test_case "divider analytic" `Quick test_divider_analytic;
+    Alcotest.test_case "rc capacitor" `Quick test_rc_capacitor_sensitivity;
+    Alcotest.test_case "inductor" `Quick test_inductor_sensitivity;
+    Alcotest.test_case "adjoint = finite difference" `Quick test_adjoint_matches_finite_difference;
+    Alcotest.test_case "magnitude sweep" `Quick test_magnitude_sweep_shape;
+  ]

@@ -1,0 +1,194 @@
+module Netlist = Circuit.Netlist
+module T = Mna.Transient
+
+let rc ~r ~c () =
+  Netlist.empty ~title:"rc" ()
+  |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+  |> Netlist.resistor ~name:"R1" "in" "out" r
+  |> Netlist.capacitor ~name:"C1" "out" "0" c
+
+let signal trace name = List.assoc name trace.T.signals
+
+let test_waveforms () =
+  Alcotest.(check (float 0.0)) "dc" 5.0 (T.value_at (T.Dc 5.0) 3.0);
+  let step = T.Step { t0 = 1.0; v0 = 0.0; v1 = 2.0 } in
+  Alcotest.(check (float 0.0)) "before" 0.0 (T.value_at step 0.5);
+  Alcotest.(check (float 0.0)) "after" 2.0 (T.value_at step 1.5);
+  let sine = T.Sine { amplitude = 2.0; freq_hz = 1.0; phase = 0.0 } in
+  Alcotest.(check (float 1e-9)) "quarter period" 2.0 (T.value_at sine 0.25);
+  let pwl = T.Pwl [ (0.0, 0.0); (1.0, 10.0); (2.0, 10.0) ] in
+  Alcotest.(check (float 1e-9)) "interp" 5.0 (T.value_at pwl 0.5);
+  Alcotest.(check (float 1e-9)) "hold" 10.0 (T.value_at pwl 5.0)
+
+let test_rc_step_response () =
+  (* a step between two samples is integrated as if it happened at the
+     midpoint, so the reference is v(t) = 1 - exp(-(t - dt/2)/RC) *)
+  let r = 1000.0 and c = 1e-6 in
+  let tau = r *. c in
+  let dt = tau /. 200.0 in
+  let trace =
+    T.simulate
+      ~waveforms:[ ("V1", T.Step { t0 = 0.0; v0 = 0.0; v1 = 1.0 }) ]
+      ~record:[ "out" ] ~t_stop:(5.0 *. tau) ~dt
+      (rc ~r ~c ())
+  in
+  let out = signal trace "out" in
+  Array.iteri
+    (fun i t ->
+      if i > 0 then begin
+        let expected = 1.0 -. exp (-.(t -. (dt /. 2.0)) /. tau) in
+        if Float.abs (out.(i) -. expected) > 2e-4 then
+          Alcotest.fail
+            (Printf.sprintf "t=%g: got %g, expected %g" t out.(i) expected)
+      end)
+    trace.T.times
+
+let test_trapezoidal_second_order () =
+  (* on a smooth (sine) input, halving dt cuts the error ~4x; the
+     reference solution is a much finer run sampled at shared times *)
+  let r = 1000.0 and c = 1e-6 in
+  let f = 1.0 /. (2.0 *. Float.pi *. r *. c) in
+  let t_stop = 2.0 /. f in
+  let base_dt = 1.0 /. (f *. 64.0) in
+  let run dt =
+    signal
+      (T.simulate
+         ~waveforms:[ ("V1", T.Sine { amplitude = 1.0; freq_hz = f; phase = 0.0 }) ]
+         ~record:[ "out" ] ~t_stop ~dt
+         (rc ~r ~c ()))
+      "out"
+  in
+  let ref_sol = run (base_dt /. 16.0) in
+  let error dt stride =
+    let sol = run dt in
+    let err = ref 0.0 in
+    Array.iteri
+      (fun i v -> err := Float.max !err (Float.abs (v -. ref_sol.(i * stride))))
+      sol;
+    !err
+  in
+  let e1 = error base_dt 16 in
+  let e2 = error (base_dt /. 2.0) 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "error ratio %g/%g ~ 4" e1 e2)
+    true
+    (e1 /. e2 > 3.0 && e1 /. e2 < 5.5)
+
+let test_rl_current_rise () =
+  (* series RL driven by a step: i(t) = (V/R)(1 - exp(-tR/L)), so
+     v(out) across L decays exponentially *)
+  let r = 100.0 and l = 10e-3 in
+  let tau = l /. r in
+  let n =
+    Netlist.empty ~title:"rl" ()
+    |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "in" "out" r
+    |> Netlist.inductor ~name:"L1" "out" "0" l
+  in
+  let trace =
+    T.simulate
+      ~waveforms:[ ("V1", T.Step { t0 = 0.0; v0 = 0.0; v1 = 1.0 }) ]
+      ~record:[ "out" ] ~t_stop:(5.0 *. tau) ~dt:(tau /. 200.0) n
+  in
+  let out = signal trace "out" in
+  let i_mid = Array.length out / 2 in
+  let t = trace.T.times.(i_mid) in
+  Alcotest.(check (float 5e-3)) "inductor voltage decays" (exp (-.t /. tau)) out.(i_mid);
+  Alcotest.(check bool) "settles to zero" true
+    (Float.abs out.(Array.length out - 1) < 0.01)
+
+let test_opamp_integrator_ramp () =
+  (* ideal inverting integrator driven by DC: vout(t) = -t/(RC) *)
+  let r = 10_000.0 and c = 100e-9 in
+  let n =
+    Netlist.empty ~title:"integrator" ()
+    |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "in" "minus" r
+    |> Netlist.capacitor ~name:"C1" "minus" "out" c
+    |> Netlist.opamp ~name:"OP1" ~inp:"0" ~inn:"minus" ~out:"out"
+  in
+  let tau = r *. c in
+  let trace =
+    T.simulate
+      ~waveforms:[ ("V1", T.Step { t0 = 0.0; v0 = 0.0; v1 = 1.0 }) ]
+      ~record:[ "out" ] ~t_stop:tau ~dt:(tau /. 500.0) n
+  in
+  let out = signal trace "out" in
+  let last = Array.length out - 1 in
+  Alcotest.(check (float 5e-3)) "ramp reaches -1 at t = RC" (-1.0) out.(last)
+
+let test_sine_steady_state_matches_ac () =
+  (* drive the RC lowpass at its corner; after the transient dies the
+     amplitude must match |H| = 1/sqrt 2 from the AC engine *)
+  let r = 1000.0 and c = 1e-6 in
+  let f = 1.0 /. (2.0 *. Float.pi *. r *. c) in
+  let periods = 12.0 in
+  let trace =
+    T.simulate
+      ~waveforms:[ ("V1", T.Sine { amplitude = 1.0; freq_hz = f; phase = 0.0 }) ]
+      ~record:[ "out" ]
+      ~t_stop:(periods /. f)
+      ~dt:(1.0 /. (f *. 400.0))
+      (rc ~r ~c ())
+  in
+  let out = signal trace "out" in
+  (* peak over the last 2 periods *)
+  let n = Array.length out in
+  let tail_start = n - (n / 6) in
+  let peak = ref 0.0 in
+  for i = tail_start to n - 1 do
+    peak := Float.max !peak (Float.abs out.(i))
+  done;
+  let expected =
+    Complex.norm
+      (Mna.Ac.transfer ~source:"V1" ~output:"out" (rc ~r ~c ())
+         ~omega:(2.0 *. Float.pi *. f))
+  in
+  Alcotest.(check (float 5e-3)) "steady-state amplitude" expected !peak
+
+let test_single_pole_opamp_follower_settles () =
+  let n =
+    Netlist.empty ~title:"follower" ()
+    |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+    |> Netlist.opamp
+         ~model:(Circuit.Element.Single_pole { dc_gain = 1e5; pole_hz = 10.0 })
+         ~name:"OP1" ~inp:"in" ~inn:"out" ~out:"out"
+    |> Netlist.resistor ~name:"RL" "out" "0" 10_000.0
+  in
+  (* closed-loop bandwidth ~ GBW = 1 MHz -> settles within microseconds *)
+  let trace =
+    T.simulate
+      ~waveforms:[ ("V1", T.Step { t0 = 0.0; v0 = 0.0; v1 = 1.0 }) ]
+      ~record:[ "out" ] ~t_stop:20e-6 ~dt:20e-9 n
+  in
+  let out = signal trace "out" in
+  Alcotest.(check (float 1e-3)) "follows step" 1.0 out.(Array.length out - 1);
+  Alcotest.(check bool) "starts from rest" true (Float.abs out.(1) < 0.5)
+
+let test_biquad_step_settles_to_dc_gain () =
+  let b = Circuits.Tow_thomas.make () in
+  let trace =
+    T.simulate
+      ~waveforms:[ ("Vin", T.Step { t0 = 0.0; v0 = 0.0; v1 = 1.0 }) ]
+      ~record:[ "v2" ] ~t_stop:10e-3 ~dt:1e-6 b.Circuits.Benchmark.netlist
+  in
+  let out = signal trace "v2" in
+  Alcotest.(check (float 1e-2)) "settles to dc gain" 1.0 out.(Array.length out - 1)
+
+let test_invalid_args () =
+  Alcotest.check_raises "bad dt"
+    (Invalid_argument "Transient.simulate: dt and t_stop must be positive") (fun () ->
+      ignore (T.simulate ~record:[] ~t_stop:1.0 ~dt:0.0 (rc ~r:1.0 ~c:1.0 ())))
+
+let suite =
+  [
+    Alcotest.test_case "waveforms" `Quick test_waveforms;
+    Alcotest.test_case "rc step response" `Quick test_rc_step_response;
+    Alcotest.test_case "trapezoidal order" `Quick test_trapezoidal_second_order;
+    Alcotest.test_case "rl current rise" `Quick test_rl_current_rise;
+    Alcotest.test_case "integrator ramp" `Quick test_opamp_integrator_ramp;
+    Alcotest.test_case "sine steady state = AC" `Quick test_sine_steady_state_matches_ac;
+    Alcotest.test_case "single-pole follower" `Quick test_single_pole_opamp_follower_settles;
+    Alcotest.test_case "biquad step" `Quick test_biquad_step_settles_to_dc_gain;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+  ]
