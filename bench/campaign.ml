@@ -1,0 +1,47 @@
+(* End-to-end campaign timings: wall-clock seconds for Pipeline.run
+   (transform + 2ⁿ−1 configuration emulations + fault simulation +
+   detectability matrices) per benchmark and worker count. These are
+   the numbers the engine optimizations exist for, so they are timed
+   whole rather than via bechamel micro-runs. *)
+
+module P = Mcdft_core.Pipeline
+
+let time_s f =
+  let t0 = Unix.gettimeofday () in
+  ignore (f ());
+  Unix.gettimeofday () -. t0
+
+(* [(label, seconds)] rows. Smoke mode keeps CI fast: the biquad only,
+   a coarse grid, one worker. *)
+let rows ~smoke () =
+  let cases =
+    if smoke then [ (Circuits.Tow_thomas.make (), 10, [ 1 ]) ]
+    else
+      [
+        (Circuits.Tow_thomas.make (), 30, [ 1; 4 ]);
+        (Circuits.Leapfrog.make (), 30, [ 1; 4 ]);
+      ]
+  in
+  List.concat_map
+    (fun (b, ppd, jobs_list) ->
+      List.map
+        (fun jobs ->
+          (* start each case from a compacted heap so a timing does not
+             inherit GC debt from whatever ran before it *)
+          Gc.compact ();
+          let s = time_s (fun () -> P.run ~points_per_decade:ppd ~jobs b) in
+          ( Printf.sprintf "campaign/%s ppd=%d jobs=%d" b.Circuits.Benchmark.name ppd
+              jobs,
+            s ))
+        jobs_list)
+    cases
+
+let print_rows rows =
+  print_endline "\n==== CAMPAIGN: end-to-end Pipeline.run timings ====\n";
+  let printable = List.map (fun (name, s) -> [ name; Printf.sprintf "%.3f" s ]) rows in
+  print_endline (Report.Table.render ~header:[ "campaign"; "time (s)" ] printable)
+
+let all ~smoke () =
+  let rows = rows ~smoke () in
+  print_rows rows;
+  rows

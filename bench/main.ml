@@ -1,18 +1,65 @@
 (* Reproduction + performance harness.
 
-     dune exec bench/main.exe            - everything
-     dune exec bench/main.exe -- repro   - paper tables/figures only
-     dune exec bench/main.exe -- perf    - bechamel timings only *)
+     dune exec bench/main.exe               - everything
+     dune exec bench/main.exe -- repro      - paper tables/figures only
+     dune exec bench/main.exe -- perf       - bechamel kernel timings only
+     dune exec bench/main.exe -- campaign   - end-to-end campaign timings only
+
+   Add --smoke to shrink the campaign workload (CI). Any run that
+   produces timings also writes them to BENCH_<yyyy-mm-dd>.json in the
+   current directory. *)
+
+let today () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let write_json ~kernels ~campaign =
+  if kernels <> [] || campaign <> [] then begin
+    let date = today () in
+    let obj rows = Report.Json.Object (List.map (fun (k, v) -> (k, Report.Json.Number v)) rows) in
+    let doc =
+      Report.Json.Object
+        [
+          ("date", Report.Json.String date);
+          ("kernels_ns_per_run", obj kernels);
+          ("campaign_seconds", obj campaign);
+        ]
+    in
+    let path = Printf.sprintf "BENCH_%s.json" date in
+    let oc = open_out path in
+    output_string oc (Report.Json.to_string ~indent:2 doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "--smoke" args in
+  let what =
+    match List.filter (fun a -> a <> "--smoke") args with
+    | [] -> "all"
+    | [ w ] -> w
+    | _ ->
+        prerr_endline "usage: main.exe [repro|perf|campaign|all] [--smoke]";
+        exit 2
+  in
+  let kernels = ref [] and campaign = ref [] in
   (match what with
   | "repro" -> Repro.all ()
-  | "perf" -> Perf.all ()
+  | "perf" -> kernels := Perf.all ()
+  | "campaign" -> campaign := Campaign.all ~smoke ()
   | "all" ->
+      (* campaigns first: the wall-clock timings are the headline
+         numbers and should not inherit allocator state from the
+         repro/bechamel phases *)
+      campaign := Campaign.all ~smoke ();
       Repro.all ();
-      Perf.all ()
+      kernels := Perf.all ()
   | other ->
-      Printf.eprintf "unknown target %S (expected: repro | perf | all)\n" other;
+      Printf.eprintf "unknown target %S (expected: repro | perf | campaign | all)\n"
+        other;
       exit 2);
+  write_json ~kernels:!kernels ~campaign:!campaign;
   print_newline ()

@@ -31,6 +31,12 @@ let big_problem = random_problem ~n:31 ~m:60 7
 let dft = Multiconfig.Transform.make ~source:"Vin" ~output:"v2" biquad_netlist
 let c5 = Multiconfig.Configuration.make ~n_opamps:3 5
 
+let fastsim =
+  Testability.Fastsim.create ~source:"Vin" ~output:"v2"
+    ~freqs_hz:(Testability.Grid.freqs_hz grid_small) biquad_netlist
+
+let r4_dev = Fault.deviation ~element:"R4" 1.2
+
 let tests =
   [
     (* E1/E3/E4 kernel: one AC solve and one log sweep *)
@@ -44,6 +50,9 @@ let tests =
         ignore
           (Mna.Ac.sweep ~source:"Vin" ~output:"v2" biquad_netlist
              ~freqs_hz:(Testability.Grid.freqs_hz grid_small))));
+    (* the campaign engine: rank-1 faulty sweep against the cached LU *)
+    Test.make ~name:"fastsim/rank1 sweep (21 freqs)" (Staged.stage (fun () ->
+        ignore (Testability.Fastsim.response fastsim r4_dev)));
     (* symbolic oracle *)
     Test.make ~name:"symbolic/transfer biquad" (Staged.stage (fun () ->
         ignore (Mna.Symbolic.transfer ~source:"Vin" ~output:"v2" biquad_netlist)));
@@ -98,26 +107,26 @@ let benchmark () =
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   Analyze.merge ols instances results
 
-let print_results results =
+(* [(kernel name, ns/run)] rows, sorted by name; kernels whose OLS fit
+   failed are dropped. *)
+let rows_of results =
+  Hashtbl.fold
+    (fun _instance tbl acc ->
+      Hashtbl.fold
+        (fun name ols acc ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> (name, est) :: acc
+          | _ -> acc)
+        tbl acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let print_rows rows =
   print_endline "\n==== PERF: Bechamel kernel timings ====\n";
-  Hashtbl.iter
-    (fun _instance tbl ->
-      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
-      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-      let printable =
-        List.map
-          (fun (name, ols) ->
-            let ns =
-              match Analyze.OLS.estimates ols with
-              | Some [ est ] -> Printf.sprintf "%.1f" est
-              | _ -> "n/a"
-            in
-            [ name; ns ])
-          rows
-      in
-      print_endline (Report.Table.render ~header:[ "kernel"; "time (ns/run)" ] printable))
-    results
+  let printable = List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ]) rows in
+  print_endline (Report.Table.render ~header:[ "kernel"; "time (ns/run)" ] printable)
 
 let all () =
-  let results = benchmark () in
-  print_results results
+  let rows = rows_of (benchmark ()) in
+  print_rows rows;
+  rows

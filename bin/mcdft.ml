@@ -170,6 +170,13 @@ let ppd_opt =
   Arg.(value & opt positive_int 30 & info [ "points-per-decade" ] ~docv:"N"
          ~doc:"Frequency grid density (positive).")
 
+let jobs_opt =
+  Arg.(value
+       & opt positive_int (Domain.recommended_domain_count ())
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the fault-simulation campaign \
+                 (default: the recommended domain count for this machine).")
+
 let fault_kind_opt =
   Arg.(value & opt (enum [ ("deviation", `Deviation); ("both", `Both); ("catastrophic", `Catastrophic) ])
          `Deviation
@@ -286,10 +293,10 @@ let analyze_cmd =
           $ fault_kind_opt)
 
 let matrix_cmd =
-  let run name source output criterion ppd fault_kind =
+  let run name source output criterion ppd fault_kind jobs =
     with_circuit name source output (fun b ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
-        let t = P.run ~criterion ~points_per_decade:ppd ~faults b in
+        let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
         let m = t.P.matrix in
         let fault_ids = Array.map (fun f -> f.Fault.id) m.Testability.Matrix.faults in
         let header = "" :: Array.to_list fault_ids in
@@ -319,13 +326,13 @@ let matrix_cmd =
   Cmd.v
     (Cmd.info "matrix" ~doc:"Fault detectability matrix over all test configurations")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt)
+          $ fault_kind_opt $ jobs_opt)
 
 let optimize_cmd =
-  let run name source output criterion ppd fault_kind json =
+  let run name source output criterion ppd fault_kind jobs json =
     with_circuit name source output (fun b ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
-        let t = P.run ~criterion ~points_per_decade:ppd ~faults b in
+        let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
         let r = P.optimize t in
         if json then
           print_endline
@@ -380,13 +387,13 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Ordered-requirements optimization of the multi-configuration DFT (Sec. 4)")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ json_flag)
+          $ fault_kind_opt $ jobs_opt $ json_flag)
 
 let testplan_cmd =
-  let run name source output criterion ppd fault_kind =
+  let run name source output criterion ppd fault_kind jobs =
     with_circuit name source output (fun b ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
-        let t = P.run ~criterion ~points_per_decade:ppd ~faults b in
+        let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
         let plan = Mcdft_core.Test_plan.build t in
         print_string (Mcdft_core.Test_plan.to_string plan))
   in
@@ -394,7 +401,7 @@ let testplan_cmd =
     (Cmd.info "testplan"
        ~doc:"Minimal (configuration, frequency) measurement schedule")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt)
+          $ fault_kind_opt $ jobs_opt)
 
 let sweep_cmd =
   let run name source output ppd csv =
@@ -436,10 +443,10 @@ let sweep_cmd =
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ ppd_opt $ csv_flag)
 
 let diagnose_cmd =
-  let run name source output criterion ppd fault_kind =
+  let run name source output criterion ppd fault_kind jobs =
     with_circuit name source output (fun b ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
-        let t = P.run ~criterion ~points_per_decade:ppd ~faults b in
+        let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
         let dict = Mcdft_core.Diagnosis.build t in
         let groups = Mcdft_core.Diagnosis.ambiguity_groups dict in
         Printf.printf "circuit: %s   measurements: %d configs x %d freqs
@@ -464,12 +471,12 @@ let diagnose_cmd =
     (Cmd.info "diagnose"
        ~doc:"Fault dictionary: ambiguity groups and diagnostic resolution")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt)
+          $ fault_kind_opt $ jobs_opt)
 
 let blocks_cmd =
-  let run name source output criterion ppd =
+  let run name source output criterion ppd jobs =
     with_circuit name source output (fun b ->
-        let t = P.run ~criterion ~points_per_decade:ppd b in
+        let t = P.run ~criterion ~points_per_decade:ppd ~jobs b in
         let rows =
           List.map
             (fun (r : Mcdft_core.Block_access.report) ->
@@ -493,7 +500,8 @@ let blocks_cmd =
   Cmd.v
     (Cmd.info "blocks"
        ~doc:"Embedded-block access: per-opamp coverage via the transparency mechanism")
-    Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt)
+    Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
+          $ jobs_opt)
 
 let () =
   let doc = "multi-configuration DFT analysis for analog circuits (DATE 1998 reproduction)" in

@@ -78,14 +78,22 @@ let mul a b =
   done;
   r
 
+(* Hot kernel: unsafe-indexed with the complex products inlined on the
+   float components (bit-identical to Complex.mul / Complex.add, which
+   use the same naive formulas). Bounds are established once up front. *)
 let mul_vec a x =
   if a.ncols <> Array.length x then invalid_arg "Cmat.mul_vec: dimension mismatch";
+  let d = a.data and nc = a.ncols in
   Array.init a.nrows (fun i ->
-      let acc = ref Complex.zero in
-      for k = 0 to a.ncols - 1 do
-        acc := Complex.add !acc (Complex.mul (get a i k) x.(k))
+      let row = i * nc in
+      let acc_re = ref 0.0 and acc_im = ref 0.0 in
+      for k = 0 to nc - 1 do
+        let m = Array.unsafe_get d (row + k) in
+        let v = Array.unsafe_get x k in
+        acc_re := !acc_re +. ((m.Complex.re *. v.Complex.re) -. (m.Complex.im *. v.Complex.im));
+        acc_im := !acc_im +. ((m.Complex.re *. v.Complex.im) +. (m.Complex.im *. v.Complex.re))
       done;
-      !acc)
+      Complex.{ re = !acc_re; im = !acc_im })
 
 let scale s m = map (Complex.mul s) m
 
@@ -101,22 +109,31 @@ type lu = { mat : t; perm : int array; sign : int }
 
 (* Partial-pivoting LU (Doolittle).  Pivots on the largest |.| in the
    column; a pivot below [tiny] relative to the matrix norm signals a
-   singular system. *)
+   singular system. The elimination loops are unsafe-indexed on the
+   flat data array with the complex arithmetic inlined (bit-identical
+   to the Complex module's naive formulas); the bounds-checked API
+   above guards every entry point. *)
 let lu_factor a =
   if a.nrows <> a.ncols then invalid_arg "Cmat.lu_factor: non-square matrix";
   let n = a.nrows in
   let m = copy a in
+  let d = m.data in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1 in
   let scale_norm =
-    Array.fold_left (fun acc v -> Float.max acc (Complex.norm v)) 0.0 m.data
+    Array.fold_left (fun acc v -> Float.max acc (Complex.norm v)) 0.0 d
   in
-  let tiny = 1e-300 +. (scale_norm *. 1e-14 *. epsilon_float) in
+  (* Growth-aware threshold: a pivot at the round-off floor of the
+     elimination, n * eps * ||A||, is numerically zero. The previous
+     [1e-14 *. epsilon_float] double-counted epsilon (~1e-30 * ||A||)
+     and let near-singular systems through undetected. *)
+  let tiny = 1e-300 +. (scale_norm *. float_of_int n *. 4.0 *. epsilon_float) in
   for k = 0 to n - 1 do
     (* find pivot *)
-    let pivot_row = ref k and pivot_mag = ref (Complex.norm (get m k k)) in
+    let pivot_row = ref k
+    and pivot_mag = ref (Complex.norm (Array.unsafe_get d ((k * n) + k))) in
     for i = k + 1 to n - 1 do
-      let mag = Complex.norm (get m i k) in
+      let mag = Complex.norm (Array.unsafe_get d ((i * n) + k)) in
       if mag > !pivot_mag then begin
         pivot_mag := mag;
         pivot_row := i
@@ -126,22 +143,34 @@ let lu_factor a =
     if !pivot_row <> k then begin
       sign := - !sign;
       let p = !pivot_row in
+      let rk = k * n and rp = p * n in
       for j = 0 to n - 1 do
-        let tmp = get m k j in
-        set m k j (get m p j);
-        set m p j tmp
+        let tmp = Array.unsafe_get d (rk + j) in
+        Array.unsafe_set d (rk + j) (Array.unsafe_get d (rp + j));
+        Array.unsafe_set d (rp + j) tmp
       done;
       let tmp = perm.(k) in
       perm.(k) <- perm.(p);
       perm.(p) <- tmp
     end;
-    let pivot = get m k k in
+    let rk = k * n in
+    let pivot = Array.unsafe_get d (rk + k) in
     for i = k + 1 to n - 1 do
-      let factor = Complex.div (get m i k) pivot in
-      set m i k factor;
-      for j = k + 1 to n - 1 do
-        set m i j (Complex.sub (get m i j) (Complex.mul factor (get m k j)))
-      done
+      let ri = i * n in
+      let factor = Complex.div (Array.unsafe_get d (ri + k)) pivot in
+      Array.unsafe_set d (ri + k) factor;
+      let f_re = factor.Complex.re and f_im = factor.Complex.im in
+      if f_re <> 0.0 || f_im <> 0.0 then
+        for j = k + 1 to n - 1 do
+          let akj = Array.unsafe_get d (rk + j) in
+          let aij = Array.unsafe_get d (ri + j) in
+          Array.unsafe_set d (ri + j)
+            Complex.
+              {
+                re = aij.re -. ((f_re *. akj.re) -. (f_im *. akj.im));
+                im = aij.im -. ((f_re *. akj.im) +. (f_im *. akj.re));
+              }
+        done
     done
   done;
   { mat = m; perm; sign = !sign }
@@ -149,22 +178,34 @@ let lu_factor a =
 let lu_solve { mat = m; perm; _ } b =
   let n = m.nrows in
   if Array.length b <> n then invalid_arg "Cmat.lu_solve: dimension mismatch";
+  let d = m.data in
   let x = Array.init n (fun i -> b.(perm.(i))) in
   (* forward substitution: L y = P b, with unit diagonal L *)
   for i = 1 to n - 1 do
-    let acc = ref x.(i) in
+    let ri = i * n in
+    let v = Array.unsafe_get x i in
+    let acc_re = ref v.Complex.re and acc_im = ref v.Complex.im in
     for j = 0 to i - 1 do
-      acc := Complex.sub !acc (Complex.mul (get m i j) x.(j))
+      let l = Array.unsafe_get d (ri + j) in
+      let xj = Array.unsafe_get x j in
+      acc_re := !acc_re -. ((l.Complex.re *. xj.Complex.re) -. (l.Complex.im *. xj.Complex.im));
+      acc_im := !acc_im -. ((l.Complex.re *. xj.Complex.im) +. (l.Complex.im *. xj.Complex.re))
     done;
-    x.(i) <- !acc
+    Array.unsafe_set x i Complex.{ re = !acc_re; im = !acc_im }
   done;
   (* back substitution: U x = y *)
   for i = n - 1 downto 0 do
-    let acc = ref x.(i) in
+    let ri = i * n in
+    let v = Array.unsafe_get x i in
+    let acc_re = ref v.Complex.re and acc_im = ref v.Complex.im in
     for j = i + 1 to n - 1 do
-      acc := Complex.sub !acc (Complex.mul (get m i j) x.(j))
+      let u = Array.unsafe_get d (ri + j) in
+      let xj = Array.unsafe_get x j in
+      acc_re := !acc_re -. ((u.Complex.re *. xj.Complex.re) -. (u.Complex.im *. xj.Complex.im));
+      acc_im := !acc_im -. ((u.Complex.re *. xj.Complex.im) +. (u.Complex.im *. xj.Complex.re))
     done;
-    x.(i) <- Complex.div !acc (get m i i)
+    Array.unsafe_set x i
+      (Complex.div Complex.{ re = !acc_re; im = !acc_im } (Array.unsafe_get d (ri + i)))
   done;
   x
 
@@ -205,6 +246,17 @@ let norm_inf m =
             s +. Complex.norm (get m i j))
       in
       Float.max acc row_sum)
+
+let fill_parts m ~re ~im_scale ~im =
+  let len = Array.length m.data in
+  if Array.length re <> len || Array.length im <> len then
+    invalid_arg "Cmat.fill_parts: part length mismatch";
+  let d = m.data in
+  for k = 0 to len - 1 do
+    Array.unsafe_set d k
+      Complex.
+        { re = Array.unsafe_get re k; im = im_scale *. Array.unsafe_get im k }
+  done
 
 let pp ppf m =
   for i = 0 to m.nrows - 1 do

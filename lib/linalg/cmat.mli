@@ -62,4 +62,12 @@ val residual_norm : t -> vec -> vec -> float
 val norm_inf : t -> float
 (** Maximum absolute row sum. *)
 
+val fill_parts : t -> re:float array -> im_scale:float -> im:float array -> unit
+(** [fill_parts m ~re ~im_scale ~im] overwrites every entry of [m]
+    (row-major) with [re.(k) + i * im_scale * im.(k)] in one fused
+    pass. This is the hot path of the split MNA assembly, forming
+    A(jω) = G + jωC from two real stamp planes without touching the
+    stamping code. Both arrays must have exactly [rows * cols]
+    elements. *)
+
 val pp : Format.formatter -> t -> unit

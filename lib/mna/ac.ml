@@ -5,10 +5,9 @@ type solution = { index : Index.t; x : Complex.t array }
 
 let solve ?(sources = Assemble.Nominal) netlist ~omega =
   let index = Index.build netlist in
-  let module A = Assemble.Make ((val Field.complex ~omega : Field.S with type t = Complex.t)) in
-  let { A.matrix; rhs } = A.assemble ~sources index netlist in
-  let m = Linalg.Cmat.of_arrays matrix in
-  match Linalg.Cmat.solve m rhs with
+  let stamps = Stamps.build ~sources index netlist in
+  let m = Stamps.matrix stamps ~omega in
+  match Linalg.Cmat.solve m (Stamps.rhs stamps ~omega) with
   | x -> { index; x }
   | exception Linalg.Cmat.Singular ->
       raise
@@ -28,17 +27,18 @@ let transfer ~source ~output netlist ~omega =
   voltage sol output
 
 let sweep ~source ~output netlist ~freqs_hz =
-  (* The index is frequency-independent; build it once per sweep. *)
+  (* The index and the split stamp planes are frequency-independent;
+     build them once per sweep and form A(jω) per point with one fused
+     pass into a reused buffer. *)
   let index = Index.build netlist in
+  let stamps = Stamps.build ~sources:(Assemble.Only source) index netlist in
+  let n = Stamps.size stamps in
+  let buf = Linalg.Cmat.create n n in
   Array.map
     (fun f ->
       let omega = 2.0 *. Float.pi *. f in
-      let module A =
-        Assemble.Make ((val Field.complex ~omega : Field.S with type t = Complex.t))
-      in
-      let { A.matrix; rhs } = A.assemble ~sources:(Assemble.Only source) index netlist in
-      let m = Linalg.Cmat.of_arrays matrix in
-      match Linalg.Cmat.solve m rhs with
+      Stamps.fill stamps ~omega buf;
+      match Linalg.Cmat.solve buf (Stamps.rhs stamps ~omega) with
       | x -> (
           match Index.node index output with
           | None -> Complex.zero

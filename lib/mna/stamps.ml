@@ -1,0 +1,56 @@
+module Poly = Linalg.Poly
+module Cmat = Linalg.Cmat
+
+type t = {
+  n : int;
+  g : float array;  (* n*n row-major, s^0 coefficients *)
+  c : float array;  (* n*n row-major, s^1 coefficients *)
+  extra : (int * Poly.t) list;  (* flat index -> full polynomial, degree >= 2 *)
+  rhs_g : float array;
+  rhs_c : float array;
+  rhs_extra : (int * Poly.t) list;
+}
+
+let split_into ~g ~c ~extra k p =
+  g.(k) <- Poly.coeff p 0;
+  c.(k) <- Poly.coeff p 1;
+  if Poly.degree p > 1 then extra := (k, p) :: !extra
+
+let build ?(sources = Assemble.Nominal) index netlist =
+  let module A = Assemble.Make (Field.Polynomial) in
+  let { A.matrix; rhs } = A.assemble ~sources index netlist in
+  let n = Index.size index in
+  let g = Array.make (n * n) 0.0
+  and c = Array.make (n * n) 0.0
+  and extra = ref [] in
+  Array.iteri
+    (fun i row -> Array.iteri (fun j p -> split_into ~g ~c ~extra ((i * n) + j) p) row)
+    matrix;
+  let rhs_g = Array.make n 0.0 and rhs_c = Array.make n 0.0 and rhs_extra = ref [] in
+  Array.iteri (fun i p -> split_into ~g:rhs_g ~c:rhs_c ~extra:rhs_extra i p) rhs;
+  { n; g; c; extra = !extra; rhs_g; rhs_c; rhs_extra = !rhs_extra }
+
+let size t = t.n
+
+let eval_at p omega = Poly.eval p Complex.{ re = 0.0; im = omega }
+
+let fill t ~omega m =
+  if Cmat.rows m <> t.n || Cmat.cols m <> t.n then
+    invalid_arg "Stamps.fill: matrix dimension mismatch";
+  Cmat.fill_parts m ~re:t.g ~im_scale:omega ~im:t.c;
+  List.iter
+    (fun (k, p) -> Cmat.set m (k / t.n) (k mod t.n) (eval_at p omega))
+    t.extra
+
+let matrix t ~omega =
+  let m = Cmat.create t.n t.n in
+  fill t ~omega m;
+  m
+
+let rhs t ~omega =
+  let b =
+    Array.init t.n (fun i ->
+        { Complex.re = t.rhs_g.(i); Complex.im = omega *. t.rhs_c.(i) })
+  in
+  List.iter (fun (i, p) -> b.(i) <- eval_at p omega) t.rhs_extra;
+  b

@@ -1,0 +1,42 @@
+module Netlist := Circuit.Netlist
+
+(** Frequency-split MNA assembly: A(s) = G + sC (+ rare higher-order
+    terms).
+
+    Every stamp the assembler produces is affine in the Laplace
+    variable, so the system splits into two frequency-independent real
+    planes: G (conductances, controlled-source gains, unit entries) and
+    C (capacitances, inductances, opamp pole terms). The split is
+    computed {e once per netlist} by running the generic stamping
+    functor over the polynomial field and reading off the
+    s-coefficients of each entry — the numeric and symbolic back-ends
+    therefore share one stamping routine and cannot drift apart.
+
+    Forming A(jω) at a sweep point is then a single fused pass over
+    the two planes ({!Linalg.Cmat.fill_parts}): no functor
+    instantiation, no [array array] round-trip, no per-frequency
+    restamping. Entries whose polynomial degree exceeds 1 (none of the
+    current element models produce any) are kept exactly in a sparse
+    overflow list and evaluated per frequency. *)
+
+type t
+
+val build : ?sources:Assemble.source_mode -> Index.t -> Netlist.t -> t
+(** Assemble the split stamps for a netlist under the given source
+    mode (default [Nominal]). Same exceptions as {!Assemble.Make}. *)
+
+val size : t -> int
+(** The MNA system dimension (nodes + group-2 branches). *)
+
+val fill : t -> omega:float -> Linalg.Cmat.t -> unit
+(** Overwrite the given [size t] square matrix with A(jω). Entry
+    values match assembling with the complex field at [s = jω] exactly,
+    except where several reactive stamps accumulate on one entry —
+    there ω(c₁+c₂) replaces ωc₁+ωc₂, a difference of at most one ulp. *)
+
+val matrix : t -> omega:float -> Linalg.Cmat.t
+(** Freshly allocated A(jω). *)
+
+val rhs : t -> omega:float -> Linalg.Cmat.vec
+(** The excitation vector b(jω) (frequency-independent for all current
+    element models, but evaluated generally). *)

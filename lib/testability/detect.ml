@@ -46,6 +46,10 @@ let nominal_response probe grid netlist =
   Mna.Ac.sweep ~source:probe.source ~output:probe.output netlist
     ~freqs_hz:(Grid.freqs_hz grid)
 
+let make_sim probe grid netlist =
+  Fastsim.create ~source:probe.source ~output:probe.output
+    ~freqs_hz:(Grid.freqs_hz grid) netlist
+
 (* One instantiated sub-criterion: which deviation to measure and the
    per-frequency threshold it must exceed. *)
 type prepared_one = {
@@ -55,22 +59,33 @@ type prepared_one = {
 
 type prepared = prepared_one list
 
-let envelope_thresholds ~deviation ~floor probe grid netlist ~nominal ~component_tol =
+(* Envelope accumulation over the per-component process drifts. Each
+   drift is a single-passive deviation — exactly a rank-1 fault for
+   the campaign engine, so the whole envelope costs one back-solve per
+   (passive, frequency) instead of a full sweep per passive. A grid
+   point where a drifted good circuit has no solution mirrors the
+   naive path's Singular_circuit. *)
+let envelope_thresholds ~deviation ~floor ~respond grid netlist ~nominal
+    ~component_tol =
   let envelope = Array.make (Grid.n_points grid) floor in
   List.iter
     (fun e ->
       let element = Element.name e in
-      let drifted =
-        Fault.inject (Fault.deviation ~element (1.0 +. component_tol)) netlist
-      in
-      let response = nominal_response probe grid drifted in
+      let response = respond (Fault.deviation ~element (1.0 +. component_tol)) in
       Array.iteri
-        (fun i tf -> envelope.(i) <- envelope.(i) +. deviation nominal.(i) tf)
+        (fun i tf ->
+          match tf with
+          | Some tf -> envelope.(i) <- envelope.(i) +. deviation nominal.(i) tf
+          | None ->
+              raise
+                (Mna.Ac.Singular_circuit
+                   (Printf.sprintf "MNA matrix singular at f = %g Hz for %S"
+                      (Grid.freqs_hz grid).(i) (Netlist.title netlist))))
         response)
     (Netlist.passives netlist);
   envelope
 
-let rec prepare criterion probe grid netlist ~nominal =
+let rec prepare_with ~respond criterion grid netlist ~nominal =
   match criterion with
   | Fixed_tolerance eps ->
       [ { deviation = magnitude_dev; thresholds = Array.make (Grid.n_points grid) eps } ]
@@ -81,7 +96,7 @@ let rec prepare criterion probe grid netlist ~nominal =
         {
           deviation = magnitude_dev;
           thresholds =
-            envelope_thresholds ~deviation:magnitude_dev ~floor probe grid netlist
+            envelope_thresholds ~deviation:magnitude_dev ~floor ~respond grid netlist
               ~nominal ~component_tol;
         };
       ]
@@ -90,41 +105,20 @@ let rec prepare criterion probe grid netlist ~nominal =
         {
           deviation = phase_dev;
           thresholds =
-            envelope_thresholds ~deviation:phase_dev ~floor:floor_rad probe grid netlist
-              ~nominal ~component_tol;
+            envelope_thresholds ~deviation:phase_dev ~floor:floor_rad ~respond grid
+              netlist ~nominal ~component_tol;
         };
       ]
   | Any_of criteria ->
-      List.concat_map (fun c -> prepare c probe grid netlist ~nominal) criteria
+      List.concat_map (fun c -> prepare_with ~respond c grid netlist ~nominal) criteria
 
-(* Sweep the faulty circuit point by point; a frequency where the MNA
-   system becomes singular counts as detectable under every criterion
-   (the faulty circuit has no well-defined response there, which any
-   tester would notice). *)
-let faulty_response probe grid netlist fault =
-  let faulty = Fault.inject fault netlist in
-  let freqs = Grid.freqs_hz grid in
-  Array.map
-    (fun f ->
-      match
-        Mna.Ac.transfer ~source:probe.source ~output:probe.output faulty
-          ~omega:(2.0 *. Float.pi *. f)
-      with
-      | v -> Some v
-      | exception Mna.Ac.Singular_circuit _ -> None)
-    freqs
+let prepare criterion probe grid netlist ~nominal =
+  (* Lazy: criteria without an envelope never pay for the engine. *)
+  let sim = lazy (make_sim probe grid netlist) in
+  let respond fault = Fastsim.response (Lazy.force sim) fault in
+  prepare_with ~respond criterion grid netlist ~nominal
 
-let analyze_fault ?(criterion = default_criterion) ?nominal ?prepared probe grid netlist
-    fault =
-  let nominal =
-    match nominal with Some n -> n | None -> nominal_response probe grid netlist
-  in
-  let prepared =
-    match prepared with
-    | Some p -> p
-    | None -> prepare criterion probe grid netlist ~nominal
-  in
-  let faulty = faulty_response probe grid netlist fault in
+let result_of ~nominal ~prepared grid fault faulty =
   let deviates i =
     match faulty.(i) with
     | None -> true
@@ -140,21 +134,41 @@ let analyze_fault ?(criterion = default_criterion) ?nominal ?prepared probe grid
   let omega_det = measure /. Grid.log_measure grid in
   { fault; detectable = not (Util.Interval.Set.is_empty regions); omega_det; regions }
 
+let analyze_fault ?(criterion = default_criterion) ?nominal ?prepared probe grid netlist
+    fault =
+  let sim = lazy (make_sim probe grid netlist) in
+  let respond f = Fastsim.response (Lazy.force sim) f in
+  let nominal =
+    match nominal with Some n -> n | None -> Fastsim.nominal (Lazy.force sim)
+  in
+  let prepared =
+    match prepared with
+    | Some p -> p
+    | None -> prepare_with ~respond criterion grid netlist ~nominal
+  in
+  result_of ~nominal ~prepared grid fault (respond fault)
+
 let analyze ?(criterion = default_criterion) probe grid netlist faults =
-  let nominal = nominal_response probe grid netlist in
-  let prepared = prepare criterion probe grid netlist ~nominal in
-  List.map (analyze_fault ~criterion ~nominal ~prepared probe grid netlist) faults
+  (* One engine for the whole view: the fault-free LU is factorized
+     once per frequency and shared by the envelope preparation and by
+     every fault's rank-1 solve. *)
+  let sim = make_sim probe grid netlist in
+  let respond f = Fastsim.response sim f in
+  let nominal = Fastsim.nominal sim in
+  let prepared = prepare_with ~respond criterion grid netlist ~nominal in
+  List.map (fun fault -> result_of ~nominal ~prepared grid fault (respond fault)) faults
 
 let minimal_detectable_deviation ?(criterion = default_criterion) ?(max_factor = 10.0)
     probe grid netlist ~element =
   if max_factor <= 1.0 then
     invalid_arg "Detect.minimal_detectable_deviation: max_factor must exceed 1";
-  let nominal = nominal_response probe grid netlist in
-  let prepared = prepare criterion probe grid netlist ~nominal in
+  let sim = make_sim probe grid netlist in
+  let respond f = Fastsim.response sim f in
+  let nominal = Fastsim.nominal sim in
+  let prepared = prepare_with ~respond criterion grid netlist ~nominal in
   let detectable factor =
-    (analyze_fault ~criterion ~nominal ~prepared probe grid netlist
-       (Fault.deviation ~element factor))
-      .detectable
+    let fault = Fault.deviation ~element factor in
+    (result_of ~nominal ~prepared grid fault (respond fault)).detectable
   in
   if not (detectable max_factor) then None
   else begin

@@ -1,0 +1,49 @@
+module Netlist := Circuit.Netlist
+
+(** The fault-simulation campaign engine.
+
+    A campaign evaluates one circuit view against many faults on a
+    shared frequency grid. The naive cost is a full assembly and an
+    O(n³) factorization per (fault, frequency); this engine removes
+    both levels of redundancy:
+
+    - the fault-free system is split-assembled once ({!Mna.Stamps})
+      and LU-factorized once per frequency, yielding the nominal
+      response as a by-product;
+    - a single-element deviation (or open/short replacement) of a
+      passive R, C or L perturbs the MNA matrix by a rank-1 term
+      α(ω)·uvᵀ with u, v sparse ±1 patterns, so each faulty solve is
+      a Sherman–Morrison update against the cached LU — O(n²),
+      polished by one step of iterative refinement — and the A⁻¹u
+      back-solves are cached across faults sharing a stamp pattern
+      (e.g. the ±20 % pair on one component);
+    - every update is verified by a cheap residual check
+      ({!Linalg.Cmat.residual_norm}); an ill-conditioned update falls
+      back to a full refactorization of the perturbed matrix, and a
+      structural fault (e.g. an inductor open, which changes the
+      system dimension) falls back to a fresh split assembly. Either
+      way the result matches the naive path to round-off. *)
+
+type t
+
+val create :
+  source:string -> output:string -> freqs_hz:float array -> Netlist.t -> t
+(** Build the engine for one view: index, split stamps, and one LU +
+    nominal solve per frequency. Raises {!Mna.Ac.Singular_circuit} if
+    the fault-free system is singular at some grid frequency, like
+    {!Mna.Ac.sweep}. *)
+
+val nominal : t -> Complex.t array
+(** The fault-free transfer at every grid frequency (equal to
+    {!Mna.Ac.sweep} on the same grid). *)
+
+val response : t -> Fault.t -> Complex.t option array
+(** The faulty transfer at every grid frequency; [None] where the
+    faulty system is singular (the naive path's
+    [Singular_circuit]-per-point outcome). Raises [Not_found] when the
+    fault's element is absent from the netlist, like {!Fault.inject}. *)
+
+val stats : t -> int * int
+(** [(smw, full)]: faulty point-solves served by the rank-1 update vs
+    by a full assembly/refactorization (fallbacks and structural
+    faults). For benches and tests. *)

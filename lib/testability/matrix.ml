@@ -26,30 +26,9 @@ let build ?criterion ?(jobs = 1) grid views faults =
         omega.(i).(j) <- r.Detect.omega_det)
       results
   in
-  if jobs <= 1 || n <= 1 then
-    for i = 0 to n - 1 do
-      analyse_view i
-    done
-  else begin
-    (* each view writes a distinct row, so domains share nothing but
-       the atomic work counter *)
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          analyse_view i;
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let helpers =
-      List.init (Int.min jobs n - 1) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join helpers
-  end;
+  (* each view writes a distinct row, so the scheduler's workers share
+     nothing but its cursor *)
+  Util.Parallel.for_ ~jobs n analyse_view;
   { views; faults; detect; omega }
 
 let n_views t = Array.length t.views

@@ -16,7 +16,7 @@ let drift_all rng ~component_tol netlist =
       Netlist.map_value ~name:(Element.name e) ~f:(fun v -> v *. factor) acc)
     netlist (Netlist.passives netlist)
 
-let run ?(seed = 42) ?(samples = 200) ~component_tol probe grid netlist =
+let run ?(seed = 42) ?(samples = 200) ?jobs ~component_tol probe grid netlist =
   if samples <= 0 then invalid_arg "Montecarlo.run: samples must be positive";
   let rng = Random.State.make [| seed |] in
   let nominal = Detect.nominal_response probe grid netlist in
@@ -24,17 +24,26 @@ let run ?(seed = 42) ?(samples = 200) ~component_tol probe grid netlist =
   let max_dev = Array.make n 0.0 in
   let sum_dev = Array.make n 0.0 in
   let per_sample_peak = Array.make samples 0.0 in
+  (* Draw every sample netlist sequentially so the RNG stream — and
+     hence the result — is independent of the worker count, then sweep
+     them on the scheduler and reduce sequentially in sample order. *)
+  let drifted = Array.make samples netlist in
   for s = 0 to samples - 1 do
-    let drifted = drift_all rng ~component_tol netlist in
-    let response = Detect.nominal_response probe grid drifted in
-    let dev = Detect.response_deviation ~nominal ~faulty:response in
+    drifted.(s) <- drift_all rng ~component_tol netlist
+  done;
+  let deviations =
+    Util.Parallel.map ?jobs samples (fun s ->
+        let response = Detect.nominal_response probe grid drifted.(s) in
+        Detect.response_deviation ~nominal ~faulty:response)
+  in
+  for s = 0 to samples - 1 do
     let peak = ref 0.0 in
     Array.iteri
       (fun i d ->
         max_dev.(i) <- Float.max max_dev.(i) d;
         sum_dev.(i) <- sum_dev.(i) +. d;
         peak := Float.max !peak d)
-      dev;
+      deviations.(s);
     per_sample_peak.(s) <- !peak
   done;
   {

@@ -22,10 +22,13 @@ type stats = {
 }
 
 val run :
-  ?seed:int -> ?samples:int -> component_tol:float ->
+  ?seed:int -> ?samples:int -> ?jobs:int -> component_tol:float ->
   Detect.probe -> Grid.t -> Netlist.t -> stats
-(** Defaults: [seed] 42, [samples] 200. Deterministic for a fixed
-    seed. *)
+(** Defaults: [seed] 42, [samples] 200, [jobs] 1. Deterministic for a
+    fixed seed: the sample netlists are drawn from one sequential RNG
+    stream and only the independent per-sample sweeps run on the
+    [jobs]-domain scheduler ({!Util.Parallel}), so the statistics do
+    not depend on the worker count. *)
 
 val false_alarm_rate : stats -> epsilon:float -> float
 (** Fraction of sampled good circuits a fixed-ε magnitude test would

@@ -1,0 +1,41 @@
+let sequential n f =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let for_ ?(jobs = 1) n f =
+  if n <= 0 then ()
+  else if jobs <= 1 || n = 1 then sequential n f
+  else begin
+    let jobs = Int.min jobs n in
+    (* A few chunks per worker: big enough to amortize the atomic,
+       small enough that a slow chunk cannot strand the tail. *)
+    let chunk = Int.max 1 (n / (jobs * 4)) in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          let stop = Int.min n (start + chunk) in
+          for i = start to stop - 1 do
+            f i
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers
+  end
+
+let map ?jobs n f =
+  if n <= 0 then [||]
+  else begin
+    let results = Array.make n None in
+    for_ ?jobs n (fun i -> results.(i) <- Some (f i));
+    Array.map
+      (function Some v -> v | None -> assert false (* for_ covers 0..n-1 *))
+      results
+  end

@@ -1,0 +1,22 @@
+(** A small chunked work-stealing scheduler over OCaml domains.
+
+    One shared atomic cursor hands out index chunks; [jobs - 1] helper
+    domains plus the calling domain drain it until the range is
+    exhausted. Chunks keep the cursor contention low while the dynamic
+    hand-out balances uneven per-index work (the classic failure mode
+    of static striping on fault-simulation campaigns, where one view
+    can be much more expensive than another).
+
+    The body must be safe to run concurrently for distinct indices —
+    the usual pattern is "each index writes its own slot of a
+    pre-allocated array", which needs no further synchronization. *)
+
+val for_ : ?jobs:int -> int -> (int -> unit) -> unit
+(** [for_ ~jobs n f] runs [f i] for every [i] in [0 .. n-1].
+    [jobs <= 1] (the default) runs sequentially in the calling domain,
+    in index order. Exceptions raised by [f] in a helper domain are
+    re-raised in the caller on join. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] is [| f 0; ...; f (n-1) |], computed like {!for_}.
+    The result is deterministic: slot [i] always holds [f i]. *)

@@ -16,6 +16,7 @@ let () =
       ("circuits", Test_circuits.suite);
       ("fault", Test_fault.suite);
       ("testability", Test_testability.suite);
+      ("fastsim", Test_fastsim.suite);
       ("multiconfig", Test_multiconfig.suite);
       ("cover", Test_cover.suite);
       ("optimizer", Test_optimizer.suite);

@@ -37,6 +37,18 @@ let test_singular () =
   | _ -> Alcotest.fail "expected Singular");
   check_complex "det" Complex.zero (Cmat.determinant m)
 
+let test_near_singular () =
+  (* Rows equal to within one ulp: numerically rank-1 at this scale.
+     The growth-aware pivot threshold (n·ε·4·‖A‖∞ ≈ 5e-15 here) must
+     flag it; the old ‖A‖∞·1e-14·ε threshold (≈ 7e-30) accepted the
+     ~2e-15 cancellation residue as a pivot and returned garbage. *)
+  let m =
+    Cmat.of_arrays [| [| cr 1.0; cr 2.0 |]; [| cr (1.0 +. 1e-15); cr 2.0 |] |]
+  in
+  match Cmat.lu_factor m with
+  | exception Cmat.Singular -> ()
+  | _ -> Alcotest.fail "expected Singular for a numerically rank-1 matrix"
+
 let test_determinant () =
   let m = Cmat.of_arrays [| [| cr 1.0; cr 2.0 |]; [| cr 3.0; cr 4.0 |] |] in
   check_complex "det" (cr (-2.0)) (Cmat.determinant m);
@@ -111,6 +123,7 @@ let suite =
     Alcotest.test_case "solve 2x2" `Quick test_solve_2x2;
     Alcotest.test_case "complex solve" `Quick test_complex_solve;
     Alcotest.test_case "singular" `Quick test_singular;
+    Alcotest.test_case "near-singular" `Quick test_near_singular;
     Alcotest.test_case "determinant" `Quick test_determinant;
     Alcotest.test_case "inverse" `Quick test_inverse;
     Alcotest.test_case "mul_vec" `Quick test_mul_vec;
