@@ -2,14 +2,39 @@
    (transform + 2ⁿ−1 configuration emulations + fault simulation +
    detectability matrices) per benchmark and worker count. These are
    the numbers the engine optimizations exist for, so they are timed
-   whole rather than via bechamel micro-runs. *)
+   whole rather than via bechamel micro-runs.
+
+   Each case is timed twice: once with the observability sinks
+   disabled (the headline number — instrumentation must be free when
+   off) and once with Obs.Metrics enabled, which also yields the
+   solver-counter columns for BENCH_<date>.json. *)
 
 module P = Mcdft_core.Pipeline
+
+type row = {
+  label : string;
+  seconds : float;  (* metrics disabled — the headline number *)
+  seconds_metrics_on : float;
+  counters : (string * int) list;
+}
 
 let time_s f =
   let t0 = Unix.gettimeofday () in
   ignore (f ());
   Unix.gettimeofday () -. t0
+
+(* The counters worth a column: solver-mix and scheduler activity. *)
+let counter_columns =
+  [
+    "fastsim.smw_solves";
+    "fastsim.full_solves";
+    "fastsim.refine_steps";
+    "fastsim.structural_faults";
+    "fastsim.wcache_hits";
+    "fastsim.wcache_misses";
+    "mna.fills";
+    "parallel.chunks";
+  ]
 
 (* [(label, seconds)] rows. Smoke mode keeps CI fast: the biquad only,
    a coarse grid, one worker. *)
@@ -26,20 +51,51 @@ let rows ~smoke () =
     (fun (b, ppd, jobs_list) ->
       List.map
         (fun jobs ->
+          let run () = P.run ~points_per_decade:ppd ~jobs b in
           (* start each case from a compacted heap so a timing does not
              inherit GC debt from whatever ran before it *)
           Gc.compact ();
-          let s = time_s (fun () -> P.run ~points_per_decade:ppd ~jobs b) in
-          ( Printf.sprintf "campaign/%s ppd=%d jobs=%d" b.Circuits.Benchmark.name ppd
-              jobs,
-            s ))
+          Obs.Metrics.set_enabled false;
+          let seconds = time_s run in
+          Gc.compact ();
+          Obs.Metrics.reset ();
+          Obs.Metrics.set_enabled true;
+          let seconds_metrics_on = time_s run in
+          Obs.Metrics.set_enabled false;
+          let snap = Obs.Metrics.snapshot () in
+          Obs.Metrics.reset ();
+          {
+            label =
+              Printf.sprintf "campaign/%s ppd=%d jobs=%d"
+                b.Circuits.Benchmark.name ppd jobs;
+            seconds;
+            seconds_metrics_on;
+            counters =
+              List.map (fun c -> (c, Obs.Metrics.counter snap c)) counter_columns;
+          })
         jobs_list)
     cases
 
 let print_rows rows =
   print_endline "\n==== CAMPAIGN: end-to-end Pipeline.run timings ====\n";
-  let printable = List.map (fun (name, s) -> [ name; Printf.sprintf "%.3f" s ]) rows in
-  print_endline (Report.Table.render ~header:[ "campaign"; "time (s)" ] printable)
+  let header =
+    [ "campaign"; "time (s)"; "metrics on (s)"; "smw"; "full"; "chunks" ]
+  in
+  let printable =
+    List.map
+      (fun r ->
+        let c name = string_of_int (List.assoc name r.counters) in
+        [
+          r.label;
+          Printf.sprintf "%.3f" r.seconds;
+          Printf.sprintf "%.3f" r.seconds_metrics_on;
+          c "fastsim.smw_solves";
+          c "fastsim.full_solves";
+          c "parallel.chunks";
+        ])
+      rows
+  in
+  print_endline (Report.Table.render ~header printable)
 
 let all ~smoke () =
   let rows = rows ~smoke () in

@@ -7,7 +7,14 @@
 
    Add --smoke to shrink the campaign workload (CI). Any run that
    produces timings also writes them to BENCH_<yyyy-mm-dd>.json in the
-   current directory. *)
+   current directory; campaign rows carry the solver counters of a
+   metrics-enabled rerun alongside the disabled-sink wall-clock.
+
+   --baseline FILE gates the disabled-sink campaign numbers against a
+   committed baseline: any row more than 5 % (and 50 ms, to absorb
+   timer noise on sub-second smoke runs) slower than its baseline
+   entry fails the process — the observability layer must stay free
+   when disabled. *)
 
 let today () =
   let tm = Unix.localtime (Unix.time ()) in
@@ -17,13 +24,32 @@ let today () =
 let write_json ~kernels ~campaign =
   if kernels <> [] || campaign <> [] then begin
     let date = today () in
-    let obj rows = Report.Json.Object (List.map (fun (k, v) -> (k, Report.Json.Number v)) rows) in
+    let num_obj rows =
+      Report.Json.Object (List.map (fun (k, v) -> (k, Report.Json.Number v)) rows)
+    in
     let doc =
       Report.Json.Object
         [
           ("date", Report.Json.String date);
-          ("kernels_ns_per_run", obj kernels);
-          ("campaign_seconds", obj campaign);
+          ("kernels_ns_per_run", num_obj kernels);
+          ( "campaign_seconds",
+            num_obj (List.map (fun r -> (r.Campaign.label, r.Campaign.seconds)) campaign)
+          );
+          ( "campaign_seconds_metrics_on",
+            num_obj
+              (List.map
+                 (fun r -> (r.Campaign.label, r.Campaign.seconds_metrics_on))
+                 campaign) );
+          ( "campaign_counters",
+            Report.Json.Object
+              (List.map
+                 (fun r ->
+                   ( r.Campaign.label,
+                     Report.Json.Object
+                       (List.map
+                          (fun (k, v) -> (k, Report.Json.int v))
+                          r.Campaign.counters) ))
+                 campaign) );
         ]
     in
     let path = Printf.sprintf "BENCH_%s.json" date in
@@ -34,15 +60,62 @@ let write_json ~kernels ~campaign =
     Printf.printf "wrote %s\n" path
   end
 
+let check_baseline path campaign =
+  let fail msg =
+    Printf.eprintf "baseline check: %s\n" msg;
+    exit 1
+  in
+  let content =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg -> fail msg
+  in
+  let doc =
+    match Report.Json.of_string content with
+    | Ok doc -> doc
+    | Error msg -> fail (Printf.sprintf "%s: %s" path msg)
+  in
+  let baseline_seconds label =
+    match Report.Json.member "campaign_seconds" doc with
+    | Some (Report.Json.Object rows) -> (
+        match List.assoc_opt label rows with
+        | Some (Report.Json.Number s) -> Some s
+        | _ -> None)
+    | _ -> None
+  in
+  let regressions =
+    List.filter_map
+      (fun r ->
+        match baseline_seconds r.Campaign.label with
+        | None -> None  (* baseline predates this row; nothing to gate *)
+        | Some base ->
+            let allowed = Float.max (base *. 1.05) (base +. 0.05) in
+            if r.Campaign.seconds > allowed then
+              Some
+                (Printf.sprintf "%s: %.3fs vs baseline %.3fs (allowed %.3fs)"
+                   r.Campaign.label r.Campaign.seconds base allowed)
+            else None)
+      campaign
+  in
+  if regressions <> [] then
+    fail ("disabled-sink campaign regressed\n  " ^ String.concat "\n  " regressions)
+  else Printf.printf "baseline check: ok (%s)\n" path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
+  let rec extract_baseline acc = function
+    | "--baseline" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | a :: rest -> extract_baseline (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let baseline, args = extract_baseline [] args in
   let what =
     match List.filter (fun a -> a <> "--smoke") args with
     | [] -> "all"
     | [ w ] -> w
     | _ ->
-        prerr_endline "usage: main.exe [repro|perf|campaign|all] [--smoke]";
+        prerr_endline
+          "usage: main.exe [repro|perf|campaign|all] [--smoke] [--baseline FILE]";
         exit 2
   in
   let kernels = ref [] and campaign = ref [] in
@@ -62,4 +135,5 @@ let () =
         other;
       exit 2);
   write_json ~kernels:!kernels ~campaign:!campaign;
+  Option.iter (fun path -> check_baseline path !campaign) baseline;
   print_newline ()

@@ -189,17 +189,90 @@ let faults_of kind netlist =
   | `Both -> Fault.both_deviations netlist
   | `Catastrophic -> Fault.catastrophic_faults netlist
 
-let with_circuit name source output f =
-  match load_circuit name ~source ~output with
-  | Error msg ->
+(* ---- one error handler for every subcommand ----
+
+   Exit codes (documented in the man page footer):
+     0  success
+     1  circuit loading / invalid input
+     3  singular MNA system
+     4  a fault references an element absent from the netlist
+     5  I/O error
+   (2 and 124/125 remain cmdliner's usage/internal errors.) *)
+
+let die code fmt =
+  Printf.ksprintf
+    (fun msg ->
       Printf.eprintf "mcdft: %s\n" msg;
-      exit 1
-  | Ok b -> f b
+      exit code)
+    fmt
+
+let handle_errors f =
+  try f () with
+  | Mna.Ac.Singular_circuit msg | Mna.Symbolic.Singular_circuit msg ->
+      die 3
+        "singular circuit: %s\n\
+         (the MNA system has no unique solution — look for floating nodes, a \
+         shorted source, or a wrong --source/--output pair)"
+        msg
+  | Not_found ->
+      die 4
+        "a fault names an element absent from the analyzed netlist\n\
+         (catastrophic fault lists only cover passive components; check the \
+         fault universe against the circuit)"
+  | Invalid_argument msg -> die 1 "invalid input: %s" msg
+  | Sys_error msg -> die 5 "i/o error: %s" msg
+
+let with_circuit name source output f =
+  handle_errors (fun () ->
+      match load_circuit name ~source ~output with
+      | Error msg -> die 1 "%s" msg
+      | Ok b -> f b)
+
+(* ---- observability flags ---- *)
+
+let metrics_opt =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write campaign metrics (solver counters, phase-timing \
+                 histograms, scheduler utilization) to $(docv) as JSON.")
+
+let trace_opt =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome-trace-format span timeline to $(docv); load it \
+                 in chrome://tracing or https://ui.perfetto.dev.")
+
+(* Enable the requested sinks, run, then write the files — also on the
+   error path, so a failing campaign still leaves its partial trace. *)
+let with_observability ~metrics ~trace f =
+  if metrics <> None then Obs.Metrics.set_enabled true;
+  if trace <> None then Obs.Trace.set_enabled true;
+  let write_files () =
+    Option.iter
+      (fun path ->
+        let json = Mcdft_core.Export.metrics_to_json (Obs.Metrics.snapshot ()) in
+        let oc = open_out path in
+        output_string oc (Report.Json.to_string ~indent:2 json);
+        output_char oc '\n';
+        close_out oc)
+      metrics;
+    Option.iter Obs.Trace.write trace
+  in
+  match f () with
+  | v ->
+      write_files ();
+      v
+  | exception e ->
+      (* best effort: a failing campaign still leaves its partial
+         trace, but the original error wins over a sink write error *)
+      (try write_files () with _ -> ());
+      raise e
 
 (* ---- subcommands ---- *)
 
 let list_cmd =
   let run () =
+    handle_errors @@ fun () ->
     let rows =
       List.map
         (fun (b : Circuits.Benchmark.t) ->
@@ -293,8 +366,9 @@ let analyze_cmd =
           $ fault_kind_opt)
 
 let matrix_cmd =
-  let run name source output criterion ppd fault_kind jobs =
+  let run name source output criterion ppd fault_kind jobs metrics trace =
     with_circuit name source output (fun b ->
+        with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
         let m = t.P.matrix in
@@ -326,17 +400,22 @@ let matrix_cmd =
   Cmd.v
     (Cmd.info "matrix" ~doc:"Fault detectability matrix over all test configurations")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt)
+          $ fault_kind_opt $ jobs_opt $ metrics_opt $ trace_opt)
 
 let optimize_cmd =
-  let run name source output criterion ppd fault_kind jobs json =
+  let run name source output criterion ppd fault_kind jobs json metrics trace =
     with_circuit name source output (fun b ->
+        with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
         let r = P.optimize t in
         if json then
+          let snap =
+            if metrics <> None then Some (Obs.Metrics.snapshot ()) else None
+          in
           print_endline
-            (Report.Json.to_string ~indent:2 (Mcdft_core.Export.pipeline_to_json t r))
+            (Report.Json.to_string ~indent:2
+               (Mcdft_core.Export.pipeline_to_json ?metrics:snap t r))
         else
         let configs_to_string l =
           "{" ^ String.concat ", " (List.map (Printf.sprintf "C%d") l) ^ "}"
@@ -387,11 +466,12 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Ordered-requirements optimization of the multi-configuration DFT (Sec. 4)")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ json_flag)
+          $ fault_kind_opt $ jobs_opt $ json_flag $ metrics_opt $ trace_opt)
 
 let testplan_cmd =
-  let run name source output criterion ppd fault_kind jobs =
+  let run name source output criterion ppd fault_kind jobs metrics trace =
     with_circuit name source output (fun b ->
+        with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
         let plan = Mcdft_core.Test_plan.build t in
@@ -401,7 +481,7 @@ let testplan_cmd =
     (Cmd.info "testplan"
        ~doc:"Minimal (configuration, frequency) measurement schedule")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt)
+          $ fault_kind_opt $ jobs_opt $ metrics_opt $ trace_opt)
 
 let sweep_cmd =
   let run name source output ppd csv =
@@ -443,8 +523,9 @@ let sweep_cmd =
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ ppd_opt $ csv_flag)
 
 let diagnose_cmd =
-  let run name source output criterion ppd fault_kind jobs =
+  let run name source output criterion ppd fault_kind jobs metrics trace =
     with_circuit name source output (fun b ->
+        with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
         let dict = Mcdft_core.Diagnosis.build t in
@@ -471,11 +552,12 @@ let diagnose_cmd =
     (Cmd.info "diagnose"
        ~doc:"Fault dictionary: ambiguity groups and diagnostic resolution")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt)
+          $ fault_kind_opt $ jobs_opt $ metrics_opt $ trace_opt)
 
 let blocks_cmd =
-  let run name source output criterion ppd jobs =
+  let run name source output criterion ppd jobs metrics trace =
     with_circuit name source output (fun b ->
+        with_observability ~metrics ~trace @@ fun () ->
         let t = P.run ~criterion ~points_per_decade:ppd ~jobs b in
         let rows =
           List.map
@@ -501,7 +583,7 @@ let blocks_cmd =
     (Cmd.info "blocks"
        ~doc:"Embedded-block access: per-opamp coverage via the transparency mechanism")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ jobs_opt)
+          $ jobs_opt $ metrics_opt $ trace_opt)
 
 let () =
   let doc = "multi-configuration DFT analysis for analog circuits (DATE 1998 reproduction)" in

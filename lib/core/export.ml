@@ -78,16 +78,48 @@ let report_to_json ?faults (r : Optimizer.report) =
                 r.Optimizer.input.Optimizer.omega)) );
     ]
 
-let pipeline_to_json (t : Pipeline.t) r =
-  let b = t.Pipeline.benchmark in
+let histogram_to_json (h : Obs.Metrics.histogram_stats) =
+  let finite_or_null v = if Float.is_finite v then J.Number v else J.Null in
   J.Object
     [
-      ("circuit", J.String b.Circuits.Benchmark.name);
-      ("description", J.String b.Circuits.Benchmark.description);
-      ("source", J.String b.Circuits.Benchmark.source);
-      ("output", J.String b.Circuits.Benchmark.output);
-      ("center_hz", J.Number b.Circuits.Benchmark.center_hz);
-      ("criterion", criterion_to_json t.Pipeline.criterion);
-      ("grid_points", J.int (Testability.Grid.n_points t.Pipeline.grid));
-      ("report", report_to_json ~faults:t.Pipeline.faults r);
+      ("count", J.int h.Obs.Metrics.count);
+      ("sum", J.Number h.Obs.Metrics.sum);
+      ("min", finite_or_null h.Obs.Metrics.min);
+      ("max", finite_or_null h.Obs.Metrics.max);
+      ( "buckets",
+        J.List
+          (List.map
+             (fun (ub, n) ->
+               J.Object
+                 [
+                   ("le", if Float.is_finite ub then J.Number ub else J.String "inf");
+                   ("count", J.int n);
+                 ])
+             h.Obs.Metrics.buckets) );
     ]
+
+let metrics_to_json (s : Obs.Metrics.snapshot) =
+  J.Object
+    [
+      ( "counters",
+        J.Object (List.map (fun (k, v) -> (k, J.int v)) s.Obs.Metrics.counters) );
+      ( "histograms",
+        J.Object
+          (List.map (fun (k, h) -> (k, histogram_to_json h)) s.Obs.Metrics.histograms)
+      );
+    ]
+
+let pipeline_to_json ?metrics (t : Pipeline.t) r =
+  let b = t.Pipeline.benchmark in
+  J.Object
+    ([
+       ("circuit", J.String b.Circuits.Benchmark.name);
+       ("description", J.String b.Circuits.Benchmark.description);
+       ("source", J.String b.Circuits.Benchmark.source);
+       ("output", J.String b.Circuits.Benchmark.output);
+       ("center_hz", J.Number b.Circuits.Benchmark.center_hz);
+       ("criterion", criterion_to_json t.Pipeline.criterion);
+       ("grid_points", J.int (Testability.Grid.n_points t.Pipeline.grid));
+       ("report", report_to_json ~faults:t.Pipeline.faults r);
+     ]
+    @ match metrics with None -> [] | Some s -> [ ("metrics", metrics_to_json s) ])

@@ -7,6 +7,13 @@ val report_to_json : ?faults:Fault.t list -> Optimizer.report -> Report.Json.t
     detectability/ω matrices. [faults] labels the columns when
     given. *)
 
-val pipeline_to_json : Pipeline.t -> Optimizer.report -> Report.Json.t
+val metrics_to_json : Obs.Metrics.snapshot -> Report.Json.t
+(** A metrics snapshot as [{counters: {...}, histograms: {...}}];
+    non-finite histogram min/max (empty histograms) export as null. *)
+
+val pipeline_to_json :
+  ?metrics:Obs.Metrics.snapshot -> Pipeline.t -> Optimizer.report -> Report.Json.t
 (** {!report_to_json} wrapped with circuit metadata (name, opamps,
-    criterion, grid). *)
+    criterion, grid). [metrics] adds an optional ["metrics"] block
+    ({!metrics_to_json}) capturing the campaign's solver counters and
+    phase timings. *)

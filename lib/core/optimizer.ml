@@ -88,7 +88,22 @@ let coverage_of_rows input rows =
    reachable configurations still cover every coverable fault.  With
    n <= 20 opamps this is cheap. *)
 
-let subset_covers input ~mask =
+(* Which faults any configuration can cover at all. Computed once per
+   input: the exponential subset search below asks this per fault for
+   every candidate subset, and an O(rows) rescan there multiplies into
+   the 2ⁿ enumeration. *)
+let coverable_faults input =
+  let rows = Array.length input.detect in
+  let m = n_faults input in
+  Array.init m (fun j ->
+      let rec probe i =
+        if i >= rows then false
+        else if input.detect.(i).(j) then true
+        else probe (i + 1)
+      in
+      probe 0)
+
+let subset_covers input ~coverable ~mask =
   let rows = Array.length input.detect in
   let m = n_faults input in
   let covered_by_any j =
@@ -99,39 +114,42 @@ let subset_covers input ~mask =
     in
     probe 0
   in
-  let coverable j =
-    let rec probe i =
-      if i >= rows then false
-      else if input.detect.(i).(j) then true
-      else probe (i + 1)
-    in
-    probe 0
-  in
   let rec check j =
     if j >= m then true
-    else if coverable j && not (covered_by_any j) then false
+    else if coverable.(j) && not (covered_by_any j) then false
     else check (j + 1)
   in
   check 0
 
-let rec combinations n k start =
-  if k = 0 then [ [] ]
-  else if start >= n then []
-  else
-    List.map (fun rest -> start :: rest) (combinations n (k - 1) (start + 1))
-    @ combinations n k (start + 1)
+(* All k-subsets of [0 .. n-1] in lexicographic order, built onto an
+   accumulator — the naive [include @ exclude] recursion re-walks the
+   include branch's result at every level, which is quadratic in the
+   output size. *)
+let combinations n k =
+  let rec go start k current acc =
+    if k = 0 then List.rev current :: acc
+    else if n - start < k then acc
+    else
+      let acc = go (start + 1) (k - 1) (start :: current) acc in
+      go (start + 1) k current acc
+  in
+  List.rev (go 0 k [] [])
 
 let mask_of positions = List.fold_left (fun m k -> m lor (1 lsl k)) 0 positions
 
 let min_opamp_subsets input =
+  Obs.Trace.span "optimizer.min_opamp_subsets" @@ fun () ->
   let n = input.n_opamps in
+  let coverable = coverable_faults input in
   let rec search k =
     if k > n then []
     else
       let winners =
         List.filter
-          (fun subset -> subset_covers input ~mask:(mask_of subset))
-          (combinations n k 0)
+          (fun subset ->
+            Obs.Metrics.incr "optimizer.subsets_tested";
+            subset_covers input ~coverable ~mask:(mask_of subset))
+          (combinations n k)
       in
       if winners = [] then search (k + 1) else winners
   in

@@ -13,9 +13,11 @@ let default_criterion =
 
 let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
     ?follower_model ?jobs (benchmark : Circuits.Benchmark.t) =
+  Obs.Trace.span "pipeline.run" @@ fun () ->
   let netlist = benchmark.Circuits.Benchmark.netlist in
   Circuit.Validate.check_exn netlist;
   let dft =
+    Obs.Trace.span "pipeline.transform" @@ fun () ->
     Multiconfig.Transform.make ~source:benchmark.Circuits.Benchmark.source
       ~output:benchmark.Circuits.Benchmark.output netlist
   in
@@ -31,6 +33,7 @@ let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
     }
   in
   let views =
+    Obs.Trace.span "pipeline.views" @@ fun () ->
     List.map
       (fun config ->
         {
@@ -50,7 +53,9 @@ let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
   in
   { benchmark; dft; grid; criterion; faults; matrix; input }
 
-let optimize ?petrick_limit t = Optimizer.optimize ?petrick_limit t.input
+let optimize ?petrick_limit t =
+  Obs.Trace.span "pipeline.optimize" @@ fun () ->
+  Optimizer.optimize ?petrick_limit t.input
 
 let functional_results t =
   let probe =

@@ -61,11 +61,13 @@ let preprocess ~clauses =
         (fun acc c -> if IntSet.cardinal c = 1 then IntSet.union acc c else acc)
         IntSet.empty clauses
     in
-    if not (IntSet.is_empty singletons) then
+    if not (IntSet.is_empty singletons) then begin
+      Obs.Metrics.incr "cover.preprocess_forced" ~by:(IntSet.cardinal singletons);
       let remaining =
         List.filter (fun c -> IntSet.is_empty (IntSet.inter c singletons)) clauses
       in
       loop remaining (IntSet.union forced singletons)
+    end
     else begin
       (* clause dominance: a superset clause is implied by its subset *)
       let arr = Array.of_list clauses in
@@ -79,12 +81,14 @@ let preprocess ~clauses =
         done
       done;
       let reduced = List.filteri (fun i _ -> keep.(i)) (Array.to_list arr) in
+      Obs.Metrics.incr "cover.preprocess_dominated" ~by:(n - List.length reduced);
       (forced, reduced)
     end
   in
   loop clauses IntSet.empty
 
 let exact ?(cost = fun _ -> 1.0) (t : Clause.t) =
+  Obs.Trace.span "cover.exact" @@ fun () ->
   let best = ref None in
   let best_cost = ref infinity in
   let consider chosen =
@@ -102,6 +106,7 @@ let exact ?(cost = fun _ -> 1.0) (t : Clause.t) =
     end
   in
   let rec branch clauses chosen chosen_cost =
+    Obs.Metrics.incr "cover.bnb_nodes";
     let forced, clauses = preprocess ~clauses in
     let chosen = IntSet.union chosen forced in
     let chosen_cost = chosen_cost +. cost_of ~cost forced in

@@ -7,7 +7,10 @@ let solve ?(sources = Assemble.Nominal) netlist ~omega =
   let index = Index.build netlist in
   let stamps = Stamps.build ~sources index netlist in
   let m = Stamps.matrix stamps ~omega in
-  match Linalg.Cmat.solve m (Stamps.rhs stamps ~omega) with
+  match
+    Obs.Metrics.time "mna.solve_s" (fun () ->
+        Linalg.Cmat.solve m (Stamps.rhs stamps ~omega))
+  with
   | x -> { index; x }
   | exception Linalg.Cmat.Singular ->
       raise
@@ -30,6 +33,7 @@ let sweep ~source ~output netlist ~freqs_hz =
   (* The index and the split stamp planes are frequency-independent;
      build them once per sweep and form A(jω) per point with one fused
      pass into a reused buffer. *)
+  Obs.Trace.span "mna.sweep" @@ fun () ->
   let index = Index.build netlist in
   let stamps = Stamps.build ~sources:(Assemble.Only source) index netlist in
   let n = Stamps.size stamps in
@@ -38,7 +42,10 @@ let sweep ~source ~output netlist ~freqs_hz =
     (fun f ->
       let omega = 2.0 *. Float.pi *. f in
       Stamps.fill stamps ~omega buf;
-      match Linalg.Cmat.solve buf (Stamps.rhs stamps ~omega) with
+      match
+        Obs.Metrics.time "mna.solve_s" (fun () ->
+            Linalg.Cmat.solve buf (Stamps.rhs stamps ~omega))
+      with
       | x -> (
           match Index.node index output with
           | None -> Complex.zero

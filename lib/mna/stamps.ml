@@ -17,6 +17,7 @@ let split_into ~g ~c ~extra k p =
   if Poly.degree p > 1 then extra := (k, p) :: !extra
 
 let build ?(sources = Assemble.Nominal) index netlist =
+  Obs.Metrics.time "mna.assemble_s" @@ fun () ->
   let module A = Assemble.Make (Field.Polynomial) in
   let { A.matrix; rhs } = A.assemble ~sources index netlist in
   let n = Index.size index in
@@ -37,6 +38,7 @@ let eval_at p omega = Poly.eval p Complex.{ re = 0.0; im = omega }
 let fill t ~omega m =
   if Cmat.rows m <> t.n || Cmat.cols m <> t.n then
     invalid_arg "Stamps.fill: matrix dimension mismatch";
+  Obs.Metrics.incr "mna.fills";
   Cmat.fill_parts m ~re:t.g ~im_scale:omega ~im:t.c;
   List.iter
     (fun (k, p) -> Cmat.set m (k / t.n) (k mod t.n) (eval_at p omega))

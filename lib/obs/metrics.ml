@@ -1,0 +1,143 @@
+(* Named counters and histograms, sharded per domain (see Sharded) and
+   merged on read. The registry is process-global: the campaign layers
+   increment by name from any domain without threading handles. *)
+
+(* Log-spaced duration buckets in seconds; the last bucket is the
+   overflow. Values are generic floats, so the same bounds double as
+   decade buckets for any positive quantity. *)
+let bucket_bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
+let n_buckets = Array.length bucket_bounds + 1
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * histogram_stats) list;
+}
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  bucket_counts : int array;
+}
+
+type shard = {
+  c_tbl : (string, int ref) Hashtbl.t;
+  h_tbl : (string, hist) Hashtbl.t;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let shards : shard Sharded.t =
+  Sharded.create (fun () -> { c_tbl = Hashtbl.create 16; h_tbl = Hashtbl.create 16 })
+
+let incr ?(by = 1) name =
+  if enabled () then begin
+    let s = Sharded.get shards in
+    match Hashtbl.find_opt s.c_tbl name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add s.c_tbl name (ref by)
+  end
+
+let observe name v =
+  if enabled () then begin
+    let s = Sharded.get shards in
+    let h =
+      match Hashtbl.find_opt s.h_tbl name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_count = 0;
+              h_sum = 0.0;
+              h_min = infinity;
+              h_max = neg_infinity;
+              bucket_counts = Array.make n_buckets 0;
+            }
+          in
+          Hashtbl.add s.h_tbl name h;
+          h
+    in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let rec slot i =
+      if i >= Array.length bucket_bounds || v <= bucket_bounds.(i) then i
+      else slot (i + 1)
+    in
+    let i = slot 0 in
+    h.bucket_counts.(i) <- h.bucket_counts.(i) + 1
+  end
+
+let now () = Unix.gettimeofday ()
+
+let time name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> observe name (now () -. t0)) f
+  end
+
+module SMap = Map.Make (String)
+
+let stats_of_hist h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    buckets =
+      List.init n_buckets (fun i ->
+          ( (if i < Array.length bucket_bounds then bucket_bounds.(i) else infinity),
+            h.bucket_counts.(i) ));
+  }
+
+let merge_stats a b =
+  {
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    min = Float.min a.min b.min;
+    max = Float.max a.max b.max;
+    buckets = List.map2 (fun (ub, n) (_, m) -> (ub, n + m)) a.buckets b.buckets;
+  }
+
+let snapshot () =
+  let counters =
+    Sharded.fold shards ~init:SMap.empty ~f:(fun acc s ->
+        Hashtbl.fold
+          (fun name r acc ->
+            SMap.update name
+              (function None -> Some !r | Some v -> Some (v + !r))
+              acc)
+          s.c_tbl acc)
+  in
+  let histograms =
+    Sharded.fold shards ~init:SMap.empty ~f:(fun acc s ->
+        Hashtbl.fold
+          (fun name h acc ->
+            let st = stats_of_hist h in
+            SMap.update name
+              (function None -> Some st | Some prev -> Some (merge_stats prev st))
+              acc)
+          s.h_tbl acc)
+  in
+  { counters = SMap.bindings counters; histograms = SMap.bindings histograms }
+
+let counter snap name =
+  match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+let reset () =
+  Sharded.iter shards ~f:(fun s ->
+      Hashtbl.reset s.c_tbl;
+      Hashtbl.reset s.h_tbl)

@@ -1,0 +1,59 @@
+(** Process-global registry of named counters and histograms.
+
+    Writes go to a per-domain shard (no cross-domain contention on the
+    hot path); {!snapshot} merges every shard on read. All operations
+    are no-ops while the registry is disabled (the default), so
+    instrumented code pays one atomic load and a branch per call site —
+    the "no-op sink" the campaign bench holds to within noise.
+
+    Counter totals are deterministic: the same campaign run with any
+    worker count accumulates identical counts, only attributed to
+    different shards. Timings ({!observe}/{!time}) are not.
+
+    {!reset} and exact {!snapshot}s assume quiescence — call them when
+    no worker domain is mid-campaign (the scheduler joins its helpers
+    before returning, so call sites outside {!Util.Parallel.for_} are
+    safe). *)
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when [count = 0] *)
+  max : float;  (** [neg_infinity] when [count = 0] *)
+  buckets : (float * int) list;
+      (** [(upper_bound, count)] per log-spaced bucket; the last bound
+          is [infinity] (overflow). *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * histogram_stats) list;
+}
+(** Both lists are sorted by name. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to the named counter in this domain's shard. *)
+
+val observe : string -> float -> unit
+(** Record one value into the named histogram. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); the time base used by
+    {!time}. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f ()] and records its wall-clock duration in
+    seconds into the [name] histogram; when disabled it is exactly
+    [f ()]. The duration is recorded even if [f] raises. *)
+
+val snapshot : unit -> snapshot
+(** Merge every shard. *)
+
+val counter : snapshot -> string -> int
+(** Counter value by name, 0 when absent. *)
+
+val reset : unit -> unit
+(** Clear every shard (the enabled flag is left as-is). *)

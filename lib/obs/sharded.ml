@@ -1,0 +1,44 @@
+(* Per-domain sharding for observability state.
+
+   Each domain lazily materializes its own shard via DLS on first use,
+   registering it in a mutex-protected list so a reader can fold over
+   every shard ever created (shards of terminated domains stay
+   registered — their accumulated values must survive the join). A
+   shard is only ever written by its owning domain; [fold] reads other
+   domains' shards without synchronization, which in the OCaml 5 memory
+   model can observe slightly stale values but never tears or faults.
+   Reads are exact whenever the writing domains have been joined, which
+   is when snapshots are taken. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  mutable shards : 'a list;
+  key : 'a Domain.DLS.key;
+}
+
+let create (make : unit -> 'a) : 'a t =
+  let cell = ref None in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let s = make () in
+        (match !cell with
+        | Some t ->
+            Mutex.lock t.mutex;
+            t.shards <- s :: t.shards;
+            Mutex.unlock t.mutex
+        | None -> assert false (* the key is first used after [create] returns *));
+        s)
+  in
+  let t = { mutex = Mutex.create (); shards = []; key } in
+  cell := Some t;
+  t
+
+let get t = Domain.DLS.get t.key
+
+let fold t ~init ~f =
+  Mutex.lock t.mutex;
+  let shards = t.shards in
+  Mutex.unlock t.mutex;
+  List.fold_left f init shards
+
+let iter t ~f = fold t ~init:() ~f:(fun () s -> f s)

@@ -42,6 +42,7 @@ let vec_norm_inf (x : Cmat.vec) =
   Array.fold_left (fun acc z -> Float.max acc (Complex.norm z)) 0.0 x
 
 let create ~source ~output ~freqs_hz netlist =
+  Obs.Trace.span "fastsim.create" @@ fun () ->
   let index = Mna.Index.build netlist in
   let stamps = Mna.Stamps.build ~sources:(Mna.Assemble.Only source) index netlist in
   let out_idx = Mna.Index.node index output in
@@ -51,7 +52,7 @@ let create ~source ~output ~freqs_hz netlist =
         let omega = 2.0 *. Float.pi *. f_hz in
         let a = Mna.Stamps.matrix stamps ~omega in
         let b = Mna.Stamps.rhs stamps ~omega in
-        match Cmat.lu_factor a with
+        match Obs.Metrics.time "mna.factor_s" (fun () -> Cmat.lu_factor a) with
         | exception Cmat.Singular ->
             raise
               (Mna.Ac.Singular_circuit
@@ -177,8 +178,11 @@ let dot_pat (pat : pat) (x : Cmat.vec) =
 
 let w_for fs u =
   match List.assoc_opt u fs.wcache with
-  | Some w -> w
+  | Some w ->
+      Obs.Metrics.incr "fastsim.wcache_hits";
+      w
   | None ->
+      Obs.Metrics.incr "fastsim.wcache_misses";
       let n = Array.length fs.x0 in
       let uvec = Array.make n Complex.zero in
       List.iter (fun (i, s) -> uvec.(i) <- { Complex.re = s; Complex.im = 0.0 }) u;
@@ -193,6 +197,7 @@ let output_of t (x : Cmat.vec) =
    refactorize — exactly the naive path, minus the assembly. *)
 let full_point_solve t fs ~alpha ~u ~v =
   t.full_solves <- t.full_solves + 1;
+  Obs.Metrics.incr "fastsim.full_solves";
   let af = Cmat.copy fs.a in
   List.iter
     (fun (i, si) ->
@@ -203,7 +208,7 @@ let full_point_solve t fs ~alpha ~u ~v =
               Complex.im = alpha.Complex.im *. si *. sj })
         v)
     u;
-  match Cmat.solve af fs.b with
+  match Obs.Metrics.time "mna.solve_s" (fun () -> Cmat.solve af fs.b) with
   | x -> Some (output_of t x)
   | exception Cmat.Singular -> None
 
@@ -262,12 +267,15 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
       let res = vec_norm_inf r in
       let xf, res =
         if res <= 1024.0 *. epsilon_float *. scale_of xf then (xf, res)
-        else
+        else begin
+          Obs.Metrics.incr "fastsim.refine_steps";
           let xf = refine r xf in
           (xf, vec_norm_inf (faulty_residual xf))
+        end
       in
       if res <= smw_tolerance *. scale_of xf then begin
         t.smw_solves <- t.smw_solves + 1;
+        Obs.Metrics.incr "fastsim.smw_solves";
         Some (output_of t xf)
       end
       else full_point_solve t fs ~alpha ~u ~v
@@ -277,6 +285,7 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
 (* ---- structural fallback: split-assemble the faulty netlist once ---- *)
 
 let structural_response t faulty =
+  Obs.Trace.span "fastsim.structural" @@ fun () ->
   let index = Mna.Index.build faulty in
   let stamps = Mna.Stamps.build ~sources:(Mna.Assemble.Only t.source) index faulty in
   let n = Mna.Stamps.size stamps in
@@ -285,8 +294,12 @@ let structural_response t faulty =
   Array.map
     (fun fs ->
       t.full_solves <- t.full_solves + 1;
+      Obs.Metrics.incr "fastsim.full_solves";
       Mna.Stamps.fill stamps ~omega:fs.omega buf;
-      match Cmat.solve buf (Mna.Stamps.rhs stamps ~omega:fs.omega) with
+      match
+        Obs.Metrics.time "mna.solve_s" (fun () ->
+            Cmat.solve buf (Mna.Stamps.rhs stamps ~omega:fs.omega))
+      with
       | x -> Some (match out with None -> Complex.zero | Some i -> x.(i))
       | exception Cmat.Singular -> None)
     t.freqs
@@ -295,4 +308,6 @@ let response t fault =
   match classify t fault with
   | Unchanged -> Array.map (fun z -> Some z) t.nominal
   | Rank_one r1 -> Array.map (fun fs -> smw_point_solve t fs r1) t.freqs
-  | Structural faulty -> structural_response t faulty
+  | Structural faulty ->
+      Obs.Metrics.incr "fastsim.structural_faults";
+      structural_response t faulty

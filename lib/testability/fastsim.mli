@@ -46,4 +46,11 @@ val response : t -> Fault.t -> Complex.t option array
 val stats : t -> int * int
 (** [(smw, full)]: faulty point-solves served by the rank-1 update vs
     by a full assembly/refactorization (fallbacks and structural
-    faults). For benches and tests. *)
+    faults). For benches and tests.
+
+    When {!Obs.Metrics} is enabled the same events are mirrored into
+    the global registry at the same increment sites —
+    [fastsim.smw_solves] and [fastsim.full_solves] totals across all
+    engines equal the per-engine [stats] sums exactly — alongside
+    [fastsim.refine_steps], [fastsim.structural_faults],
+    [fastsim.wcache_hits] and [fastsim.wcache_misses]. *)

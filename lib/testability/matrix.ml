@@ -10,6 +10,7 @@ type t = {
 }
 
 let build ?criterion ?(jobs = 1) grid views faults =
+  Obs.Trace.span "matrix.build" @@ fun () ->
   let views = Array.of_list views in
   let faults = Array.of_list faults in
   let n = Array.length views and m = Array.length faults in
@@ -18,6 +19,7 @@ let build ?criterion ?(jobs = 1) grid views faults =
   let analyse_view i =
     let view = views.(i) in
     let results =
+      Obs.Trace.span ("matrix.view " ^ view.label) @@ fun () ->
       Detect.analyze ?criterion view.probe grid view.netlist (Array.to_list faults)
     in
     List.iteri

@@ -18,6 +18,7 @@ let drift_all rng ~component_tol netlist =
 
 let run ?(seed = 42) ?(samples = 200) ?jobs ~component_tol probe grid netlist =
   if samples <= 0 then invalid_arg "Montecarlo.run: samples must be positive";
+  Obs.Trace.span "montecarlo.run" @@ fun () ->
   let rng = Random.State.make [| seed |] in
   let nominal = Detect.nominal_response probe grid netlist in
   let n = Grid.n_points grid in
@@ -28,24 +29,27 @@ let run ?(seed = 42) ?(samples = 200) ?jobs ~component_tol probe grid netlist =
      hence the result — is independent of the worker count, then sweep
      them on the scheduler and reduce sequentially in sample order. *)
   let drifted = Array.make samples netlist in
-  for s = 0 to samples - 1 do
-    drifted.(s) <- drift_all rng ~component_tol netlist
-  done;
+  Obs.Trace.span "montecarlo.draw" (fun () ->
+      for s = 0 to samples - 1 do
+        drifted.(s) <- drift_all rng ~component_tol netlist
+      done);
   let deviations =
-    Util.Parallel.map ?jobs samples (fun s ->
-        let response = Detect.nominal_response probe grid drifted.(s) in
-        Detect.response_deviation ~nominal ~faulty:response)
+    Obs.Trace.span "montecarlo.sweep" (fun () ->
+        Util.Parallel.map ?jobs samples (fun s ->
+            let response = Detect.nominal_response probe grid drifted.(s) in
+            Detect.response_deviation ~nominal ~faulty:response))
   in
-  for s = 0 to samples - 1 do
-    let peak = ref 0.0 in
-    Array.iteri
-      (fun i d ->
-        max_dev.(i) <- Float.max max_dev.(i) d;
-        sum_dev.(i) <- sum_dev.(i) +. d;
-        peak := Float.max !peak d)
-      deviations.(s);
-    per_sample_peak.(s) <- !peak
-  done;
+  Obs.Trace.span "montecarlo.reduce" (fun () ->
+      for s = 0 to samples - 1 do
+        let peak = ref 0.0 in
+        Array.iteri
+          (fun i d ->
+            max_dev.(i) <- Float.max max_dev.(i) d;
+            sum_dev.(i) <- sum_dev.(i) +. d;
+            peak := Float.max !peak d)
+          deviations.(s);
+        per_sample_peak.(s) <- !peak
+      done);
   {
     samples;
     component_tol;

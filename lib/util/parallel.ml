@@ -12,22 +12,47 @@ let for_ ?(jobs = 1) n f =
        small enough that a slow chunk cannot strand the tail. *)
     let chunk = Int.max 1 (n / (jobs * 4)) in
     let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let start = Atomic.fetch_and_add next chunk in
-        if start < n then begin
-          let stop = Int.min n (start + chunk) in
-          for i = start to stop - 1 do
-            f i
-          done;
-          loop ()
-        end
-      in
-      loop ()
+    (* One failure slot per worker (slot 0 is the calling domain).
+       Every worker traps its own exception so the join loop below
+       always runs — a raise must never leak helper domains that are
+       still writing into shared buffers. *)
+    let failures = Array.make jobs None in
+    let worker k () =
+      let claimed = ref 0 in
+      let t_busy = if Obs.Metrics.enabled () then Obs.Metrics.now () else 0.0 in
+      (try
+         let rec loop () =
+           let start = Atomic.fetch_and_add next chunk in
+           if start < n then begin
+             incr claimed;
+             let stop = Int.min n (start + chunk) in
+             for i = start to stop - 1 do
+               f i
+             done;
+             loop ()
+           end
+         in
+         Obs.Trace.span "parallel.worker" loop
+       with e ->
+         failures.(k) <- Some (e, Printexc.get_raw_backtrace ());
+         (* Drain the cursor so the other workers stop claiming new
+            chunks instead of finishing a doomed campaign. *)
+         Atomic.set next n);
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr "parallel.chunks" ~by:!claimed;
+        Obs.Metrics.observe "parallel.worker_busy_s" (Obs.Metrics.now () -. t_busy)
+      end
     in
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join helpers
+    let helpers = List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1) ())) in
+    worker 0 ();
+    List.iter Domain.join helpers;
+    (* Deterministic choice among racing failures: the lowest worker
+       index that recorded one. *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures
   end
 
 let map ?jobs n f =

@@ -14,8 +14,20 @@
 val for_ : ?jobs:int -> int -> (int -> unit) -> unit
 (** [for_ ~jobs n f] runs [f i] for every [i] in [0 .. n-1].
     [jobs <= 1] (the default) runs sequentially in the calling domain,
-    in index order. Exceptions raised by [f] in a helper domain are
-    re-raised in the caller on join. *)
+    in index order.
+
+    If [f] raises — in the calling domain or in a helper — the cursor
+    is drained (workers stop claiming new chunks, in-flight chunks
+    finish), every helper domain is joined, and then the exception
+    recorded by the lowest-indexed failing worker is re-raised with
+    its backtrace. No helper is ever left running against the shared
+    buffers.
+
+    When {!Obs.Metrics} is enabled, each worker counts the chunks it
+    claimed ([parallel.chunks]) and its busy wall-clock
+    ([parallel.worker_busy_s]); each worker's drain is an
+    {!Obs.Trace} span ([parallel.worker]), so scheduler idle shows as
+    gaps between lanes in the exported trace. *)
 
 val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [map ~jobs n f] is [| f 0; ...; f (n-1) |], computed like {!for_}.

@@ -14,6 +14,8 @@ let () =
       ("transient", Test_transient.suite);
       ("noise", Test_noise.suite);
       ("circuits", Test_circuits.suite);
+      ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
       ("testability", Test_testability.suite);
       ("fastsim", Test_fastsim.suite);

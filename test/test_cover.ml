@@ -137,6 +137,39 @@ let qcheck_exact_is_minimum =
       let s = Cover.Solver.exact p in
       Clause.is_cover p s && IntSet.cardinal s = brute_force_minimum p)
 
+let brute_force_min_cost ~cost p =
+  let candidates = IntSet.elements (Clause.candidates p) in
+  let rec subsets = function
+    | [] -> [ IntSet.empty ]
+    | c :: rest ->
+        let without = subsets rest in
+        without @ List.map (IntSet.add c) without
+  in
+  let cost_of s = IntSet.fold (fun c acc -> acc +. cost c) s 0.0 in
+  List.fold_left
+    (fun acc s ->
+      if Clause.is_cover p s then Float.min acc (cost_of s) else acc)
+    infinity (subsets candidates)
+
+let qcheck_exact_weighted_is_min_cost =
+  QCheck.Test.make
+    ~name:"exact solver matches brute force minimum cost under random weights"
+    ~count:100
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let p = random_problem rng in
+      (* integral costs in 1..5 keep float sums exact, so the
+         comparison needs no tolerance *)
+      let weights =
+        Array.init p.Clause.n_candidates (fun _ ->
+            float_of_int (1 + QCheck.Gen.int_bound 4 rng))
+      in
+      let cost c = weights.(c) in
+      let s = Cover.Solver.exact ~cost p in
+      let cost_of s = IntSet.fold (fun c acc -> acc +. cost c) s 0.0 in
+      Clause.is_cover p s && cost_of s = brute_force_min_cost ~cost p)
+
 let qcheck_greedy_valid_and_bounded =
   QCheck.Test.make ~name:"greedy covers; never better than exact" ~count:100
     (QCheck.make QCheck.Gen.(int_bound 1_000_000))
@@ -198,6 +231,7 @@ let suite =
     Alcotest.test_case "opamps of config" `Quick test_opamps_of_config;
     Alcotest.test_case "paper mapping" `Quick test_paper_mapping;
     QCheck_alcotest.to_alcotest qcheck_exact_is_minimum;
+    QCheck_alcotest.to_alcotest qcheck_exact_weighted_is_min_cost;
     QCheck_alcotest.to_alcotest qcheck_greedy_valid_and_bounded;
     QCheck_alcotest.to_alcotest qcheck_petrick_matches_exact;
   ]

@@ -1,0 +1,169 @@
+(* The observability layer's contracts:
+   - disabled means no-op (the default state);
+   - snapshots merge per-domain shards exactly once helpers are joined;
+   - counter totals are worker-count invariant on a real campaign;
+   - the metric mirror of Fastsim.stats matches the engine's own sums;
+   - the trace exporter emits valid Chrome-trace JSON. *)
+
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+
+(* Every test leaves the global registry disabled and empty so the
+   rest of the suite (and the bench harness idiom) is unaffected. *)
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect f ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+
+let test_counter_roundtrip () =
+  with_metrics (fun () ->
+      Metrics.incr "obs.test.a";
+      Metrics.incr ~by:4 "obs.test.a";
+      Metrics.incr "obs.test.b";
+      Metrics.observe "obs.test.h" 0.5;
+      Metrics.observe "obs.test.h" 2.0;
+      let snap = Metrics.snapshot () in
+      Alcotest.(check int) "a" 5 (Metrics.counter snap "obs.test.a");
+      Alcotest.(check int) "b" 1 (Metrics.counter snap "obs.test.b");
+      Alcotest.(check int) "absent" 0 (Metrics.counter snap "obs.test.c");
+      match List.assoc_opt "obs.test.h" snap.Metrics.histograms with
+      | None -> Alcotest.fail "histogram missing from snapshot"
+      | Some h ->
+          Alcotest.(check int) "count" 2 h.Metrics.count;
+          Alcotest.(check (float 1e-12)) "sum" 2.5 h.Metrics.sum;
+          Alcotest.(check (float 1e-12)) "min" 0.5 h.Metrics.min;
+          Alcotest.(check (float 1e-12)) "max" 2.0 h.Metrics.max)
+
+let test_disabled_noop () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  Metrics.incr "obs.test.off";
+  Metrics.observe "obs.test.off_h" 1.0;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "counter not recorded" 0
+    (Metrics.counter snap "obs.test.off");
+  Alcotest.(check bool) "histogram not recorded" true
+    (List.assoc_opt "obs.test.off_h" snap.Metrics.histograms = None)
+
+let test_time_records_on_raise () =
+  with_metrics (fun () ->
+      (try Metrics.time "obs.test.t" (fun () -> failwith "x")
+       with Failure _ -> ());
+      let snap = Metrics.snapshot () in
+      match List.assoc_opt "obs.test.t" snap.Metrics.histograms with
+      | None -> Alcotest.fail "duration dropped on raise"
+      | Some h -> Alcotest.(check int) "count" 1 h.Metrics.count)
+
+let test_snapshot_merges_domains () =
+  with_metrics (fun () ->
+      let helpers =
+        List.init 3 (fun _ ->
+            Domain.spawn (fun () -> Metrics.incr ~by:3 "obs.test.shard"))
+      in
+      Metrics.incr "obs.test.shard";
+      List.iter Domain.join helpers;
+      let snap = Metrics.snapshot () in
+      Alcotest.(check int) "1 + 3×3 across four shards" 10
+        (Metrics.counter snap "obs.test.shard"))
+
+(* ISSUE acceptance: solver counters are a property of the campaign,
+   not of its schedule — jobs:1 and jobs:4 must agree on every counter
+   total except the scheduler's own activity counters. *)
+let test_jobs_invariant_counters () =
+  let b = Circuits.Tow_thomas.make () in
+  let solver_counters jobs =
+    with_metrics (fun () ->
+        ignore (Mcdft_core.Pipeline.run ~points_per_decade:6 ~jobs b);
+        let snap = Metrics.snapshot () in
+        List.filter
+          (fun (name, _) -> not (String.starts_with ~prefix:"parallel." name))
+          snap.Metrics.counters)
+  in
+  let sequential = solver_counters 1 and parallel = solver_counters 4 in
+  Alcotest.(check (list (pair string int)))
+    "counter totals, jobs:1 vs jobs:4" sequential parallel
+
+(* ISSUE acceptance: the emitted counters match Fastsim.stats exactly —
+   same increment sites, so the sums cannot drift. *)
+let test_fastsim_stats_mirror () =
+  let b = Circuits.Tow_thomas.make () in
+  let netlist = b.Circuits.Benchmark.netlist in
+  let grid =
+    Testability.Grid.around ~points_per_decade:8
+      ~center_hz:b.Circuits.Benchmark.center_hz ()
+  in
+  with_metrics (fun () ->
+      let sim =
+        Testability.Fastsim.create ~source:b.Circuits.Benchmark.source
+          ~output:b.Circuits.Benchmark.output
+          ~freqs_hz:(Testability.Grid.freqs_hz grid)
+          netlist
+      in
+      List.iter
+        (fun fault -> ignore (Testability.Fastsim.response sim fault))
+        (Fault.both_deviations netlist @ Fault.catastrophic_faults netlist);
+      let smw, full = Testability.Fastsim.stats sim in
+      let snap = Metrics.snapshot () in
+      Alcotest.(check int) "smw_solves mirrors stats" smw
+        (Metrics.counter snap "fastsim.smw_solves");
+      Alcotest.(check int) "full_solves mirrors stats" full
+        (Metrics.counter snap "fastsim.full_solves"))
+
+let test_trace_spans_and_export () =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      let r =
+        Trace.span "outer" (fun () ->
+            Trace.span "inner \"quoted\"" (fun () -> 41 + 1))
+      in
+      Alcotest.(check int) "span returns f's value" 42 r;
+      Trace.begin_ "open";
+      Trace.end_ ();
+      Trace.end_ () (* unmatched: must be a no-op *);
+      let events = Trace.events () in
+      Alcotest.(check int) "three completed spans" 3 (List.length events);
+      (* inner completes before outer, so outer's duration covers it *)
+      let dur name =
+        (List.find (fun e -> e.Trace.name = name) events).Trace.dur_us
+      in
+      Alcotest.(check bool) "nesting: outer ⊇ inner" true
+        (dur "outer" >= dur "inner \"quoted\"");
+      match Report.Json.of_string (Trace.export_chrome ()) with
+      | Error msg -> Alcotest.fail ("export is not valid JSON: " ^ msg)
+      | Ok doc -> (
+          match Report.Json.member "traceEvents" doc with
+          | Some (Report.Json.List evs) ->
+              Alcotest.(check int) "traceEvents length" 3 (List.length evs)
+          | _ -> Alcotest.fail "traceEvents array missing"))
+
+let test_trace_disabled_noop () =
+  Trace.reset ();
+  Trace.set_enabled false;
+  ignore (Trace.span "off" (fun () -> ()));
+  Alcotest.(check int) "no events recorded" 0 (List.length (Trace.events ()))
+
+let suite =
+  [
+    Alcotest.test_case "counter/histogram round-trip" `Quick
+      test_counter_roundtrip;
+    Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "time records duration on raise" `Quick
+      test_time_records_on_raise;
+    Alcotest.test_case "snapshot merges per-domain shards" `Quick
+      test_snapshot_merges_domains;
+    Alcotest.test_case "campaign counters invariant under jobs" `Slow
+      test_jobs_invariant_counters;
+    Alcotest.test_case "fastsim metrics mirror stats" `Quick
+      test_fastsim_stats_mirror;
+    Alcotest.test_case "trace spans nest and export as Chrome JSON" `Quick
+      test_trace_spans_and_export;
+    Alcotest.test_case "trace disabled is a no-op" `Quick
+      test_trace_disabled_noop;
+  ]

@@ -1,0 +1,48 @@
+(* The scheduler's failure contract: a raising body must re-raise in
+   the caller — after every helper domain has been joined — and leave
+   the scheduler reusable. The repeated-failure loop would exhaust the
+   runtime's domain limit if a raise ever skipped the join loop and
+   leaked helpers. *)
+
+let test_sequential_raise () =
+  Alcotest.check_raises "jobs:1 propagates" (Failure "boom") (fun () ->
+      Util.Parallel.for_ ~jobs:1 8 (fun i -> if i = 3 then failwith "boom"))
+
+let test_raise_under_jobs4 () =
+  for _trial = 1 to 50 do
+    (match Util.Parallel.for_ ~jobs:4 64 (fun i -> if i = 37 then failwith "boom") with
+    | () -> Alcotest.fail "expected the worker's exception to re-raise"
+    | exception Failure msg -> Alcotest.(check string) "exception payload" "boom" msg)
+  done
+
+let test_all_indices_raise () =
+  (* every chunk raises on its first index; whatever the interleaving,
+     exactly one exception must surface and it must be a Failure *)
+  match Util.Parallel.for_ ~jobs:4 64 (fun i -> failwith (string_of_int i)) with
+  | () -> Alcotest.fail "expected a Failure"
+  | exception Failure _ -> ()
+
+let test_usable_after_failures () =
+  (match Util.Parallel.for_ ~jobs:4 16 (fun _ -> failwith "x") with
+  | () -> Alcotest.fail "expected a Failure"
+  | exception Failure _ -> ());
+  let r = Util.Parallel.map ~jobs:4 100 (fun i -> i * i) in
+  Alcotest.(check int) "slot 0" 0 r.(0);
+  Alcotest.(check int) "slot 99" (99 * 99) r.(99)
+
+let test_map_complete () =
+  let r = Util.Parallel.map ~jobs:4 1000 (fun i -> i + 1) in
+  let sum = Array.fold_left ( + ) 0 r in
+  Alcotest.(check int) "sum 1..1000" (1000 * 1001 / 2) sum
+
+let suite =
+  [
+    Alcotest.test_case "sequential raise propagates" `Quick test_sequential_raise;
+    Alcotest.test_case "raise under jobs:4 re-raises after join" `Quick
+      test_raise_under_jobs4;
+    Alcotest.test_case "all indices raising surfaces one Failure" `Quick
+      test_all_indices_raise;
+    Alcotest.test_case "scheduler usable after failures" `Quick
+      test_usable_after_failures;
+    Alcotest.test_case "map covers every slot" `Quick test_map_complete;
+  ]
