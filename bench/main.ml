@@ -14,7 +14,9 @@
    committed baseline: any row more than 5 % (and 50 ms, to absorb
    timer noise on sub-second smoke runs) slower than its baseline
    entry fails the process — the observability layer must stay free
-   when disabled. *)
+   when disabled. The same flag also gates worker scaling within the
+   fresh run: a jobs>1 row slower than its jobs=1 sibling (same
+   slack) fails, so oversubscription regressions cannot land. *)
 
 let today () =
   let tm = Unix.localtime (Unix.time ()) in
@@ -39,6 +41,14 @@ let write_json ~kernels ~campaign =
             num_obj
               (List.map
                  (fun r -> (r.Campaign.label, r.Campaign.seconds_metrics_on))
+                 campaign) );
+          ( "campaign_parallel_efficiency",
+            num_obj
+              (List.filter_map
+                 (fun r ->
+                   Option.map
+                     (fun e -> (r.Campaign.label, e))
+                     (Campaign.efficiency campaign r))
                  campaign) );
           ( "campaign_counters",
             Report.Json.Object
@@ -97,8 +107,41 @@ let check_baseline path campaign =
       campaign
   in
   if regressions <> [] then
-    fail ("disabled-sink campaign regressed\n  " ^ String.concat "\n  " regressions)
-  else Printf.printf "baseline check: ok (%s)\n" path
+    fail ("disabled-sink campaign regressed\n  " ^ String.concat "\n  " regressions);
+  (* Jobs-scaling gate, on the freshly measured rows rather than the
+     committed file: asking for more workers must never cost
+     wall-clock. With the worker clamp in Util.Parallel and
+     allocation-free solve kernels, a jobs=4 row slower than its
+     jobs=1 sibling (beyond the same timer-noise slack) means
+     oversubscription or cross-domain GC pressure crept back in. *)
+  let scaling_regressions =
+    List.filter_map
+      (fun r ->
+        if r.Campaign.jobs <= 1 then None
+        else
+          match
+            List.find_opt
+              (fun r1 -> r1.Campaign.case = r.Campaign.case && r1.Campaign.jobs = 1)
+              campaign
+          with
+          | None -> None
+          | Some r1 ->
+              let allowed =
+                Float.max (r1.Campaign.seconds *. 1.05) (r1.Campaign.seconds +. 0.05)
+              in
+              if r.Campaign.seconds > allowed then
+                Some
+                  (Printf.sprintf "%s: %.3fs vs jobs=1 %.3fs (allowed %.3fs)"
+                     r.Campaign.label r.Campaign.seconds r1.Campaign.seconds
+                     allowed)
+              else None)
+      campaign
+  in
+  if scaling_regressions <> [] then
+    fail
+      ("worker scaling regressed (jobs>1 slower than jobs=1)\n  "
+      ^ String.concat "\n  " scaling_regressions);
+  Printf.printf "baseline check: ok (%s)\n" path
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

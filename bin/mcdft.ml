@@ -242,6 +242,29 @@ let trace_opt =
            ~doc:"Write a Chrome-trace-format span timeline to $(docv); load it \
                  in chrome://tracing or https://ui.perfetto.dev.")
 
+(* ---- per-domain GC tuning for campaign subcommands ----
+
+   A campaign is a short-lived, allocation-aware batch job: the solver
+   hot path is allocation-free, but assembly, classification and
+   reporting still allocate, and with the stock 256 KiB minor heap
+   every worker domain triggers frequent minor collections — each of
+   which is a stop-the-world sync across *all* domains. A larger
+   minor heap (4 MiB words here) makes those syncs rare, and a higher
+   space_overhead trades heap size for fewer major slices; both are
+   the right trade for a process that exits when the campaign ends.
+   Must run before the first Domain.spawn: a domain sizes its minor
+   heap when it starts. *)
+let gc_default_opt =
+  Arg.(value & flag
+       & info [ "gc-default" ]
+           ~doc:"Keep the OCaml runtime's default GC parameters instead of the \
+                 campaign tuning (larger per-domain minor heap, higher space \
+                 overhead).")
+
+let tune_gc ~gc_default =
+  if not gc_default then
+    Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 22; space_overhead = 200 }
+
 (* Enable the requested sinks, run, then write the files — also on the
    error path, so a failing campaign still leaves its partial trace. *)
 let with_observability ~metrics ~trace f =
@@ -366,8 +389,9 @@ let analyze_cmd =
           $ fault_kind_opt)
 
 let matrix_cmd =
-  let run name source output criterion ppd fault_kind jobs metrics trace =
+  let run name source output criterion ppd fault_kind jobs gc_default metrics trace =
     with_circuit name source output (fun b ->
+        tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
@@ -400,11 +424,12 @@ let matrix_cmd =
   Cmd.v
     (Cmd.info "matrix" ~doc:"Fault detectability matrix over all test configurations")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ metrics_opt $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ metrics_opt $ trace_opt)
 
 let optimize_cmd =
-  let run name source output criterion ppd fault_kind jobs json metrics trace =
+  let run name source output criterion ppd fault_kind jobs gc_default json metrics trace =
     with_circuit name source output (fun b ->
+        tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
@@ -466,11 +491,12 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Ordered-requirements optimization of the multi-configuration DFT (Sec. 4)")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ json_flag $ metrics_opt $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ json_flag $ metrics_opt $ trace_opt)
 
 let testplan_cmd =
-  let run name source output criterion ppd fault_kind jobs metrics trace =
+  let run name source output criterion ppd fault_kind jobs gc_default metrics trace =
     with_circuit name source output (fun b ->
+        tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
@@ -481,7 +507,7 @@ let testplan_cmd =
     (Cmd.info "testplan"
        ~doc:"Minimal (configuration, frequency) measurement schedule")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ metrics_opt $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ metrics_opt $ trace_opt)
 
 let sweep_cmd =
   let run name source output ppd csv =
@@ -523,8 +549,9 @@ let sweep_cmd =
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ ppd_opt $ csv_flag)
 
 let diagnose_cmd =
-  let run name source output criterion ppd fault_kind jobs metrics trace =
+  let run name source output criterion ppd fault_kind jobs gc_default metrics trace =
     with_circuit name source output (fun b ->
+        tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
@@ -552,11 +579,12 @@ let diagnose_cmd =
     (Cmd.info "diagnose"
        ~doc:"Fault dictionary: ambiguity groups and diagnostic resolution")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ metrics_opt $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ metrics_opt $ trace_opt)
 
 let blocks_cmd =
-  let run name source output criterion ppd jobs metrics trace =
+  let run name source output criterion ppd jobs gc_default metrics trace =
     with_circuit name source output (fun b ->
+        tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let t = P.run ~criterion ~points_per_decade:ppd ~jobs b in
         let rows =
@@ -583,7 +611,7 @@ let blocks_cmd =
     (Cmd.info "blocks"
        ~doc:"Embedded-block access: per-opamp coverage via the transparency mechanism")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ jobs_opt $ metrics_opt $ trace_opt)
+          $ jobs_opt $ gc_default_opt $ metrics_opt $ trace_opt)
 
 let () =
   let doc = "multi-configuration DFT analysis for analog circuits (DATE 1998 reproduction)" in

@@ -1,13 +1,83 @@
 type vec = Complex.t array
 
-type t = { nrows : int; ncols : int; data : Complex.t array }
-(* Row-major storage; element (i, j) lives at [i * ncols + j]. *)
+(* Planar ("split complex") storage: the real and imaginary planes are
+   separate unboxed float arrays. A Complex.t is a boxed 2-float
+   record, so Complex.t array kernels chase one pointer per element
+   read and allocate one record per element write; under OCaml 5
+   domains that allocation rate makes every worker hammer the shared
+   minor/major heaps and a multicore campaign anti-scales. The planar
+   layout keeps the O(n³)/O(n²) kernels on flat float arrays — no
+   pointer chasing, no per-element allocation — while the boxed
+   Complex.t API survives at the edges (get/set/of_arrays/to_arrays
+   and the vec-returning solvers) for report/export/symbolic code.
+   Element (i, j) of both planes lives at [i * ncols + j]. *)
+type t = { nrows : int; ncols : int; re : float array; im : float array }
 
 exception Singular
 
+(* Stdlib-identical scaled magnitude on raw components. Keeping the
+   formula bit-identical to Complex.norm means the planar rewrite
+   cannot shift a pivot choice or a residual-threshold decision
+   relative to the boxed implementation it replaces. Inlined so the
+   float arguments and result stay unboxed in the hot loops (the
+   non-flambda backend boxes floats across out-of-line calls). *)
+let[@inline always] norm2 re im =
+  let r = Float.abs re and i = Float.abs im in
+  if r = 0.0 then i
+  else if i = 0.0 then r
+  else if r >= i then
+    let q = i /. r in
+    r *. sqrt (1.0 +. (q *. q))
+  else
+    let q = r /. i in
+    i *. sqrt (1.0 +. (q *. q))
+
+module Pvec = struct
+  type t = { re : float array; im : float array }
+
+  let create n = { re = Array.make n 0.0; im = Array.make n 0.0 }
+  let length v = Array.length v.re
+  let get v i =
+    let re = v.re.(i) and im = v.im.(i) in
+    Complex.{ re; im }
+
+  let set v i (z : Complex.t) =
+    v.re.(i) <- z.Complex.re;
+    v.im.(i) <- z.Complex.im
+
+  let fill_zero v =
+    Array.fill v.re 0 (Array.length v.re) 0.0;
+    Array.fill v.im 0 (Array.length v.im) 0.0
+
+  let of_complex (x : Complex.t array) =
+    {
+      re = Array.map (fun z -> z.Complex.re) x;
+      im = Array.map (fun z -> z.Complex.im) x;
+    }
+
+  let to_complex v =
+    let vre = v.re and vim = v.im in
+    Array.init (length v) (fun k ->
+        let re = Array.unsafe_get vre k and im = Array.unsafe_get vim k in
+        Complex.{ re; im })
+
+  let blit ~src ~dst =
+    Array.blit src.re 0 dst.re 0 (Array.length src.re);
+    Array.blit src.im 0 dst.im 0 (Array.length src.im)
+
+  let norm_inf v =
+    let acc = ref 0.0 in
+    for i = 0 to length v - 1 do
+      let m = norm2 (Array.unsafe_get v.re i) (Array.unsafe_get v.im i) in
+      if m > !acc then acc := m
+    done;
+    !acc
+end
+
 let create nrows ncols =
   if nrows < 0 || ncols < 0 then invalid_arg "Cmat.create: negative dimension";
-  { nrows; ncols; data = Array.make (nrows * ncols) Complex.zero }
+  let len = nrows * ncols in
+  { nrows; ncols; re = Array.make len 0.0; im = Array.make len 0.0 }
 
 let rows m = m.nrows
 let cols m = m.ncols
@@ -19,25 +89,30 @@ let check_bounds m i j =
 
 let get m i j =
   check_bounds m i j;
-  m.data.((i * m.ncols) + j)
+  let k = (i * m.ncols) + j in
+  let re = m.re.(k) and im = m.im.(k) in
+  Complex.{ re; im }
 
-let set m i j v =
-  check_bounds m i j;
-  m.data.((i * m.ncols) + j) <- v
-
-let add_to m i j v =
+let set m i j (v : Complex.t) =
   check_bounds m i j;
   let k = (i * m.ncols) + j in
-  m.data.(k) <- Complex.add m.data.(k) v
+  m.re.(k) <- v.Complex.re;
+  m.im.(k) <- v.Complex.im
+
+let add_to m i j (v : Complex.t) =
+  check_bounds m i j;
+  let k = (i * m.ncols) + j in
+  m.re.(k) <- m.re.(k) +. v.Complex.re;
+  m.im.(k) <- m.im.(k) +. v.Complex.im
 
 let identity n =
   let m = create n n in
   for i = 0 to n - 1 do
-    set m i i Complex.one
+    m.re.((i * n) + i) <- 1.0
   done;
   m
 
-let copy m = { m with data = Array.copy m.data }
+let copy m = { m with re = Array.copy m.re; im = Array.copy m.im }
 
 let of_arrays a =
   let nrows = Array.length a in
@@ -56,84 +131,128 @@ let to_arrays m =
 let transpose m =
   let r = create m.ncols m.nrows in
   for i = 0 to m.nrows - 1 do
+    let row = i * m.ncols in
     for j = 0 to m.ncols - 1 do
-      set r j i (get m i j)
+      let k = (j * m.nrows) + i in
+      r.re.(k) <- m.re.(row + j);
+      r.im.(k) <- m.im.(row + j)
     done
   done;
   r
 
-let map f m = { m with data = Array.map f m.data }
+let map f m =
+  let r = create m.nrows m.ncols in
+  for k = 0 to Array.length m.re - 1 do
+    let re = m.re.(k) and im = m.im.(k) in
+    let v = f Complex.{ re; im } in
+    r.re.(k) <- v.Complex.re;
+    r.im.(k) <- v.Complex.im
+  done;
+  r
 
 let mul a b =
   if a.ncols <> b.nrows then invalid_arg "Cmat.mul: dimension mismatch";
   let r = create a.nrows b.ncols in
+  let nc = a.ncols and bc = b.ncols in
   for i = 0 to a.nrows - 1 do
-    for j = 0 to b.ncols - 1 do
-      let acc = ref Complex.zero in
-      for k = 0 to a.ncols - 1 do
-        acc := Complex.add !acc (Complex.mul (get a i k) (get b k j))
+    let row = i * nc in
+    for j = 0 to bc - 1 do
+      let acc_re = ref 0.0 and acc_im = ref 0.0 in
+      for k = 0 to nc - 1 do
+        let are = Array.unsafe_get a.re (row + k)
+        and aim = Array.unsafe_get a.im (row + k)
+        and bre = Array.unsafe_get b.re ((k * bc) + j)
+        and bim = Array.unsafe_get b.im ((k * bc) + j) in
+        acc_re := !acc_re +. ((are *. bre) -. (aim *. bim));
+        acc_im := !acc_im +. ((are *. bim) +. (aim *. bre))
       done;
-      set r i j !acc
+      r.re.((i * bc) + j) <- !acc_re;
+      r.im.((i * bc) + j) <- !acc_im
     done
   done;
   r
 
-(* Hot kernel: unsafe-indexed with the complex products inlined on the
-   float components (bit-identical to Complex.mul / Complex.add, which
-   use the same naive formulas). Bounds are established once up front. *)
+(* Hot kernel: y <- A x entirely on the planes, zero allocation. *)
+let mul_vec_into a ~(x : Pvec.t) ~(y : Pvec.t) =
+  if a.ncols <> Pvec.length x || a.nrows <> Pvec.length y then
+    invalid_arg "Cmat.mul_vec_into: dimension mismatch";
+  let nc = a.ncols in
+  let xre = x.Pvec.re and xim = x.Pvec.im in
+  for i = 0 to a.nrows - 1 do
+    let row = i * nc in
+    let acc_re = ref 0.0 and acc_im = ref 0.0 in
+    for k = 0 to nc - 1 do
+      let are = Array.unsafe_get a.re (row + k)
+      and aim = Array.unsafe_get a.im (row + k)
+      and vre = Array.unsafe_get xre k
+      and vim = Array.unsafe_get xim k in
+      acc_re := !acc_re +. ((are *. vre) -. (aim *. vim));
+      acc_im := !acc_im +. ((are *. vim) +. (aim *. vre))
+    done;
+    Array.unsafe_set y.Pvec.re i !acc_re;
+    Array.unsafe_set y.Pvec.im i !acc_im
+  done
+
 let mul_vec a x =
   if a.ncols <> Array.length x then invalid_arg "Cmat.mul_vec: dimension mismatch";
-  let d = a.data and nc = a.ncols in
-  Array.init a.nrows (fun i ->
-      let row = i * nc in
-      let acc_re = ref 0.0 and acc_im = ref 0.0 in
-      for k = 0 to nc - 1 do
-        let m = Array.unsafe_get d (row + k) in
-        let v = Array.unsafe_get x k in
-        acc_re := !acc_re +. ((m.Complex.re *. v.Complex.re) -. (m.Complex.im *. v.Complex.im));
-        acc_im := !acc_im +. ((m.Complex.re *. v.Complex.im) +. (m.Complex.im *. v.Complex.re))
-      done;
-      Complex.{ re = !acc_re; im = !acc_im })
+  let xp = Pvec.of_complex x in
+  let y = Pvec.create a.nrows in
+  mul_vec_into a ~x:xp ~y;
+  Pvec.to_complex y
 
 let scale s m = map (Complex.mul s) m
 
 let elementwise op a b =
   if a.nrows <> b.nrows || a.ncols <> b.ncols then
     invalid_arg "Cmat: dimension mismatch";
-  { a with data = Array.init (Array.length a.data) (fun k -> op a.data.(k) b.data.(k)) }
+  let r = create a.nrows a.ncols in
+  for k = 0 to Array.length a.re - 1 do
+    let are = a.re.(k) and aim = a.im.(k) and bre = b.re.(k) and bim = b.im.(k) in
+    let v = op Complex.{ re = are; im = aim } Complex.{ re = bre; im = bim } in
+    r.re.(k) <- v.Complex.re;
+    r.im.(k) <- v.Complex.im
+  done;
+  r
 
 let add a b = elementwise Complex.add a b
 let sub a b = elementwise Complex.sub a b
 
 type lu = { mat : t; perm : int array; sign : int }
 
-(* Partial-pivoting LU (Doolittle).  Pivots on the largest |.| in the
-   column; a pivot below [tiny] relative to the matrix norm signals a
-   singular system. The elimination loops are unsafe-indexed on the
-   flat data array with the complex arithmetic inlined (bit-identical
-   to the Complex module's naive formulas); the bounds-checked API
-   above guards every entry point. *)
+(* Partial-pivoting LU (Doolittle) on the planes. Pivots on the largest
+   |.| in the column; a pivot below [tiny] relative to the matrix norm
+   signals a singular system. The elimination loops are unsafe-indexed
+   with the complex arithmetic written out on the float components
+   (bit-identical to the Complex module's naive formulas); the
+   bounds-checked API above guards every entry point. *)
 let lu_factor a =
   if a.nrows <> a.ncols then invalid_arg "Cmat.lu_factor: non-square matrix";
   let n = a.nrows in
   let m = copy a in
-  let d = m.data in
+  let dre = m.re and dim = m.im in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1 in
-  let scale_norm =
-    Array.fold_left (fun acc v -> Float.max acc (Complex.norm v)) 0.0 d
-  in
+  let scale_norm = ref 0.0 in
+  for k = 0 to (n * n) - 1 do
+    let v = norm2 (Array.unsafe_get dre k) (Array.unsafe_get dim k) in
+    if v > !scale_norm then scale_norm := v
+  done;
   (* Growth-aware threshold: a pivot at the round-off floor of the
-     elimination, n * eps * ||A||, is numerically zero. The previous
-     [1e-14 *. epsilon_float] double-counted epsilon (~1e-30 * ||A||)
-     and let near-singular systems through undetected. *)
-  let tiny = 1e-300 +. (scale_norm *. float_of_int n *. 4.0 *. epsilon_float) in
+     elimination, n * eps * ||A||, is numerically zero. *)
+  let tiny = 1e-300 +. (!scale_norm *. float_of_int n *. 4.0 *. epsilon_float) in
   for k = 0 to n - 1 do
     (* find pivot *)
     let pivot_row = ref k
-    and pivot_mag = ref (Complex.norm (Array.unsafe_get d ((k * n) + k))) in
+    and pivot_mag =
+      ref
+        (norm2
+           (Array.unsafe_get dre ((k * n) + k))
+           (Array.unsafe_get dim ((k * n) + k)))
+    in
     for i = k + 1 to n - 1 do
-      let mag = Complex.norm (Array.unsafe_get d ((i * n) + k)) in
+      let mag =
+        norm2 (Array.unsafe_get dre ((i * n) + k)) (Array.unsafe_get dim ((i * n) + k))
+      in
       if mag > !pivot_mag then begin
         pivot_mag := mag;
         pivot_row := i
@@ -145,69 +264,119 @@ let lu_factor a =
       let p = !pivot_row in
       let rk = k * n and rp = p * n in
       for j = 0 to n - 1 do
-        let tmp = Array.unsafe_get d (rk + j) in
-        Array.unsafe_set d (rk + j) (Array.unsafe_get d (rp + j));
-        Array.unsafe_set d (rp + j) tmp
+        let tr = Array.unsafe_get dre (rk + j) in
+        Array.unsafe_set dre (rk + j) (Array.unsafe_get dre (rp + j));
+        Array.unsafe_set dre (rp + j) tr;
+        let ti = Array.unsafe_get dim (rk + j) in
+        Array.unsafe_set dim (rk + j) (Array.unsafe_get dim (rp + j));
+        Array.unsafe_set dim (rp + j) ti
       done;
       let tmp = perm.(k) in
       perm.(k) <- perm.(p);
       perm.(p) <- tmp
     end;
     let rk = k * n in
-    let pivot = Array.unsafe_get d (rk + k) in
+    let p_re = Array.unsafe_get dre (rk + k) and p_im = Array.unsafe_get dim (rk + k) in
     for i = k + 1 to n - 1 do
       let ri = i * n in
-      let factor = Complex.div (Array.unsafe_get d (ri + k)) pivot in
-      Array.unsafe_set d (ri + k) factor;
-      let f_re = factor.Complex.re and f_im = factor.Complex.im in
+      let a_re = Array.unsafe_get dre (ri + k) and a_im = Array.unsafe_get dim (ri + k) in
+      (* factor = a / pivot — Smith's algorithm, exactly Complex.div.
+         Results are written straight to the planes (a tuple returned
+         from the conditional would be boxed without flambda). *)
+      if Float.abs p_re >= Float.abs p_im then begin
+        let r = p_im /. p_re in
+        let d = p_re +. (r *. p_im) in
+        Array.unsafe_set dre (ri + k) ((a_re +. (r *. a_im)) /. d);
+        Array.unsafe_set dim (ri + k) ((a_im -. (r *. a_re)) /. d)
+      end
+      else begin
+        let r = p_re /. p_im in
+        let d = p_im +. (r *. p_re) in
+        Array.unsafe_set dre (ri + k) (((r *. a_re) +. a_im) /. d);
+        Array.unsafe_set dim (ri + k) (((r *. a_im) -. a_re) /. d)
+      end;
+      let f_re = Array.unsafe_get dre (ri + k) and f_im = Array.unsafe_get dim (ri + k) in
       if f_re <> 0.0 || f_im <> 0.0 then
         for j = k + 1 to n - 1 do
-          let akj = Array.unsafe_get d (rk + j) in
-          let aij = Array.unsafe_get d (ri + j) in
-          Array.unsafe_set d (ri + j)
-            Complex.
-              {
-                re = aij.re -. ((f_re *. akj.re) -. (f_im *. akj.im));
-                im = aij.im -. ((f_re *. akj.im) +. (f_im *. akj.re));
-              }
+          let akj_re = Array.unsafe_get dre (rk + j)
+          and akj_im = Array.unsafe_get dim (rk + j) in
+          Array.unsafe_set dre (ri + j)
+            (Array.unsafe_get dre (ri + j) -. ((f_re *. akj_re) -. (f_im *. akj_im)));
+          Array.unsafe_set dim (ri + j)
+            (Array.unsafe_get dim (ri + j) -. ((f_re *. akj_im) +. (f_im *. akj_re)))
         done
     done
   done;
   { mat = m; perm; sign = !sign }
 
-let lu_solve { mat = m; perm; _ } b =
+(* In-place substitution core: [x] must already hold P·b; on return it
+   holds the solution. Shared by every solve entry point so the boxed
+   and planar paths are arithmetically identical. *)
+let lu_substitute { mat = m; _ } (x : Pvec.t) =
   let n = m.nrows in
-  if Array.length b <> n then invalid_arg "Cmat.lu_solve: dimension mismatch";
-  let d = m.data in
-  let x = Array.init n (fun i -> b.(perm.(i))) in
+  let dre = m.re and dim = m.im in
+  let xre = x.Pvec.re and xim = x.Pvec.im in
   (* forward substitution: L y = P b, with unit diagonal L *)
   for i = 1 to n - 1 do
     let ri = i * n in
-    let v = Array.unsafe_get x i in
-    let acc_re = ref v.Complex.re and acc_im = ref v.Complex.im in
+    let acc_re = ref (Array.unsafe_get xre i) and acc_im = ref (Array.unsafe_get xim i) in
     for j = 0 to i - 1 do
-      let l = Array.unsafe_get d (ri + j) in
-      let xj = Array.unsafe_get x j in
-      acc_re := !acc_re -. ((l.Complex.re *. xj.Complex.re) -. (l.Complex.im *. xj.Complex.im));
-      acc_im := !acc_im -. ((l.Complex.re *. xj.Complex.im) +. (l.Complex.im *. xj.Complex.re))
+      let l_re = Array.unsafe_get dre (ri + j) and l_im = Array.unsafe_get dim (ri + j) in
+      let v_re = Array.unsafe_get xre j and v_im = Array.unsafe_get xim j in
+      acc_re := !acc_re -. ((l_re *. v_re) -. (l_im *. v_im));
+      acc_im := !acc_im -. ((l_re *. v_im) +. (l_im *. v_re))
     done;
-    Array.unsafe_set x i Complex.{ re = !acc_re; im = !acc_im }
+    Array.unsafe_set xre i !acc_re;
+    Array.unsafe_set xim i !acc_im
   done;
   (* back substitution: U x = y *)
   for i = n - 1 downto 0 do
     let ri = i * n in
-    let v = Array.unsafe_get x i in
-    let acc_re = ref v.Complex.re and acc_im = ref v.Complex.im in
+    let acc_re = ref (Array.unsafe_get xre i) and acc_im = ref (Array.unsafe_get xim i) in
     for j = i + 1 to n - 1 do
-      let u = Array.unsafe_get d (ri + j) in
-      let xj = Array.unsafe_get x j in
-      acc_re := !acc_re -. ((u.Complex.re *. xj.Complex.re) -. (u.Complex.im *. xj.Complex.im));
-      acc_im := !acc_im -. ((u.Complex.re *. xj.Complex.im) +. (u.Complex.im *. xj.Complex.re))
+      let u_re = Array.unsafe_get dre (ri + j) and u_im = Array.unsafe_get dim (ri + j) in
+      let v_re = Array.unsafe_get xre j and v_im = Array.unsafe_get xim j in
+      acc_re := !acc_re -. ((u_re *. v_re) -. (u_im *. v_im));
+      acc_im := !acc_im -. ((u_re *. v_im) +. (u_im *. v_re))
     done;
-    Array.unsafe_set x i
-      (Complex.div Complex.{ re = !acc_re; im = !acc_im } (Array.unsafe_get d (ri + i)))
+    let p_re = Array.unsafe_get dre (ri + i) and p_im = Array.unsafe_get dim (ri + i) in
+    let a_re = !acc_re and a_im = !acc_im in
+    if Float.abs p_re >= Float.abs p_im then begin
+      let r = p_im /. p_re in
+      let d = p_re +. (r *. p_im) in
+      Array.unsafe_set xre i ((a_re +. (r *. a_im)) /. d);
+      Array.unsafe_set xim i ((a_im -. (r *. a_re)) /. d)
+    end
+    else begin
+      let r = p_re /. p_im in
+      let d = p_im +. (r *. p_re) in
+      Array.unsafe_set xre i (((r *. a_re) +. a_im) /. d);
+      Array.unsafe_set xim i (((r *. a_im) -. a_re) /. d)
+    end
+  done
+
+let lu_solve_into ({ mat = m; perm; _ } as lu) ~(b : Pvec.t) ~(x : Pvec.t) =
+  let n = m.nrows in
+  if Pvec.length b <> n || Pvec.length x <> n then
+    invalid_arg "Cmat.lu_solve_into: dimension mismatch";
+  for i = 0 to n - 1 do
+    let p = Array.unsafe_get perm i in
+    Array.unsafe_set x.Pvec.re i (Array.unsafe_get b.Pvec.re p);
+    Array.unsafe_set x.Pvec.im i (Array.unsafe_get b.Pvec.im p)
   done;
-  x
+  lu_substitute lu x
+
+let lu_solve ({ mat = m; perm; _ } as lu) b =
+  let n = m.nrows in
+  if Array.length b <> n then invalid_arg "Cmat.lu_solve: dimension mismatch";
+  let x = Pvec.create n in
+  for i = 0 to n - 1 do
+    let v = b.(perm.(i)) in
+    x.Pvec.re.(i) <- v.Complex.re;
+    x.Pvec.im.(i) <- v.Complex.im
+  done;
+  lu_substitute lu x;
+  Pvec.to_complex x
 
 let solve a b = lu_solve (lu_factor a) b
 
@@ -216,46 +385,65 @@ let determinant a =
   match lu_factor a with
   | exception Singular -> Complex.zero
   | { mat = m; sign; _ } ->
-      let acc = ref (if sign >= 0 then Complex.one else Complex.{ re = -1.0; im = 0.0 }) in
-      for i = 0 to a.nrows - 1 do
-        acc := Complex.mul !acc (get m i i)
+      let n = a.nrows in
+      let acc_re = ref (if sign >= 0 then 1.0 else -1.0) and acc_im = ref 0.0 in
+      for i = 0 to n - 1 do
+        let d_re = m.re.((i * n) + i) and d_im = m.im.((i * n) + i) in
+        let r = (!acc_re *. d_re) -. (!acc_im *. d_im) in
+        acc_im := (!acc_re *. d_im) +. (!acc_im *. d_re);
+        acc_re := r
       done;
-      !acc
+      Complex.{ re = !acc_re; im = !acc_im }
 
 let inverse a =
   let n = a.nrows in
   let lu = lu_factor a in
   let r = create n n in
+  let e = Pvec.create n and col = Pvec.create n in
   for j = 0 to n - 1 do
-    let e = Array.make n Complex.zero in
-    e.(j) <- Complex.one;
-    let col = lu_solve lu e in
-    Array.iteri (fun i v -> set r i j v) col
+    e.Pvec.re.(j) <- 1.0;
+    lu_solve_into lu ~b:e ~x:col;
+    e.Pvec.re.(j) <- 0.0;
+    for i = 0 to n - 1 do
+      r.re.((i * n) + j) <- col.Pvec.re.(i);
+      r.im.((i * n) + j) <- col.Pvec.im.(i)
+    done
   done;
   r
 
 let residual_norm a x b =
+  if a.nrows <> Array.length b then invalid_arg "Cmat.residual_norm: dimension mismatch";
   let ax = mul_vec a x in
-  Util.Floatx.fold_range (Array.length b) ~init:0.0 ~f:(fun acc i ->
-      Float.max acc (Complex.norm (Complex.sub ax.(i) b.(i))))
+  let acc = ref 0.0 in
+  for i = 0 to Array.length b - 1 do
+    let m =
+      norm2 (ax.(i).Complex.re -. b.(i).Complex.re) (ax.(i).Complex.im -. b.(i).Complex.im)
+    in
+    if m > !acc then acc := m
+  done;
+  !acc
 
 let norm_inf m =
-  Util.Floatx.fold_range m.nrows ~init:0.0 ~f:(fun acc i ->
-      let row_sum =
-        Util.Floatx.fold_range m.ncols ~init:0.0 ~f:(fun s j ->
-            s +. Complex.norm (get m i j))
-      in
-      Float.max acc row_sum)
+  let acc = ref 0.0 in
+  for i = 0 to m.nrows - 1 do
+    let row = i * m.ncols in
+    let row_sum = ref 0.0 in
+    for j = 0 to m.ncols - 1 do
+      row_sum :=
+        !row_sum +. norm2 (Array.unsafe_get m.re (row + j)) (Array.unsafe_get m.im (row + j))
+    done;
+    if !row_sum > !acc then acc := !row_sum
+  done;
+  !acc
 
 let fill_parts m ~re ~im_scale ~im =
-  let len = Array.length m.data in
+  let len = Array.length m.re in
   if Array.length re <> len || Array.length im <> len then
     invalid_arg "Cmat.fill_parts: part length mismatch";
-  let d = m.data in
+  Array.blit re 0 m.re 0 len;
+  let dst = m.im in
   for k = 0 to len - 1 do
-    Array.unsafe_set d k
-      Complex.
-        { re = Array.unsafe_get re k; im = im_scale *. Array.unsafe_get im k }
+    Array.unsafe_set dst k (im_scale *. Array.unsafe_get im k)
   done
 
 let pp ppf m =

@@ -2,15 +2,55 @@
 
     This is the numeric kernel behind the MNA AC analysis: systems are
     small (tens of unknowns) and dense, so a straightforward
-    partial-pivoting LU is both simple and adequate. *)
+    partial-pivoting LU is both simple and adequate.
+
+    Storage is planar ("split complex"): the real and imaginary planes
+    of a matrix are separate unboxed [float array]s, so the O(n³)
+    factorization and O(n²) solve/matvec kernels never allocate and
+    never chase a [Complex.t] box. The boxed [Complex.t] API remains at
+    the edges ([get]/[set]/[of_arrays]/[to_arrays] and the
+    [vec]-returning solvers); allocation-free callers use {!Pvec}
+    workspaces with the [_into] variants. *)
 
 type vec = Complex.t array
+
 type t
 (** A dense [rows x cols] complex matrix. *)
 
 exception Singular
 (** Raised by factorization/solve when the matrix is numerically
     singular. *)
+
+val norm2 : float -> float -> float
+(** [norm2 re im] is the magnitude of the complex number [re + i·im],
+    computed with the same overflow-safe scaling as [Complex.norm].
+    Exposed so allocation-free callers score planar components without
+    boxing an intermediate [Complex.t]. *)
+
+(** Preallocated planar complex vectors: the workspace type of the
+    allocation-free solve API. The [re]/[im] fields are exposed on
+    purpose — hot loops index the raw planes directly. Both arrays
+    always have the same length. *)
+module Pvec : sig
+  type t = { re : float array; im : float array }
+
+  val create : int -> t
+  (** [create n] is the zero vector of length [n]. *)
+
+  val length : t -> int
+  val get : t -> int -> Complex.t
+  val set : t -> int -> Complex.t -> unit
+  val fill_zero : t -> unit
+
+  val of_complex : Complex.t array -> t
+  val to_complex : t -> Complex.t array
+
+  val blit : src:t -> dst:t -> unit
+  (** Copy [src] over [dst]; both must have the same length. *)
+
+  val norm_inf : t -> float
+  (** Largest element magnitude ([Complex.norm] semantics). *)
+end
 
 val create : int -> int -> t
 (** [create rows cols] is the zero matrix. *)
@@ -32,6 +72,11 @@ val transpose : t -> t
 val map : (Complex.t -> Complex.t) -> t -> t
 val mul : t -> t -> t
 val mul_vec : t -> vec -> vec
+
+val mul_vec_into : t -> x:Pvec.t -> y:Pvec.t -> unit
+(** [mul_vec_into a ~x ~y] writes [a·x] into [y] without allocating.
+    [x] and [y] must be distinct workspaces of matching dimensions. *)
+
 val scale : Complex.t -> t -> t
 val add : t -> t -> t
 val sub : t -> t -> t
@@ -45,6 +90,12 @@ val lu_factor : t -> lu
 
 val lu_solve : lu -> vec -> vec
 (** Solve [A x = b] for a previously factorized [A]. *)
+
+val lu_solve_into : lu -> b:Pvec.t -> x:Pvec.t -> unit
+(** Allocation-free [lu_solve]: solves into the caller-supplied
+    workspace [x]. [b] is not modified; [b] and [x] must be distinct
+    (aliasing them corrupts the permutation step). Arithmetic is
+    identical to {!lu_solve} — both share one substitution core. *)
 
 val solve : t -> vec -> vec
 (** One-shot [solve a b]; factorizes internally. *)
@@ -68,6 +119,7 @@ val fill_parts : t -> re:float array -> im_scale:float -> im:float array -> unit
     pass. This is the hot path of the split MNA assembly, forming
     A(jω) = G + jωC from two real stamp planes without touching the
     stamping code. Both arrays must have exactly [rows * cols]
-    elements. *)
+    elements. With planar storage this is a blit of the real plane and
+    one scaling pass over the imaginary plane. *)
 
 val pp : Format.formatter -> t -> unit

@@ -5,13 +5,10 @@ type contribution = { element : string; psd : float }
 
 let boltzmann = 1.380649e-23
 
-let at_omega ?(temperature = 300.0) ~output netlist ~omega =
-  let index = Index.build netlist in
-  let module A =
-    Assemble.Make ((val Field.complex ~omega : Field.S with type t = Complex.t))
-  in
-  let { A.matrix; rhs = _ } = A.assemble ~sources:Assemble.Zeroed index netlist in
-  let a = Linalg.Cmat.of_arrays matrix in
+(* Assembly goes through the frequency-split Stamps planes so a
+   frequency sweep builds the stamps once (see integrated_rms). *)
+let analyze index stamps ?(temperature = 300.0) ~output netlist ~omega =
+  let a = Stamps.matrix stamps ~omega in
   let out_idx =
     match Index.node index output with
     | Some i -> i
@@ -48,12 +45,21 @@ let at_omega ?(temperature = 300.0) ~output netlist ~omega =
   let total = List.fold_left (fun acc c -> acc +. c.psd) 0.0 contributions in
   (contributions, total)
 
+let at_omega ?temperature ~output netlist ~omega =
+  let index = Index.build netlist in
+  let stamps = Stamps.build ~sources:Assemble.Zeroed index netlist in
+  analyze index stamps ?temperature ~output netlist ~omega
+
 let integrated_rms ?temperature ~output netlist ~freqs_hz =
   let n = Array.length freqs_hz in
   if n < 2 then invalid_arg "Noise.integrated_rms: need at least two frequencies";
+  (* One index + stamp build for the whole integration grid. *)
+  let index = Index.build netlist in
+  let stamps = Stamps.build ~sources:Assemble.Zeroed index netlist in
   let psd =
     Array.map
-      (fun f -> snd (at_omega ?temperature ~output netlist ~omega:(2.0 *. Float.pi *. f)))
+      (fun f ->
+        snd (analyze index stamps ?temperature ~output netlist ~omega:(2.0 *. Float.pi *. f)))
       freqs_hz
   in
   let variance = ref 0.0 in

@@ -11,16 +11,14 @@ type t = {
 (* dV_out/dp = -xi^T (dA/dp) x  with  A^T xi = e_out.  The stamp
    derivative of a two-terminal admittance y(p) between n1 and n2
    contracts to  (xi_n1 - xi_n2)(x_n1 - x_n2) * dy/dp, so each element
-   needs only its own terminal values of x and xi. *)
-let at_omega ~source ~output netlist ~omega =
-  let index = Index.build netlist in
-  let module A =
-    Assemble.Make ((val Field.complex ~omega : Field.S with type t = Complex.t))
-  in
-  let { A.matrix; rhs } = A.assemble ~sources:(Assemble.Only source) index netlist in
-  let a = Linalg.Cmat.of_arrays matrix in
+   needs only its own terminal values of x and xi. Assembly goes
+   through the frequency-split Stamps planes (built once per netlist
+   by the caller) instead of re-running the stamping functor at every
+   frequency. *)
+let analyze index stamps ~output netlist ~omega =
+  let a = Stamps.matrix stamps ~omega in
   let x =
-    match Linalg.Cmat.solve a rhs with
+    match Linalg.Cmat.solve a (Stamps.rhs stamps ~omega) with
     | x -> x
     | exception Linalg.Cmat.Singular ->
         raise (Ac.Singular_circuit "Sensitivity.at_omega: singular system")
@@ -84,10 +82,18 @@ let at_omega ~source ~output netlist ~omega =
         (sensitivity e))
     (Netlist.elements netlist)
 
+let at_omega ~source ~output netlist ~omega =
+  let index = Index.build netlist in
+  let stamps = Stamps.build ~sources:(Assemble.Only source) index netlist in
+  analyze index stamps ~output netlist ~omega
+
 let magnitude_sweep ~source ~output netlist ~freqs_hz =
+  (* One index + stamp build for the whole sweep. *)
+  let index = Index.build netlist in
+  let stamps = Stamps.build ~sources:(Assemble.Only source) index netlist in
   let per_freq =
     Array.map
-      (fun f -> at_omega ~source ~output netlist ~omega:(2.0 *. Float.pi *. f))
+      (fun f -> analyze index stamps ~output netlist ~omega:(2.0 *. Float.pi *. f))
       freqs_hz
   in
   match Array.length per_freq with

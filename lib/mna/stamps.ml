@@ -49,10 +49,15 @@ let matrix t ~omega =
   fill t ~omega m;
   m
 
+let rhs_into t ~omega (b : Cmat.Pvec.t) =
+  if Cmat.Pvec.length b <> t.n then invalid_arg "Stamps.rhs_into: dimension mismatch";
+  for i = 0 to t.n - 1 do
+    b.Cmat.Pvec.re.(i) <- t.rhs_g.(i);
+    b.Cmat.Pvec.im.(i) <- omega *. t.rhs_c.(i)
+  done;
+  List.iter (fun (i, p) -> Cmat.Pvec.set b i (eval_at p omega)) t.rhs_extra
+
 let rhs t ~omega =
-  let b =
-    Array.init t.n (fun i ->
-        { Complex.re = t.rhs_g.(i); Complex.im = omega *. t.rhs_c.(i) })
-  in
-  List.iter (fun (i, p) -> b.(i) <- eval_at p omega) t.rhs_extra;
-  b
+  let b = Cmat.Pvec.create t.n in
+  rhs_into t ~omega b;
+  Cmat.Pvec.to_complex b

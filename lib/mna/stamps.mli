@@ -40,3 +40,7 @@ val matrix : t -> omega:float -> Linalg.Cmat.t
 val rhs : t -> omega:float -> Linalg.Cmat.vec
 (** The excitation vector b(jω) (frequency-independent for all current
     element models, but evaluated generally). *)
+
+val rhs_into : t -> omega:float -> Linalg.Cmat.Pvec.t -> unit
+(** Allocation-free {!rhs}: overwrite the caller's planar workspace
+    with b(jω). The workspace length must be [size t]. *)

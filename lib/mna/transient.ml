@@ -144,17 +144,19 @@ let simulate ?(waveforms = []) ~record ~t_stop ~dt netlist =
         | Element.Vsource { value; _ } | Element.Isource { value; _ } -> Dc value
         | _ -> Dc 0.0)
   in
-  let v_of x name =
-    match node_idx name with None -> 0.0 | Some i -> (x.(i) : Complex.t).Complex.re
+  (* The companion system is real: only the re plane of the reused
+     planar workspaces ever carries data, and the per-step solve is
+     allocation-free. *)
+  let module Pvec = Linalg.Cmat.Pvec in
+  let b = Pvec.create n and solution = Pvec.create n in
+  let v_of name =
+    match node_idx name with None -> 0.0 | Some i -> solution.Pvec.re.(i)
   in
-  let x = ref (Array.make n Complex.zero) in
   for step = 1 to n_steps do
     let t = float_of_int step *. dt in
-    let rhs = Array.make n Complex.zero in
+    Pvec.fill_zero b;
     let add_b i v =
-      match i with
-      | Some i -> rhs.(i) <- Complex.add rhs.(i) (real v)
-      | None -> ()
+      match i with Some i -> b.Pvec.re.(i) <- b.Pvec.re.(i) +. v | None -> ()
     in
     (* independent sources at time t *)
     List.iter
@@ -186,26 +188,25 @@ let simulate ?(waveforms = []) ~record ~t_stop ~dt netlist =
         add_b (Some b)
           (((tau -. half) *. st.vo_prev) +. (half *. a0 *. st.vd_prev)))
       !opamps;
-    let solution = Linalg.Cmat.lu_solve lu rhs in
-    x := solution;
+    Linalg.Cmat.lu_solve_into lu ~b ~x:solution;
     (* update states *)
     List.iter
       (fun (_, n1, n2, geq, st) ->
-        let v = v_of solution n1 -. v_of solution n2 in
+        let v = v_of n1 -. v_of n2 in
         let i = (geq *. (v -. st.v_prev)) -. st.i_prev in
         st.v_prev <- v;
         st.i_prev <- i)
       !caps;
     List.iter
-      (fun (_, n1, n2, b, _, st) ->
-        st.vl_prev <- v_of solution n1 -. v_of solution n2;
-        st.il_prev <- (solution.(b) : Complex.t).Complex.re)
+      (fun (_, n1, n2, br, _, st) ->
+        st.vl_prev <- v_of n1 -. v_of n2;
+        st.il_prev <- solution.Pvec.re.(br))
       !inds;
     List.iter
       (fun (_, inp, inn, out, _, _, st) ->
-        st.vd_prev <- v_of solution inp -. v_of solution inn;
-        st.vo_prev <- v_of solution out)
+        st.vd_prev <- v_of inp -. v_of inn;
+        st.vo_prev <- v_of out)
       !opamps;
-    List.iter (fun (name, arr) -> arr.(step) <- v_of solution name) recorded
+    List.iter (fun (name, arr) -> arr.(step) <- v_of name) recorded
   done;
   { times; signals = recorded }

@@ -148,7 +148,18 @@ let analyze_fault ?(criterion = default_criterion) ?nominal ?prepared probe grid
   in
   result_of ~nominal ~prepared grid fault (respond fault)
 
-let analyze ?(criterion = default_criterion) probe grid netlist faults =
+(* A fully-prepared view: engine, nominal response and instantiated
+   thresholds, ready to score any number of faults. When [warm] is
+   given, the engine's back-solve cache is prepopulated for those
+   faults, after which {!analyze_prepared} never mutates the engine
+   cache and the prepared view may be shared across domains. *)
+type prepared_view = {
+  sim : Fastsim.t;
+  nominal : Complex.t array;
+  prepared : prepared;
+}
+
+let prepare_view ?(criterion = default_criterion) ?(warm = []) probe grid netlist =
   (* One engine for the whole view: the fault-free LU is factorized
      once per frequency and shared by the envelope preparation and by
      every fault's rank-1 solve. *)
@@ -156,7 +167,16 @@ let analyze ?(criterion = default_criterion) probe grid netlist faults =
   let respond f = Fastsim.response sim f in
   let nominal = Fastsim.nominal sim in
   let prepared = prepare_with ~respond criterion grid netlist ~nominal in
-  List.map (fun fault -> result_of ~nominal ~prepared grid fault (respond fault)) faults
+  if warm <> [] then Fastsim.warm_cache sim warm;
+  { sim; nominal; prepared }
+
+let analyze_prepared pv grid fault =
+  result_of ~nominal:pv.nominal ~prepared:pv.prepared grid fault
+    (Fastsim.response pv.sim fault)
+
+let analyze ?criterion probe grid netlist faults =
+  let pv = prepare_view ?criterion probe grid netlist in
+  List.map (fun fault -> analyze_prepared pv grid fault) faults
 
 let minimal_detectable_deviation ?(criterion = default_criterion) ?(max_factor = 10.0)
     probe grid netlist ~element =

@@ -87,10 +87,29 @@ val analyze_fault :
     no solution (singular system) counts as detectable — the response
     is wildly wrong, not merely deviated. *)
 
+type prepared_view
+(** One circuit view readied for a fault campaign: the fault-simulation
+    engine, its nominal response and the instantiated thresholds. *)
+
+val prepare_view :
+  ?criterion:criterion ->
+  ?warm:Fault.t list ->
+  probe -> Grid.t -> Netlist.t -> prepared_view
+(** Build the engine and thresholds for one view (default criterion
+    {!default_criterion}). When [warm] is given, the engine's
+    back-solve cache is prepopulated for those faults
+    ({!Fastsim.warm_cache}) so that {!analyze_prepared} calls never
+    mutate the engine and the view can be scored from several domains
+    concurrently. Raises like {!analyze}. *)
+
+val analyze_prepared : prepared_view -> Grid.t -> Fault.t -> result
+(** Score one fault against a prepared view. Thread-safe once the view
+    was prepared with a [warm] list containing the fault. *)
+
 val analyze :
   ?criterion:criterion -> probe -> Grid.t -> Netlist.t -> Fault.t list -> result list
 (** Analyze a fault list against one circuit, sharing the nominal sweep
-    and prepared thresholds. *)
+    and prepared thresholds ([prepare_view] + [analyze_prepared]). *)
 
 val minimal_detectable_deviation :
   ?criterion:criterion -> ?max_factor:float ->

@@ -1,6 +1,7 @@
 module Netlist = Circuit.Netlist
 module Element = Circuit.Element
 module Cmat = Linalg.Cmat
+module Pvec = Cmat.Pvec
 
 (* A sparse ±1 stamp pattern: the nonzero rows (columns) of the rank-1
    factor u (v), as (index, sign) pairs. *)
@@ -14,16 +15,24 @@ type plan =
   | Rank_one of rank1
   | Structural of Netlist.t  (* full path on the injected netlist *)
 
+(* One cached A⁻¹u back-solve. [fresh] lets {!warm_cache} prepopulate
+   the table without disturbing the hit/miss accounting: a warmed
+   entry is "fresh" until its first reader, who claims it with a CAS
+   and books the one miss the lazy path would have booked at insertion
+   time. The claim is exactly-once even when workers race, so the
+   counter totals are schedule-invariant. *)
+type wentry = { w : Pvec.t; fresh : bool Atomic.t }
+
 type freq_state = {
   omega : float;
   f_hz : float;
   a : Cmat.t;  (* fault-free A(jω), kept for residual checks and fallbacks *)
   anorm : float;
   lu : Cmat.lu;
-  b : Cmat.vec;
+  b : Pvec.t;
   bnorm : float;
-  x0 : Cmat.vec;
-  mutable wcache : (pat * Cmat.vec) list;  (* u-pattern -> A⁻¹u this frequency *)
+  x0 : Pvec.t;
+  wcache : (pat, wentry) Hashtbl.t;  (* u-pattern -> A⁻¹u this frequency *)
 }
 
 type t = {
@@ -34,24 +43,51 @@ type t = {
   out_idx : int option;
   freqs : freq_state array;
   nominal : Complex.t array;
-  mutable smw_solves : int;
-  mutable full_solves : int;
+  smw_solves : int Atomic.t;
+  full_solves : int Atomic.t;
 }
 
-let vec_norm_inf (x : Cmat.vec) =
-  Array.fold_left (fun acc z -> Float.max acc (Complex.norm z)) 0.0 x
+(* Per-domain planar workspaces for the rank-1 hot path: one scratch
+   record per domain (via DLS), re-sized when the engine dimension
+   changes. Workers therefore share nothing but the scheduler cursor
+   and the read-only engine state. *)
+type scratch = {
+  mutable dim : int;
+  mutable xf : Pvec.t;  (* candidate faulty solution *)
+  mutable resid : Pvec.t;  (* faulty residual b_f − A_f xf *)
+  mutable d0 : Pvec.t;  (* refinement back-solve *)
+  mutable uvec : Pvec.t;  (* densified u pattern for cache misses *)
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { dim = -1; xf = Pvec.create 0; resid = Pvec.create 0; d0 = Pvec.create 0;
+        uvec = Pvec.create 0 })
+
+let scratch_for n =
+  let s = Domain.DLS.get scratch_key in
+  if s.dim <> n then begin
+    s.dim <- n;
+    s.xf <- Pvec.create n;
+    s.resid <- Pvec.create n;
+    s.d0 <- Pvec.create n;
+    s.uvec <- Pvec.create n
+  end;
+  s
 
 let create ~source ~output ~freqs_hz netlist =
   Obs.Trace.span "fastsim.create" @@ fun () ->
   let index = Mna.Index.build netlist in
   let stamps = Mna.Stamps.build ~sources:(Mna.Assemble.Only source) index netlist in
+  let n = Mna.Stamps.size stamps in
   let out_idx = Mna.Index.node index output in
   let freqs =
     Array.map
       (fun f_hz ->
         let omega = 2.0 *. Float.pi *. f_hz in
         let a = Mna.Stamps.matrix stamps ~omega in
-        let b = Mna.Stamps.rhs stamps ~omega in
+        let b = Pvec.create n in
+        Mna.Stamps.rhs_into stamps ~omega b;
         match Obs.Metrics.time "mna.factor_s" (fun () -> Cmat.lu_factor a) with
         | exception Cmat.Singular ->
             raise
@@ -59,6 +95,8 @@ let create ~source ~output ~freqs_hz netlist =
                  (Printf.sprintf "MNA matrix singular at f = %g Hz for %S" f_hz
                     (Netlist.title netlist)))
         | lu ->
+            let x0 = Pvec.create n in
+            Cmat.lu_solve_into lu ~b ~x:x0;
             {
               omega;
               f_hz;
@@ -66,15 +104,15 @@ let create ~source ~output ~freqs_hz netlist =
               anorm = Cmat.norm_inf a;
               lu;
               b;
-              bnorm = vec_norm_inf b;
-              x0 = Cmat.lu_solve lu b;
-              wcache = [];
+              bnorm = Pvec.norm_inf b;
+              x0;
+              wcache = Hashtbl.create 16;
             })
       freqs_hz
   in
   let nominal =
     Array.map
-      (fun fs -> match out_idx with None -> Complex.zero | Some i -> fs.x0.(i))
+      (fun fs -> match out_idx with None -> Complex.zero | Some i -> Pvec.get fs.x0 i)
       freqs
   in
   {
@@ -85,12 +123,12 @@ let create ~source ~output ~freqs_hz netlist =
     out_idx;
     freqs;
     nominal;
-    smw_solves = 0;
-    full_solves = 0;
+    smw_solves = Atomic.make 0;
+    full_solves = Atomic.make 0;
   }
 
 let nominal t = t.nominal
-let stats t = (t.smw_solves, t.full_solves)
+let stats t = (Atomic.get t.smw_solves, Atomic.get t.full_solves)
 
 (* ---- fault classification ---- *)
 
@@ -169,34 +207,74 @@ let classify t (fault : Fault.t) =
 
 (* ---- rank-1 solves ---- *)
 
-let dot_pat (pat : pat) (x : Cmat.vec) =
-  List.fold_left
-    (fun acc (i, s) ->
-      Complex.add acc
-        { Complex.re = s *. x.(i).Complex.re; Complex.im = s *. x.(i).Complex.im })
-    Complex.zero pat
+(* Pattern dot product against one plane: Σ s·plane.(i). The complex
+   dot against a planar vector is two of these, one per plane. *)
+let dot_pat (pat : pat) (plane : float array) =
+  let acc = ref 0.0 in
+  List.iter (fun (i, s) -> acc := !acc +. (s *. Array.unsafe_get plane i)) pat;
+  !acc
 
+(* (nr + i·ni) / (dr + i·di) — Smith's algorithm, exactly Complex.div. *)
+let div2 nr ni dr di =
+  if Float.abs dr >= Float.abs di then
+    let r = di /. dr in
+    let d = dr +. (r *. di) in
+    ((nr +. (r *. ni)) /. d, (ni -. (r *. nr)) /. d)
+  else
+    let r = dr /. di in
+    let d = di +. (r *. dr) in
+    (((r *. nr) +. ni) /. d, ((r *. ni) -. nr) /. d)
+
+let solve_pattern fs (u : pat) (w : Pvec.t) =
+  let s = scratch_for (Pvec.length fs.x0) in
+  let uvec = s.uvec in
+  List.iter (fun (i, sg) -> uvec.Pvec.re.(i) <- sg) u;
+  Cmat.lu_solve_into fs.lu ~b:uvec ~x:w;
+  List.iter (fun (i, _) -> uvec.Pvec.re.(i) <- 0.0) u
+
+(* Cache lookup. The on-demand insertion path mutates the Hashtbl and
+   is only safe while the engine is confined to one domain; parallel
+   analysis must {!warm_cache} first so lookups during the parallel
+   phase are read-only. *)
 let w_for fs u =
-  match List.assoc_opt u fs.wcache with
-  | Some w ->
-      Obs.Metrics.incr "fastsim.wcache_hits";
-      w
+  match Hashtbl.find_opt fs.wcache u with
+  | Some e ->
+      if Atomic.get e.fresh && Atomic.compare_and_set e.fresh true false then
+        Obs.Metrics.incr "fastsim.wcache_misses"
+      else Obs.Metrics.incr "fastsim.wcache_hits";
+      e.w
   | None ->
       Obs.Metrics.incr "fastsim.wcache_misses";
-      let n = Array.length fs.x0 in
-      let uvec = Array.make n Complex.zero in
-      List.iter (fun (i, s) -> uvec.(i) <- { Complex.re = s; Complex.im = 0.0 }) u;
-      let w = Cmat.lu_solve fs.lu uvec in
-      fs.wcache <- (u, w) :: fs.wcache;
+      let w = Pvec.create (Pvec.length fs.x0) in
+      solve_pattern fs u w;
+      Hashtbl.add fs.wcache u { w; fresh = Atomic.make false };
       w
 
-let output_of t (x : Cmat.vec) =
-  match t.out_idx with None -> Complex.zero | Some i -> x.(i)
+let warm_cache t faults =
+  Obs.Trace.span "fastsim.warm_cache" @@ fun () ->
+  List.iter
+    (fun fault ->
+      match classify t fault with
+      | Rank_one { u; _ } ->
+          Array.iter
+            (fun fs ->
+              if not (Hashtbl.mem fs.wcache u) then begin
+                let w = Pvec.create (Pvec.length fs.x0) in
+                solve_pattern fs u w;
+                Hashtbl.add fs.wcache u { w; fresh = Atomic.make true }
+              end)
+            t.freqs
+      | Unchanged | Structural _ -> ()
+      | exception Not_found -> ())
+    faults
+
+let output_of t (x : Pvec.t) =
+  match t.out_idx with None -> Complex.zero | Some i -> Pvec.get x i
 
 (* Full fallback at one frequency: perturb a copy of A(jω) and
    refactorize — exactly the naive path, minus the assembly. *)
-let full_point_solve t fs ~alpha ~u ~v =
-  t.full_solves <- t.full_solves + 1;
+let full_point_solve t fs ~al_re ~al_im ~u ~v =
+  Atomic.incr t.full_solves;
   Obs.Metrics.incr "fastsim.full_solves";
   let af = Cmat.copy fs.a in
   List.iter
@@ -204,11 +282,16 @@ let full_point_solve t fs ~alpha ~u ~v =
       List.iter
         (fun (j, sj) ->
           Cmat.add_to af i j
-            { Complex.re = alpha.Complex.re *. si *. sj;
-              Complex.im = alpha.Complex.im *. si *. sj })
+            { Complex.re = al_re *. si *. sj; Complex.im = al_im *. si *. sj })
         v)
     u;
-  match Obs.Metrics.time "mna.solve_s" (fun () -> Cmat.solve af fs.b) with
+  match
+    Obs.Metrics.time "mna.solve_s" (fun () ->
+        let lu = Cmat.lu_factor af in
+        let x = Pvec.create (Pvec.length fs.b) in
+        Cmat.lu_solve_into lu ~b:fs.b ~x;
+        x)
+  with
   | x -> Some (output_of t x)
   | exception Cmat.Singular -> None
 
@@ -219,34 +302,54 @@ let full_point_solve t fs ~alpha ~u ~v =
 let smw_tolerance = 1e-9
 
 let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
-  let alpha = { Complex.re = alpha_g; Complex.im = fs.omega *. alpha_c } in
-  if alpha.Complex.re = 0.0 && alpha.Complex.im = 0.0 then Some (output_of t fs.x0)
+  let al_re = alpha_g and al_im = fs.omega *. alpha_c in
+  if al_re = 0.0 && al_im = 0.0 then Some (output_of t fs.x0)
   else begin
     let w = w_for fs u in
-    let vw = dot_pat v w in
-    let denom = Complex.add Complex.one (Complex.mul alpha vw) in
-    if Complex.norm denom <= 1e-12 then full_point_solve t fs ~alpha ~u ~v
+    let vw_re = dot_pat v w.Pvec.re and vw_im = dot_pat v w.Pvec.im in
+    let den_re = 1.0 +. ((al_re *. vw_re) -. (al_im *. vw_im))
+    and den_im = (al_re *. vw_im) +. (al_im *. vw_re) in
+    if Cmat.norm2 den_re den_im <= 1e-12 then
+      full_point_solve t fs ~al_re ~al_im ~u ~v
     else begin
-      let vx0 = dot_pat v fs.x0 in
-      let coef = Complex.div (Complex.mul alpha vx0) denom in
-      let n = Array.length fs.x0 in
-      let xf =
-        Array.init n (fun i -> Complex.sub fs.x0.(i) (Complex.mul coef w.(i)))
+      let vx0_re = dot_pat v fs.x0.Pvec.re and vx0_im = dot_pat v fs.x0.Pvec.im in
+      let coef_re, coef_im =
+        div2
+          ((al_re *. vx0_re) -. (al_im *. vx0_im))
+          ((al_re *. vx0_im) +. (al_im *. vx0_re))
+          den_re den_im
       in
+      let n = Pvec.length fs.x0 in
+      let s = scratch_for n in
+      let xf = s.xf and resid = s.resid in
+      let xf_re = xf.Pvec.re and xf_im = xf.Pvec.im in
+      let wre = w.Pvec.re and wim = w.Pvec.im in
+      let x0re = fs.x0.Pvec.re and x0im = fs.x0.Pvec.im in
+      for i = 0 to n - 1 do
+        let wr = Array.unsafe_get wre i and wi = Array.unsafe_get wim i in
+        Array.unsafe_set xf_re i
+          (Array.unsafe_get x0re i -. ((coef_re *. wr) -. (coef_im *. wi)));
+        Array.unsafe_set xf_im i
+          (Array.unsafe_get x0im i -. ((coef_re *. wi) +. (coef_im *. wr)))
+      done;
       (* Residual of the perturbed system without forming it:
          b − A_f xf = (b − α (vᵀxf) u) − A xf. *)
-      let faulty_residual xf =
-        let avxf = Complex.mul alpha (dot_pat v xf) in
-        let r = Cmat.mul_vec fs.a xf in
-        Array.iteri (fun i axi -> r.(i) <- Complex.sub fs.b.(i) axi) r;
+      let faulty_residual () =
+        let vxf_re = dot_pat v xf_re and vxf_im = dot_pat v xf_im in
+        let av_re = (al_re *. vxf_re) -. (al_im *. vxf_im)
+        and av_im = (al_re *. vxf_im) +. (al_im *. vxf_re) in
+        Cmat.mul_vec_into fs.a ~x:xf ~y:resid;
+        let rre = resid.Pvec.re and rim = resid.Pvec.im in
+        let bre = fs.b.Pvec.re and bim = fs.b.Pvec.im in
+        for i = 0 to n - 1 do
+          Array.unsafe_set rre i (Array.unsafe_get bre i -. Array.unsafe_get rre i);
+          Array.unsafe_set rim i (Array.unsafe_get bim i -. Array.unsafe_get rim i)
+        done;
         List.iter
-          (fun (i, s) ->
-            r.(i) <-
-              Complex.sub r.(i)
-                { Complex.re = s *. avxf.Complex.re;
-                  Complex.im = s *. avxf.Complex.im })
-          u;
-        r
+          (fun (i, sg) ->
+            rre.(i) <- rre.(i) -. (sg *. av_re);
+            rim.(i) <- rim.(i) -. (sg *. av_im))
+          u
       in
       (* One step of iterative refinement: a large |α| (a catastrophic
          open/short is a ~10⁹-fold conductance change) amplifies
@@ -255,30 +358,45 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
          common case — a mild deviation whose bare update already sits
          near machine-precision residual (the 1024·ε gate below) —
          skips the extra back-solve. *)
-      let refine r xf =
-        let d0 = Cmat.lu_solve fs.lu r in
-        let dcoef = Complex.div (Complex.mul alpha (dot_pat v d0)) denom in
-        Array.mapi
-          (fun i x -> Complex.add x (Complex.sub d0.(i) (Complex.mul dcoef w.(i))))
-          xf
+      let refine () =
+        let d0 = s.d0 in
+        Cmat.lu_solve_into fs.lu ~b:resid ~x:d0;
+        let d0re = d0.Pvec.re and d0im = d0.Pvec.im in
+        let vd_re = dot_pat v d0re and vd_im = dot_pat v d0im in
+        let dc_re, dc_im =
+          div2
+            ((al_re *. vd_re) -. (al_im *. vd_im))
+            ((al_re *. vd_im) +. (al_im *. vd_re))
+            den_re den_im
+        in
+        for i = 0 to n - 1 do
+          let wr = Array.unsafe_get wre i and wi = Array.unsafe_get wim i in
+          Array.unsafe_set xf_re i
+            (Array.unsafe_get xf_re i
+            +. (Array.unsafe_get d0re i -. ((dc_re *. wr) -. (dc_im *. wi))));
+          Array.unsafe_set xf_im i
+            (Array.unsafe_get xf_im i
+            +. (Array.unsafe_get d0im i -. ((dc_re *. wi) +. (dc_im *. wr))))
+        done
       in
-      let scale_of xf = (fs.anorm *. vec_norm_inf xf) +. fs.bnorm +. 1e-300 in
-      let r = faulty_residual xf in
-      let res = vec_norm_inf r in
-      let xf, res =
-        if res <= 1024.0 *. epsilon_float *. scale_of xf then (xf, res)
+      let scale_of () = (fs.anorm *. Pvec.norm_inf xf) +. fs.bnorm +. 1e-300 in
+      faulty_residual ();
+      let res = Pvec.norm_inf resid in
+      let res =
+        if res <= 1024.0 *. epsilon_float *. scale_of () then res
         else begin
           Obs.Metrics.incr "fastsim.refine_steps";
-          let xf = refine r xf in
-          (xf, vec_norm_inf (faulty_residual xf))
+          refine ();
+          faulty_residual ();
+          Pvec.norm_inf resid
         end
       in
-      if res <= smw_tolerance *. scale_of xf then begin
-        t.smw_solves <- t.smw_solves + 1;
+      if res <= smw_tolerance *. scale_of () then begin
+        Atomic.incr t.smw_solves;
         Obs.Metrics.incr "fastsim.smw_solves";
         Some (output_of t xf)
       end
-      else full_point_solve t fs ~alpha ~u ~v
+      else full_point_solve t fs ~al_re ~al_im ~u ~v
     end
   end
 
@@ -291,16 +409,19 @@ let structural_response t faulty =
   let n = Mna.Stamps.size stamps in
   let out = Mna.Index.node index t.output in
   let buf = Cmat.create n n in
+  let b = Pvec.create n and x = Pvec.create n in
   Array.map
     (fun fs ->
-      t.full_solves <- t.full_solves + 1;
+      Atomic.incr t.full_solves;
       Obs.Metrics.incr "fastsim.full_solves";
       Mna.Stamps.fill stamps ~omega:fs.omega buf;
+      Mna.Stamps.rhs_into stamps ~omega:fs.omega b;
       match
         Obs.Metrics.time "mna.solve_s" (fun () ->
-            Cmat.solve buf (Mna.Stamps.rhs stamps ~omega:fs.omega))
+            let lu = Cmat.lu_factor buf in
+            Cmat.lu_solve_into lu ~b ~x)
       with
-      | x -> Some (match out with None -> Complex.zero | Some i -> x.(i))
+      | () -> Some (match out with None -> Complex.zero | Some i -> Pvec.get x i)
       | exception Cmat.Singular -> None)
     t.freqs
 

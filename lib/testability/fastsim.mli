@@ -17,12 +17,22 @@ module Netlist := Circuit.Netlist
       polished by one step of iterative refinement — and the A⁻¹u
       back-solves are cached across faults sharing a stamp pattern
       (e.g. the ±20 % pair on one component);
-    - every update is verified by a cheap residual check
-      ({!Linalg.Cmat.residual_norm}); an ill-conditioned update falls
-      back to a full refactorization of the perturbed matrix, and a
-      structural fault (e.g. an inductor open, which changes the
-      system dimension) falls back to a fresh split assembly. Either
-      way the result matches the naive path to round-off. *)
+    - every update is verified by a cheap residual check; an
+      ill-conditioned update falls back to a full refactorization of
+      the perturbed matrix, and a structural fault (e.g. an inductor
+      open, which changes the system dimension) falls back to a fresh
+      split assembly. Either way the result matches the naive path to
+      round-off.
+
+    The engine state is planar ({!Linalg.Cmat.Pvec}) and the rank-1
+    hot path is allocation-free: solve buffers live in a per-domain
+    scratch workspace (domain-local storage), so an engine may be
+    shared by several workers — stats counters are atomic and cached
+    back-solves are read under a freshness CAS. The one mutating
+    operation is the w-cache insertion on a cache miss, which is only
+    safe while the engine is confined to a single domain; parallel
+    analysis must call {!warm_cache} with its fault list first so that
+    every lookup during the parallel phase is read-only. *)
 
 type t
 
@@ -36,6 +46,17 @@ val create :
 val nominal : t -> Complex.t array
 (** The fault-free transfer at every grid frequency (equal to
     {!Mna.Ac.sweep} on the same grid). *)
+
+val warm_cache : t -> Fault.t list -> unit
+(** Precompute the cached A⁻¹u back-solve for every rank-1 fault in
+    the list at every grid frequency, so subsequent {!response} calls
+    never insert into the cache and the engine can be shared across
+    domains. Warmed entries do not disturb the [wcache_hits/misses]
+    accounting: each warmed entry books exactly one miss when it is
+    first read, just as the lazy path books one at insertion — totals
+    are identical to single-domain lazy operation and invariant under
+    the parallel schedule. Unknown elements are skipped (the matching
+    {!response} call still raises). *)
 
 val response : t -> Fault.t -> Complex.t option array
 (** The faulty transfer at every grid frequency; [None] where the

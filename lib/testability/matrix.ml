@@ -16,21 +16,38 @@ let build ?criterion ?(jobs = 1) grid views faults =
   let n = Array.length views and m = Array.length faults in
   let detect = Array.make_matrix n m false in
   let omega = Array.make_matrix n m 0.0 in
-  let analyse_view i =
-    let view = views.(i) in
-    let results =
-      Obs.Trace.span ("matrix.view " ^ view.label) @@ fun () ->
-      Detect.analyze ?criterion view.probe grid view.netlist (Array.to_list faults)
-    in
-    List.iteri
-      (fun j (r : Detect.result) ->
-        detect.(i).(j) <- r.Detect.detectable;
-        omega.(i).(j) <- r.Detect.omega_det)
-      results
+  let fault_list = Array.to_list faults in
+  (* Phase 1 — per-view preparation: build each view's engine and
+     thresholds and pre-warm its back-solve cache for the fault list,
+     so phase 2 never mutates an engine. Parallel over views. *)
+  let prepared =
+    Util.Parallel.map ~jobs n (fun i ->
+        let view = views.(i) in
+        Obs.Trace.span ("matrix.prepare " ^ view.label) @@ fun () ->
+        Detect.prepare_view ?criterion ~warm:fault_list view.probe grid view.netlist)
   in
-  (* each view writes a distinct row, so the scheduler's workers share
-     nothing but its cursor *)
-  Util.Parallel.for_ ~jobs n analyse_view;
+  (* Phase 2 — score the (view, fault) matrix in per-(view, fault-chunk)
+     work items: a campaign often has fewer views than workers want
+     (#configurations < jobs×4), so chunking the fault axis restores
+     load balance on large fault lists. Each item writes a disjoint
+     span of one row, so workers share nothing but the cursor and the
+     read-only prepared views; results land in fixed cells, keeping
+     the matrix jobs-deterministic. *)
+  let chunks_per_view =
+    if n = 0 || m = 0 then 0 else Int.min m (Int.max 1 ((jobs * 4) / Int.max 1 n))
+  in
+  let chunk = if chunks_per_view = 0 then 1 else (m + chunks_per_view - 1) / chunks_per_view in
+  let n_chunks = if chunks_per_view = 0 then 0 else (m + chunk - 1) / chunk in
+  Util.Parallel.for_ ~jobs (n * n_chunks) (fun item ->
+      let i = item / n_chunks and c = item mod n_chunks in
+      let pv = prepared.(i) in
+      let j0 = c * chunk in
+      let j1 = Int.min m (j0 + chunk) - 1 in
+      for j = j0 to j1 do
+        let r = Detect.analyze_prepared pv grid faults.(j) in
+        detect.(i).(j) <- r.Detect.detectable;
+        omega.(i).(j) <- r.Detect.omega_det
+      done);
   { views; faults; detect; omega }
 
 let n_views t = Array.length t.views

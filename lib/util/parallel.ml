@@ -4,6 +4,13 @@ let sequential n f =
   done
 
 let for_ ?(jobs = 1) n f =
+  (* Never spawn more domains than the hardware can run: every OCaml 5
+     domain must join every stop-the-world minor collection, so an
+     oversubscribed domain that is descheduled by the OS stalls all
+     the others at each GC sync — requesting jobs=4 on a smaller
+     machine makes the campaign slower than jobs=1, not merely
+     no faster. *)
+  let jobs = Int.min jobs (Domain.recommended_domain_count ()) in
   if n <= 0 then ()
   else if jobs <= 1 || n = 1 then sequential n f
   else begin

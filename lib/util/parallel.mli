@@ -14,7 +14,11 @@
 val for_ : ?jobs:int -> int -> (int -> unit) -> unit
 (** [for_ ~jobs n f] runs [f i] for every [i] in [0 .. n-1].
     [jobs <= 1] (the default) runs sequentially in the calling domain,
-    in index order.
+    in index order. [jobs] is clamped to
+    [Domain.recommended_domain_count ()]: an OCaml 5 domain must join
+    every stop-the-world minor collection, so running more domains
+    than cores makes every GC sync wait on a descheduled worker and
+    the whole campaign anti-scales.
 
     If [f] raises — in the calling domain or in a helper — the cursor
     is drained (workers stop claiming new chunks, in-flight chunks

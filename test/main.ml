@@ -5,6 +5,7 @@ let () =
       ("interval", Test_interval.suite);
       ("quantity", Test_quantity.suite);
       ("cmat", Test_cmat.suite);
+      ("planar", Test_planar.suite);
       ("poly", Test_poly.suite);
       ("ratfunc", Test_ratfunc.suite);
       ("netlist", Test_netlist.suite);

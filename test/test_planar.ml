@@ -1,0 +1,250 @@
+(* The planar (split re/im) Cmat kernels against a boxed Complex.t
+   reference implementation of the same algorithm — partial-pivoting
+   Doolittle LU with the growth-aware singularity threshold. The two
+   run the identical sequence of floating-point operations, so the
+   equivalence checks are exact (bitwise), covering the permutation
+   choice and determinant sign, not just residual-level agreement.
+   Plus the PR's allocation contract: a warmed Fastsim rank-1 solve
+   must not allocate per element. *)
+
+open Linalg
+
+let c re im = Complex.{ re; im }
+
+(* ---- reference boxed implementation ---- *)
+
+module Ref = struct
+  exception Singular
+
+  type lu = { d : Complex.t array array; perm : int array; sign : int }
+
+  let lu_factor (a : Complex.t array array) =
+    let n = Array.length a in
+    let d = Array.map Array.copy a in
+    let perm = Array.init n Fun.id in
+    let sign = ref 1 in
+    let scale = ref 0.0 in
+    Array.iter
+      (Array.iter (fun z ->
+           let v = Complex.norm z in
+           if v > !scale then scale := v))
+      d;
+    let tiny = 1e-300 +. (!scale *. float_of_int n *. 4.0 *. epsilon_float) in
+    for k = 0 to n - 1 do
+      let pr = ref k and pm = ref (Complex.norm d.(k).(k)) in
+      for i = k + 1 to n - 1 do
+        let m = Complex.norm d.(i).(k) in
+        if m > !pm then begin
+          pm := m;
+          pr := i
+        end
+      done;
+      if !pm <= tiny then raise Singular;
+      if !pr <> k then begin
+        sign := - !sign;
+        let t = d.(k) in
+        d.(k) <- d.(!pr);
+        d.(!pr) <- t;
+        let t = perm.(k) in
+        perm.(k) <- perm.(!pr);
+        perm.(!pr) <- t
+      end;
+      let piv = d.(k).(k) in
+      for i = k + 1 to n - 1 do
+        let f = Complex.div d.(i).(k) piv in
+        d.(i).(k) <- f;
+        if f.Complex.re <> 0.0 || f.Complex.im <> 0.0 then
+          for j = k + 1 to n - 1 do
+            d.(i).(j) <- Complex.sub d.(i).(j) (Complex.mul f d.(k).(j))
+          done
+      done
+    done;
+    { d; perm; sign = !sign }
+
+  let lu_solve { d; perm; _ } (b : Complex.t array) =
+    let n = Array.length b in
+    let x = Array.init n (fun i -> b.(perm.(i))) in
+    for i = 1 to n - 1 do
+      let acc = ref x.(i) in
+      for j = 0 to i - 1 do
+        acc := Complex.sub !acc (Complex.mul d.(i).(j) x.(j))
+      done;
+      x.(i) <- !acc
+    done;
+    for i = n - 1 downto 0 do
+      let acc = ref x.(i) in
+      for j = i + 1 to n - 1 do
+        acc := Complex.sub !acc (Complex.mul d.(i).(j) x.(j))
+      done;
+      x.(i) <- Complex.div !acc d.(i).(i)
+    done;
+    x
+
+  let determinant a =
+    match lu_factor a with
+    | exception Singular -> Complex.zero
+    | { d; sign; _ } ->
+        let acc =
+          ref (if sign >= 0 then Complex.one else c (-1.0) 0.0)
+        in
+        for i = 0 to Array.length a - 1 do
+          acc := Complex.mul !acc d.(i).(i)
+        done;
+        !acc
+
+  let mul_vec (a : Complex.t array array) (x : Complex.t array) =
+    Array.init (Array.length a) (fun i ->
+        let acc = ref Complex.zero in
+        Array.iteri (fun k v -> acc := Complex.add !acc (Complex.mul v x.(k))) a.(i);
+        !acc)
+end
+
+(* ---- generators ---- *)
+
+let random_rows rng n =
+  Array.init n (fun _ ->
+      Array.init n (fun _ ->
+          c
+            (QCheck.Gen.float_range (-10.0) 10.0 rng)
+            (QCheck.Gen.float_range (-10.0) 10.0 rng)))
+
+let random_vec rng n =
+  Array.init n (fun _ ->
+      c (QCheck.Gen.float_range (-10.0) 10.0 rng) (QCheck.Gen.float_range (-10.0) 10.0 rng))
+
+let exact_vec x y =
+  Array.length x = Array.length y
+  && Array.for_all2
+       (fun (a : Complex.t) (b : Complex.t) ->
+         a.Complex.re = b.Complex.re && a.Complex.im = b.Complex.im)
+       x y
+
+let exact_c (a : Complex.t) (b : Complex.t) =
+  a.Complex.re = b.Complex.re && a.Complex.im = b.Complex.im
+
+let n_seed = QCheck.make QCheck.Gen.(pair (int_range 1 10) (int_range 0 1000000))
+
+(* ---- equivalence properties ---- *)
+
+let qcheck_solve_equiv =
+  QCheck.Test.make ~name:"planar lu_factor/lu_solve == boxed reference (bitwise)"
+    ~count:200 n_seed (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let rows = random_rows rng n in
+      let b = random_vec rng n in
+      let planar =
+        match Cmat.lu_solve (Cmat.lu_factor (Cmat.of_arrays rows)) b with
+        | x -> Some x
+        | exception Cmat.Singular -> None
+      in
+      let boxed =
+        match Ref.lu_solve (Ref.lu_factor rows) b with
+        | x -> Some x
+        | exception Ref.Singular -> None
+      in
+      match (planar, boxed) with
+      | None, None -> true
+      | Some x, Some y -> exact_vec x y
+      | _ -> false)
+
+let qcheck_det_equiv =
+  QCheck.Test.make
+    ~name:"planar determinant == boxed reference (incl. permutation sign)" ~count:200
+    n_seed (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let rows = random_rows rng n in
+      exact_c (Cmat.determinant (Cmat.of_arrays rows)) (Ref.determinant rows))
+
+let qcheck_mul_vec_equiv =
+  QCheck.Test.make ~name:"planar mul_vec == boxed reference (bitwise)" ~count:200
+    n_seed (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let rows = random_rows rng n in
+      let x = random_vec rng n in
+      exact_vec (Cmat.mul_vec (Cmat.of_arrays rows) x) (Ref.mul_vec rows x))
+
+let qcheck_into_variants =
+  QCheck.Test.make ~name:"lu_solve_into / mul_vec_into == boxed-edge variants"
+    ~count:100 n_seed (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let rows = random_rows rng n in
+      let b = random_vec rng n in
+      let m = Cmat.of_arrays rows in
+      let bp = Cmat.Pvec.of_complex b in
+      let xp = Cmat.Pvec.create n and yp = Cmat.Pvec.create n in
+      Cmat.mul_vec_into m ~x:bp ~y:yp;
+      let mv_ok = exact_vec (Cmat.Pvec.to_complex yp) (Cmat.mul_vec m b) in
+      match Cmat.lu_factor m with
+      | exception Cmat.Singular -> mv_ok
+      | lu ->
+          Cmat.lu_solve_into lu ~b:bp ~x:xp;
+          mv_ok && exact_vec (Cmat.Pvec.to_complex xp) (Cmat.lu_solve lu b))
+
+let test_singular_agreement () =
+  (* exactly dependent rows: both implementations must refuse *)
+  let rows = [| [| c 1.0 2.0; c 3.0 (-1.0) |]; [| c 2.0 4.0; c 6.0 (-2.0) |] |] in
+  (match Cmat.lu_factor (Cmat.of_arrays rows) with
+  | exception Cmat.Singular -> ()
+  | _ -> Alcotest.fail "planar accepted a singular matrix");
+  (match Ref.lu_factor rows with
+  | exception Ref.Singular -> ()
+  | _ -> Alcotest.fail "reference accepted a singular matrix");
+  Alcotest.(check bool) "determinants agree on singular" true
+    (exact_c (Cmat.determinant (Cmat.of_arrays rows)) (Ref.determinant rows))
+
+(* ---- allocation regression ----
+
+   The campaign inner loop (a warmed rank-1 SMW solve) must be
+   allocation-free in the kernels: per frequency point it may box the
+   [Some] result, the output [Complex.t] and a couple of float tuples
+   in the coefficient arithmetic — O(1) words, nothing proportional to
+   the system size. Measured ~144 words/solve on tow-thomas (n = 7);
+   the bound leaves slack for those constants while staying far below
+   any per-element boxing (a single boxed solution vector is already
+   3n + 2·2n words per point). *)
+let max_minor_words_per_solve = 200.0
+
+let test_allocation_per_rank1_solve () =
+  let b = Circuits.Tow_thomas.make () in
+  let netlist = b.Circuits.Benchmark.netlist in
+  let grid =
+    Testability.Grid.around ~points_per_decade:10
+      ~center_hz:b.Circuits.Benchmark.center_hz ()
+  in
+  let freqs = Testability.Grid.freqs_hz grid in
+  let sim =
+    Testability.Fastsim.create ~source:b.Circuits.Benchmark.source
+      ~output:b.Circuits.Benchmark.output ~freqs_hz:freqs netlist
+  in
+  let fault =
+    match Fault.deviation_faults netlist with
+    | f :: _ -> f
+    | [] -> Alcotest.fail "no deviation faults on tow-thomas"
+  in
+  Testability.Fastsim.warm_cache sim [ fault ];
+  (* first call pays one-time costs (domain-local scratch sizing) *)
+  ignore (Testability.Fastsim.response sim fault);
+  let smw0, full0 = Testability.Fastsim.stats sim in
+  let w0 = Gc.minor_words () in
+  let r = Testability.Fastsim.response sim fault in
+  let w1 = Gc.minor_words () in
+  ignore (Sys.opaque_identity r);
+  let smw1, full1 = Testability.Fastsim.stats sim in
+  Alcotest.(check int) "all points served by the rank-1 update" 0 (full1 - full0);
+  let solves = smw1 - smw0 in
+  Alcotest.(check bool) "some rank-1 solves happened" true (solves > 0);
+  let per_solve = (w1 -. w0) /. float_of_int solves in
+  if per_solve > max_minor_words_per_solve then
+    Alcotest.failf "rank-1 solve allocates %.1f minor words (bound %.0f)" per_solve
+      max_minor_words_per_solve
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_solve_equiv;
+    QCheck_alcotest.to_alcotest qcheck_det_equiv;
+    QCheck_alcotest.to_alcotest qcheck_mul_vec_equiv;
+    QCheck_alcotest.to_alcotest qcheck_into_variants;
+    Alcotest.test_case "singular agreement" `Quick test_singular_agreement;
+    Alcotest.test_case "rank-1 solve allocation bound" `Quick
+      test_allocation_per_rank1_solve;
+  ]
