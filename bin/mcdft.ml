@@ -3,6 +3,8 @@
    Subcommands:
      list                   the built-in benchmark circuits
      show     CIRCUIT       print the netlist in SPICE form
+     lint     CIRCUIT       static analysis: validation, structural rank,
+                            configuration-space diagnostics
      tf       CIRCUIT       symbolic transfer function, poles and zeros
      analyze  CIRCUIT       functional-configuration testability (Graph 1)
      matrix   CIRCUIT       detectability matrices over all configurations
@@ -15,7 +17,25 @@ open Cmdliner
 
 module O = Mcdft_core.Optimizer
 module P = Mcdft_core.Pipeline
+module PF = Mcdft_core.Prefilter
 module IntSet = Cover.Clause.IntSet
+
+(* ---- exit codes (documented in the man page footer) ----
+
+     0  success
+     1  circuit loading / invalid input
+     3  singular MNA system (reached the solver anyway)
+     4  a fault references an element absent from the netlist
+     5  I/O error
+     6  lint findings of error severity
+   (2 and 124/125 remain cmdliner's usage/internal errors.) *)
+
+let die code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "mcdft: %s\n" msg;
+      exit code)
+    fmt
 
 (* ---- loading circuits ---- *)
 
@@ -37,6 +57,16 @@ let estimate_center_hz ~source ~output netlist =
         exp log_mean /. (2.0 *. Float.pi)
       end
 
+let default_source netlist =
+  List.find_map
+    (function Circuit.Element.Vsource { name; _ } -> Some name | _ -> None)
+    (Circuit.Netlist.elements netlist)
+
+let default_output netlist =
+  match List.rev (Circuit.Netlist.opamps netlist) with
+  | Circuit.Element.Opamp { out; _ } :: _ -> Some out
+  | _ -> None
+
 let load_circuit name ~source ~output =
   match Circuits.Registry.find name with
   | Some b -> Ok b
@@ -45,43 +75,38 @@ let load_circuit name ~source ~output =
         Error
           (Printf.sprintf "%S is neither a benchmark (see `mcdft list`) nor a file" name)
       else
-        match Spice.Parser.parse_file name with
+        match Spice.Parser.parse_file_with_lines name with
         | Error e -> Error (Printf.sprintf "%s: %s" name (Spice.Parser.error_to_string e))
-        | Ok netlist -> (
-            match Circuit.Validate.check netlist with
-            | Error issues ->
-                Error
-                  (String.concat "; " (List.map Circuit.Validate.issue_to_string issues))
-            | Ok () -> (
-                let default_source () =
-                  List.find_map
-                    (function
-                      | Circuit.Element.Vsource { name; _ } -> Some name
-                      | _ -> None)
-                    (Circuit.Netlist.elements netlist)
-                in
-                let default_output () =
-                  match List.rev (Circuit.Netlist.opamps netlist) with
-                  | Circuit.Element.Opamp { out; _ } :: _ -> Some out
-                  | _ -> None
-                in
-                match
-                  ( (match source with Some s -> Some s | None -> default_source ()),
-                    match output with Some o -> Some o | None -> default_output () )
-                with
-                | None, _ -> Error "no voltage source found; pass --source"
-                | _, None -> Error "no opamp output found; pass --output"
-                | Some source, Some output ->
-                    let center_hz = estimate_center_hz ~source ~output netlist in
-                    Ok
-                      {
-                        Circuits.Benchmark.name = Filename.basename name;
-                        description = Circuit.Netlist.title netlist;
-                        netlist;
-                        source;
-                        output;
-                        center_hz;
-                      })))
+        | Ok (netlist, lines) -> (
+            (* pre-flight lint: catch structurally singular or invalid
+               netlists here, with element/line diagnostics, instead of
+               dying deep in the solver with a bare Singular *)
+            let src = { Analysis.Lint.file = name; lines } in
+            (match Analysis.Finding.errors (Analysis.Lint.netlist_findings ~src netlist) with
+            | [] -> ()
+            | errors ->
+                List.iter
+                  (fun f -> Printf.eprintf "%s\n" (Analysis.Finding.to_string f))
+                  errors;
+                die 6 "%s: %s — run `mcdft lint %s` for the full report" name
+                  (Analysis.Finding.summary errors) name);
+            match
+              ( (match source with Some s -> Some s | None -> default_source netlist),
+                match output with Some o -> Some o | None -> default_output netlist )
+            with
+            | None, _ -> Error "no voltage source found; pass --source"
+            | _, None -> Error "no opamp output found; pass --output"
+            | Some source, Some output ->
+                let center_hz = estimate_center_hz ~source ~output netlist in
+                Ok
+                  {
+                    Circuits.Benchmark.name = Filename.basename name;
+                    description = Circuit.Netlist.title netlist;
+                    netlist;
+                    source;
+                    output;
+                    center_hz;
+                  }))
 
 let parse_one_criterion s =
   match String.split_on_char ':' (String.lowercase_ascii s) with
@@ -189,22 +214,7 @@ let faults_of kind netlist =
   | `Both -> Fault.both_deviations netlist
   | `Catastrophic -> Fault.catastrophic_faults netlist
 
-(* ---- one error handler for every subcommand ----
-
-   Exit codes (documented in the man page footer):
-     0  success
-     1  circuit loading / invalid input
-     3  singular MNA system
-     4  a fault references an element absent from the netlist
-     5  I/O error
-   (2 and 124/125 remain cmdliner's usage/internal errors.) *)
-
-let die code fmt =
-  Printf.ksprintf
-    (fun msg ->
-      Printf.eprintf "mcdft: %s\n" msg;
-      exit code)
-    fmt
+(* ---- one error handler for every subcommand ---- *)
 
 let handle_errors f =
   try f () with
@@ -322,6 +332,82 @@ let show_cmd =
   Cmd.v (Cmd.info "show" ~doc:"Print the circuit netlist in SPICE form")
     Term.(const run $ circuit_arg $ source_opt $ output_opt)
 
+let lint_cmd =
+  let json_of_finding (f : Analysis.Finding.t) =
+    let opt key v = Option.to_list (Option.map (fun x -> (key, Report.Json.String x)) v) in
+    Report.Json.Object
+      ([
+         ("code", Report.Json.String f.Analysis.Finding.code);
+         ( "severity",
+           Report.Json.String
+             (Analysis.Finding.severity_to_string f.Analysis.Finding.severity) );
+         ("message", Report.Json.String f.Analysis.Finding.message);
+       ]
+      @ opt "element" f.Analysis.Finding.element
+      @ opt "node" f.Analysis.Finding.node
+      @ opt "config" f.Analysis.Finding.config
+      @
+      match f.Analysis.Finding.loc with
+      | None -> []
+      | Some { Analysis.Finding.file; line } ->
+          [ ("file", Report.Json.String file); ("line", Report.Json.int line) ])
+  in
+  let run name source output json strict =
+    handle_errors @@ fun () ->
+    let netlist, src, source, output =
+      match Circuits.Registry.find name with
+      | Some b ->
+          ( b.Circuits.Benchmark.netlist,
+            None,
+            Some (Option.value source ~default:b.Circuits.Benchmark.source),
+            Some (Option.value output ~default:b.Circuits.Benchmark.output) )
+      | None ->
+          if not (Sys.file_exists name) then
+            die 1 "%S is neither a benchmark (see `mcdft list`) nor a file" name
+          else (
+            match Spice.Parser.parse_file_with_lines name with
+            | Error e -> die 1 "%s: %s" name (Spice.Parser.error_to_string e)
+            | Ok (netlist, lines) ->
+                ( netlist,
+                  Some { Analysis.Lint.file = name; lines },
+                  (match source with Some _ -> source | None -> default_source netlist),
+                  match output with Some _ -> output | None -> default_output netlist ))
+    in
+    let findings = Analysis.Lint.run ?src ?source ?output netlist in
+    if json then
+      print_endline
+        (Report.Json.to_string ~indent:2
+           (Report.Json.Object
+              [
+                ("circuit", Report.Json.String name);
+                ("findings", Report.Json.List (List.map json_of_finding findings));
+                ("summary", Report.Json.String (Analysis.Finding.summary findings));
+              ]))
+    else begin
+      List.iter
+        (fun f -> print_endline (Analysis.Finding.to_string ~fallback:name f))
+        findings;
+      Printf.printf "%s%s\n" (if findings = [] then "" else "\n") (Analysis.Finding.summary findings)
+    end;
+    let errors = Analysis.Finding.errors findings in
+    let warnings = Analysis.Finding.warnings findings in
+    if errors <> [] || (strict && warnings <> []) then exit 6
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the findings as JSON.")
+  in
+  let strict_flag =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit with code 6 on warnings too, not only errors.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static analysis: validation, structural MNA rank at DC/HF/generic \
+             frequencies, and configuration-space diagnostics (broken test-input \
+             chains, singular or equivalent configurations, structurally \
+             undetectable faults)")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt $ json_flag $ strict_flag)
+
 let tf_cmd =
   let run name source output =
     with_circuit name source output (fun b ->
@@ -389,13 +475,20 @@ let analyze_cmd =
           $ fault_kind_opt)
 
 let matrix_cmd =
-  let run name source output criterion ppd fault_kind jobs gc_default metrics trace =
+  let run name source output criterion ppd fault_kind jobs gc_default prefilter metrics
+      trace =
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
-        let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
-        let m = t.P.matrix in
+        let m, plan =
+          if prefilter then
+            let plan, m = PF.run ~criterion ~points_per_decade:ppd ~faults b in
+            (m, Some plan)
+          else
+            let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
+            (t.P.matrix, None)
+        in
         let fault_ids = Array.map (fun f -> f.Fault.id) m.Testability.Matrix.faults in
         let header = "" :: Array.to_list fault_ids in
         Printf.printf "fault detectability matrix (%s):\n" (criterion_str criterion);
@@ -419,12 +512,25 @@ let matrix_cmd =
                           (Array.map (fun w -> Printf.sprintf "%.1f" (100.0 *. w)) row))
                    m.Testability.Matrix.omega)));
         Printf.printf "\nmax fault coverage: %.1f%%\n"
-          (100.0 *. Testability.Matrix.max_fault_coverage m))
+          (100.0 *. Testability.Matrix.max_fault_coverage m);
+        Option.iter
+          (fun (plan : PF.t) ->
+            Printf.printf
+              "structural prefilter: skipped %d of %d (configuration, fault) sweeps\n"
+              plan.PF.pruned_pairs plan.PF.total_pairs)
+          plan)
+  in
+  let prefilter_flag =
+    Arg.(value & flag
+         & info [ "prefilter" ]
+             ~doc:"Skip (configuration, fault) sweeps the structural detectability \
+                   pre-pass proves undetectable; the matrix is unchanged.")
   in
   Cmd.v
     (Cmd.info "matrix" ~doc:"Fault detectability matrix over all test configurations")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ metrics_opt $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ prefilter_flag $ metrics_opt
+          $ trace_opt)
 
 let optimize_cmd =
   let run name source output criterion ppd fault_kind jobs gc_default json metrics trace =
@@ -620,6 +726,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; show_cmd; tf_cmd; analyze_cmd; matrix_cmd; optimize_cmd;
+            list_cmd; show_cmd; lint_cmd; tf_cmd; analyze_cmd; matrix_cmd; optimize_cmd;
             testplan_cmd; sweep_cmd; diagnose_cmd; blocks_cmd;
           ]))

@@ -1,0 +1,58 @@
+module StringSet = Set.Make (String)
+
+type t = {
+  configs : Multiconfig.Configuration.t array;
+  faults : Fault.t array;
+  undetectable : bool array array;
+  influential : (int * string list) list;
+}
+
+let analyse ?follower_model ?faults (dft : Multiconfig.Transform.t) =
+  Obs.Metrics.time "analysis.detectability_s" @@ fun () ->
+  let faults =
+    match faults with
+    | Some f -> Array.of_list f
+    | None -> Array.of_list (Fault.deviation_faults dft.Multiconfig.Transform.base)
+  in
+  let configs = Array.of_list (Multiconfig.Transform.test_configurations dft) in
+  let influential =
+    Array.to_list
+      (Array.map
+         (fun config ->
+           let view = Multiconfig.Transform.emulate ?follower_model dft config in
+           let influence =
+             Circuit.Influence.analyse ~output:dft.Multiconfig.Transform.output view
+           in
+           ( Multiconfig.Configuration.index config,
+             Circuit.Influence.influential_passives influence ))
+         configs)
+  in
+  let undetectable =
+    Array.map
+      (fun config ->
+        let reachable =
+          StringSet.of_list
+            (List.assoc (Multiconfig.Configuration.index config) influential)
+        in
+        Array.map (fun f -> not (StringSet.mem f.Fault.element reachable)) faults)
+      configs
+  in
+  { configs; faults; undetectable; influential }
+
+let skip_count t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun a skip -> if skip then a + 1 else a) acc row)
+    0 t.undetectable
+
+let total_pairs t = Array.length t.configs * Array.length t.faults
+
+let undetectable_everywhere t =
+  let n_configs = Array.length t.configs in
+  List.filter_map
+    (fun j ->
+      let everywhere = ref true in
+      for i = 0 to n_configs - 1 do
+        if not t.undetectable.(i).(j) then everywhere := false
+      done;
+      if !everywhere && n_configs > 0 then Some t.faults.(j) else None)
+    (List.init (Array.length t.faults) Fun.id)

@@ -1,0 +1,69 @@
+type severity = Error | Warning | Info
+
+type loc = { file : string; line : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  element : string option;
+  node : string option;
+  config : string option;
+  loc : loc option;
+}
+
+let make ?element ?node ?config ?loc ~code ~severity message =
+  { code; severity; message; element; node; config; loc }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+      let line f = match f.loc with Some l -> l.line | None -> max_int in
+      match Int.compare (line a) (line b) with
+      | 0 -> (
+          match String.compare a.code b.code with
+          | 0 -> String.compare a.message b.message
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let errors l = List.filter (fun f -> f.severity = Error) l
+let warnings l = List.filter (fun f -> f.severity = Warning) l
+
+let to_string ?fallback f =
+  let where =
+    match (f.loc, fallback) with
+    | Some { file; line }, _ -> Printf.sprintf "%s:%d: " file line
+    | None, Some name -> name ^ ": "
+    | None, None -> ""
+  in
+  let anchors =
+    List.filter_map Fun.id
+      [
+        Option.map (fun e -> "element " ^ e) f.element;
+        Option.map (fun n -> "node " ^ n) f.node;
+        f.config;
+      ]
+  in
+  let suffix =
+    if anchors = [] then "" else Printf.sprintf " (%s)" (String.concat ", " anchors)
+  in
+  Printf.sprintf "%s%s %s: %s%s" where (severity_to_string f.severity) f.code
+    f.message suffix
+
+let summary findings =
+  let count sev = List.length (List.filter (fun f -> f.severity = sev) findings) in
+  let plural n word = Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s") in
+  String.concat ", "
+    [
+      plural (count Error) "error";
+      plural (count Warning) "warning";
+      plural (count Info) "info";
+    ]

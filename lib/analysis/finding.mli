@@ -1,0 +1,49 @@
+(** Structured diagnostics produced by the netlist static analyzer.
+
+    A finding is one fact about a netlist: a stable code (see the
+    finding-code table in docs/TUTORIAL.md), a severity, a message, and
+    optional anchors — the element or node at fault, the configuration
+    it was observed in, and a [file:line] location when the netlist was
+    parsed from a [.cir] file. *)
+
+type severity = Error | Warning | Info
+
+type loc = { file : string; line : int }
+
+type t = {
+  code : string;  (** Stable identifier, e.g. ["S001"]. *)
+  severity : severity;
+  message : string;
+  element : string option;
+  node : string option;
+  config : string option;  (** Configuration label, e.g. ["C5"]. *)
+  loc : loc option;
+}
+
+val make :
+  ?element:string ->
+  ?node:string ->
+  ?config:string ->
+  ?loc:loc ->
+  code:string ->
+  severity:severity ->
+  string ->
+  t
+
+val severity_to_string : severity -> string
+
+val compare : t -> t -> int
+(** Orders errors before warnings before infos; ties break on source
+    line (anchored findings first), then code, then message. *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+
+val to_string : ?fallback:string -> t -> string
+(** One compiler-style line:
+    [file.cir:12: error S001: message (element V2, C3)]. [fallback]
+    replaces the [file:line] prefix for findings without a location
+    (e.g. the circuit name). *)
+
+val summary : t list -> string
+(** ["2 errors, 1 warning"]-style tally. *)

@@ -5,6 +5,14 @@ type issue =
   | Missing_sense of { element : string; vsense : string }
   | Self_loop of string
   | Empty_netlist
+  | Dangling_node of { node : string; element : string }
+  | Opamp_drive_conflict of { opamp : string; vsource : string }
+
+let severity = function
+  | Dangling_node _ -> `Warning
+  | No_ground | Disconnected _ | Nonpositive_value _ | Missing_sense _ | Self_loop _
+  | Empty_netlist | Opamp_drive_conflict _ ->
+      `Error
 
 let issue_to_string = function
   | No_ground -> "no element is connected to the ground node \"0\""
@@ -17,6 +25,14 @@ let issue_to_string = function
         element vsense
   | Self_loop n -> Printf.sprintf "element %s has both terminals on the same node" n
   | Empty_netlist -> "netlist contains no elements"
+  | Dangling_node { node; element } ->
+      Printf.sprintf "node %s touches only element %s, which therefore carries no current"
+        node element
+  | Opamp_drive_conflict { opamp; vsource } ->
+      Printf.sprintf
+        "output of opamp %s is also a terminal of voltage source %s: two ideal drivers \
+         contend for the node"
+        opamp vsource
 
 module StringSet = Set.Make (String)
 
@@ -56,12 +72,52 @@ let check netlist =
   if elements = [] then push Empty_netlist
   else begin
     let nodes = Netlist.nodes netlist in
-    if not (List.mem Element.ground nodes) then push No_ground
-    else begin
-      let reachable = connected_component netlist in
-      let stranded = List.filter (fun n -> not (StringSet.mem n reachable)) nodes in
-      if stranded <> [] then push (Disconnected stranded)
-    end;
+    let grounded =
+      if not (List.mem Element.ground nodes) then begin
+        push No_ground;
+        StringSet.empty
+      end
+      else begin
+        let reachable = connected_component netlist in
+        let stranded = List.filter (fun n -> not (StringSet.mem n reachable)) nodes in
+        if stranded <> [] then push (Disconnected stranded);
+        reachable
+      end
+    in
+    (* Degree-1 internal nodes: record which elements touch each node
+       (once per element) and flag grounded nodes whose only neighbour
+       is a passive — disconnected nodes are already errors above. *)
+    let touching = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        List.iter
+          (fun n ->
+            let existing = Option.value ~default:[] (Hashtbl.find_opt touching n) in
+            if not (List.memq e existing) then Hashtbl.replace touching n (e :: existing))
+          (Element.nodes e))
+      elements;
+    List.iter
+      (fun n ->
+        if StringSet.mem n grounded then
+          match Hashtbl.find_opt touching n with
+          | Some [ e ] when Element.is_passive e ->
+              push (Dangling_node { node = n; element = Element.name e })
+          | _ -> ())
+      (Netlist.internal_nodes netlist);
+    List.iter
+      (fun e ->
+        match e with
+        | Element.Opamp { name; out; _ } ->
+            List.iter
+              (fun e' ->
+                match e' with
+                | Element.Vsource { name = vname; npos; nneg; _ }
+                  when out <> Element.ground && (npos = out || nneg = out) ->
+                    push (Opamp_drive_conflict { opamp = name; vsource = vname })
+                | _ -> ())
+              elements
+        | _ -> ())
+      elements;
     List.iter
       (fun e ->
         (match e with
@@ -89,6 +145,9 @@ let check netlist =
 let check_exn netlist =
   match check netlist with
   | Ok () -> ()
-  | Error issues ->
-      let msg = String.concat "; " (List.map issue_to_string issues) in
-      invalid_arg ("Validate.check_exn: " ^ msg)
+  | Error issues -> (
+      match List.filter (fun i -> severity i = `Error) issues with
+      | [] -> ()
+      | errors ->
+          let msg = String.concat "; " (List.map issue_to_string errors) in
+          invalid_arg ("Validate.check_exn: " ^ msg))

@@ -13,12 +13,24 @@ type issue =
       (** CCVS/CCCS referencing an unknown or non-V element. *)
   | Self_loop of string  (** Two-terminal element with both ends on one node. *)
   | Empty_netlist
+  | Dangling_node of { node : string; element : string }
+      (** Internal node touched by exactly one passive element: that
+          element carries no current, almost always a mistyped node
+          name. A warning — the system is still solvable. *)
+  | Opamp_drive_conflict of { opamp : string; vsource : string }
+      (** An opamp output node is also a terminal of an independent
+          voltage source: two ideal drivers contend for the node. *)
+
+val severity : issue -> [ `Error | `Warning ]
+(** Every issue is an error except {!Dangling_node}. *)
 
 val issue_to_string : issue -> string
 
 val check : Netlist.t -> (unit, issue list) result
 (** [Ok ()] when the netlist passes every check; otherwise all issues
-    found. *)
+    found, warnings included. *)
 
 val check_exn : Netlist.t -> unit
-(** Raises [Invalid_argument] with a readable message on failure. *)
+(** Raises [Invalid_argument] with a readable message when {!check}
+    reports any error-severity issue. Warnings alone do not raise, so
+    solver pipelines tolerate lint-level concerns. *)

@@ -7,33 +7,12 @@ type t = {
 }
 
 let analyse ?follower_model ?faults (dft : Multiconfig.Transform.t) =
-  let faults =
-    match faults with
-    | Some f -> f
-    | None -> Fault.deviation_faults dft.Multiconfig.Transform.base
-  in
-  let predicted =
-    List.map
-      (fun config ->
-        let view = Multiconfig.Transform.emulate ?follower_model dft config in
-        let influence =
-          Circuit.Influence.analyse ~output:dft.Multiconfig.Transform.output view
-        in
-        ( Multiconfig.Configuration.index config,
-          Circuit.Influence.influential_passives influence ))
-      (Multiconfig.Transform.test_configurations dft)
-  in
-  let total_pairs = List.length predicted * List.length faults in
-  let pruned_pairs =
-    List.fold_left
-      (fun acc (_, reachable) ->
-        let set = StringSet.of_list reachable in
-        acc
-        + List.length
-            (List.filter (fun f -> not (StringSet.mem f.Fault.element set)) faults))
-      0 predicted
-  in
-  { predicted; total_pairs; pruned_pairs }
+  let det = Analysis.Detectability.analyse ?follower_model ?faults dft in
+  {
+    predicted = det.Analysis.Detectability.influential;
+    total_pairs = Analysis.Detectability.total_pairs det;
+    pruned_pairs = Analysis.Detectability.skip_count det;
+  }
 
 let run ?(criterion = Pipeline.default_criterion) ?(points_per_decade = 30) ?faults
     (benchmark : Circuits.Benchmark.t) =
@@ -82,6 +61,7 @@ let run ?(criterion = Pipeline.default_criterion) ?(points_per_decade = 30) ?fau
         Array.to_list fault_array
         |> List.filter (fun f -> StringSet.mem f.Fault.element reachable)
       in
+      Obs.Metrics.incr ~by:(m - List.length wanted) "prefilter.structural_skips";
       (* one shared nominal sweep and threshold preparation per view,
          as in Matrix.build, but only the reachable faults simulated *)
       if wanted <> [] then begin

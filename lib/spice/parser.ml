@@ -85,60 +85,55 @@ let rename_name env n = env.prefix ^ n
 
 let max_depth = 20
 
-let rec parse_card ~subckts ~env ~depth line_no card netlist =
+let rec parse_card ~subckts ~env ~depth ~record line_no card netlist =
   match tokens card with
   | [] -> netlist
   | name :: rest -> (
       let kind = Char.uppercase_ascii name.[0] in
       let name' = rename_name env name in
       let n = rename_node env in
+      (* record after the add so duplicate names (which Netlist.add
+         rejects) never enter the line table *)
+      let add e =
+        let netlist = Netlist.add e netlist in
+        record (Element.name e) line_no;
+        netlist
+      in
       match (kind, rest) with
       | 'R', [ n1; n2; v ] ->
-          Netlist.add
-            (Element.Resistor { name = name'; n1 = n n1; n2 = n n2; value = value_of line_no v })
-            netlist
+          add (Element.Resistor { name = name'; n1 = n n1; n2 = n n2; value = value_of line_no v })
       | 'C', [ n1; n2; v ] ->
-          Netlist.add
-            (Element.Capacitor { name = name'; n1 = n n1; n2 = n n2; value = value_of line_no v })
-            netlist
+          add (Element.Capacitor { name = name'; n1 = n n1; n2 = n n2; value = value_of line_no v })
       | 'L', [ n1; n2; v ] ->
-          Netlist.add
-            (Element.Inductor { name = name'; n1 = n n1; n2 = n n2; value = value_of line_no v })
-            netlist
+          add (Element.Inductor { name = name'; n1 = n n1; n2 = n n2; value = value_of line_no v })
       | 'V', npos :: nneg :: params ->
-          Netlist.add
+          add
             (Element.Vsource
                { name = name'; npos = n npos; nneg = n nneg; value = source_value line_no params })
-            netlist
       | 'I', npos :: nneg :: params ->
-          Netlist.add
+          add
             (Element.Isource
                { name = name'; npos = n npos; nneg = n nneg; value = source_value line_no params })
-            netlist
       | 'E', [ npos; nneg; cpos; cneg; g ] ->
-          Netlist.add
+          add
             (Element.Vcvs
                { name = name'; npos = n npos; nneg = n nneg; cpos = n cpos; cneg = n cneg;
                  gain = value_of line_no g })
-            netlist
       | 'G', [ npos; nneg; cpos; cneg; g ] ->
-          Netlist.add
+          add
             (Element.Vccs
                { name = name'; npos = n npos; nneg = n nneg; cpos = n cpos; cneg = n cneg;
                  gm = value_of line_no g })
-            netlist
       | 'H', [ npos; nneg; vsense; r ] ->
-          Netlist.add
+          add
             (Element.Ccvs
                { name = name'; npos = n npos; nneg = n nneg; vsense = rename_name env vsense;
                  r = value_of line_no r })
-            netlist
       | 'F', [ npos; nneg; vsense; g ] ->
-          Netlist.add
+          add
             (Element.Cccs
                { name = name'; npos = n npos; nneg = n nneg; vsense = rename_name env vsense;
                  gain = value_of line_no g })
-            netlist
       | ('X' | 'O'), inp :: inn :: out :: macro :: params
         when String.uppercase_ascii macro = "OPAMP" ->
           let keyed = keyed_params line_no params in
@@ -152,15 +147,13 @@ let rec parse_card ~subckts ~env ~depth line_no card netlist =
                     pole_hz = Option.value fp ~default:10.0;
                   }
           in
-          Netlist.add
-            (Element.Opamp { name = name'; inp = n inp; inn = n inn; out = n out; model })
-            netlist
+          add (Element.Opamp { name = name'; inp = n inp; inn = n inn; out = n out; model })
       | ('X' | 'O'), _ :: _
         when Hashtbl.mem subckts
                (String.uppercase_ascii (List.nth rest (List.length rest - 1))) ->
           let subckt_name = String.uppercase_ascii (List.nth rest (List.length rest - 1)) in
           let actuals = List.filteri (fun i _ -> i < List.length rest - 1) rest in
-          instantiate ~subckts ~env ~depth line_no ~instance:name ~subckt_name
+          instantiate ~subckts ~env ~depth ~record line_no ~instance:name ~subckt_name
             ~actuals netlist
       | ('X' | 'O'), _ ->
           fail line_no
@@ -170,7 +163,7 @@ let rec parse_card ~subckts ~env ~depth line_no card netlist =
           fail line_no "malformed %c card: %s" kind card
       | _ -> fail line_no "unknown element card %S" name)
 
-and instantiate ~subckts ~env ~depth line_no ~instance ~subckt_name ~actuals netlist =
+and instantiate ~subckts ~env ~depth ~record line_no ~instance ~subckt_name ~actuals netlist =
   if depth >= max_depth then
     fail line_no "subcircuit nesting deeper than %d (recursive definition?)" max_depth;
   let def = Hashtbl.find subckts subckt_name in
@@ -186,10 +179,10 @@ and instantiate ~subckts ~env ~depth line_no ~instance ~subckt_name ~actuals net
   in
   List.fold_left
     (fun acc (body_line, card) ->
-      parse_card ~subckts ~env:inner_env ~depth:(depth + 1) body_line card acc)
+      parse_card ~subckts ~env:inner_env ~depth:(depth + 1) ~record body_line card acc)
     netlist def.body
 
-let parse_string text =
+let parse_string_with_lines text =
   try
     let lines = logical_lines text in
     (* standard SPICE: the first line is always the title *)
@@ -246,20 +239,27 @@ let parse_string text =
           split rest
     in
     split body;
+    let table = ref [] in
+    let record name line = table := (name, line) :: !table in
     let netlist =
       List.fold_left
         (fun acc (n, line) ->
-          try parse_card ~subckts ~env:top_level ~depth:0 n line acc
+          try parse_card ~subckts ~env:top_level ~depth:0 ~record n line acc
           with Invalid_argument msg -> fail n "%s" msg)
         (Netlist.empty ~title ())
         (List.rev !top)
     in
-    Ok netlist
+    Ok (netlist, List.rev !table)
   with Parse_error e -> Error e
 
-let parse_file path =
+let parse_string text = Result.map fst (parse_string_with_lines text)
+
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let content = really_input_string ic len in
   close_in ic;
-  parse_string content
+  content
+
+let parse_file_with_lines path = parse_string_with_lines (read_file path)
+let parse_file path = parse_string (read_file path)

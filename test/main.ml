@@ -29,6 +29,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("diagnosis", Test_diagnosis.suite);
       ("random-circuits", Test_random_circuits.suite);
+      ("analysis", Test_analysis.suite);
       ("influence", Test_influence.suite);
       ("json", Test_json.suite);
       ("edge-cases", Test_edge_cases.suite);

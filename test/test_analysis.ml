@@ -1,0 +1,309 @@
+(* The static-analysis engine: structural rank, lint findings and the
+   structural-vs-numeric singularity property. *)
+
+module Netlist = Circuit.Netlist
+module Validate = Circuit.Validate
+module Finding = Analysis.Finding
+module Structural = Analysis.Structural
+module Lint = Analysis.Lint
+
+(* the same netlists as test/fixtures/*.cir, inline so the suite does
+   not depend on data-file plumbing *)
+let vloop_cir =
+  "Voltage-source loop: V1 and V2 in parallel between in and ground\n\
+   V1 in 0 AC 1\n\
+   V2 in 0 AC 1\n\
+   R1 in out 10k\n\
+   R2 out 0 10k\n\
+   .end\n"
+
+let broken_chain_cir =
+  "Broken test-input chain: opamps declared against signal order\n\
+   Vin in 0 AC 1\n\
+   R1 in m1 15.9k\n\
+   C1 m1 v1 10n\n\
+   R4 v1 m2 15.9k\n\
+   C2 m2 v2 10n\n\
+   XOP2 0 m2 v2 OPAMP\n\
+   XOP1 0 m1 v1 OPAMP\n\
+   .end\n"
+
+let parse_with_lines text =
+  match Spice.Parser.parse_string_with_lines text with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse failed: %s" (Spice.Parser.error_to_string e)
+
+(* ---- structural rank ---- *)
+
+let test_structural_vloop () =
+  let netlist, _ = parse_with_lines vloop_cir in
+  let s = Structural.analyse netlist in
+  Alcotest.(check bool) "singular" true (Structural.is_singular s);
+  match s.Structural.generic with
+  | None -> Alcotest.fail "expected a generic deficiency"
+  | Some d ->
+      Alcotest.(check int) "rank" 3 d.Structural.rank;
+      Alcotest.(check int) "size" 4 d.Structural.size;
+      Alcotest.(check int) "2 violator equations" 2 (List.length d.Structural.equations);
+      Alcotest.(check int) "1 constrained unknown" 1 (List.length d.Structural.unknowns)
+
+let test_structural_dc_only () =
+  (* an ideal inverting integrator: solvable at every omega > 0 but the
+     output voltage column vanishes from the DC pattern *)
+  let netlist =
+    Netlist.empty ~title:"integrator" ()
+    |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "in" "x" 10_000.0
+    |> Netlist.capacitor ~name:"C1" "x" "out" 1e-8
+    |> Netlist.opamp ~name:"OP1" ~inp:"0" ~inn:"x" ~out:"out"
+  in
+  let s = Structural.analyse netlist in
+  Alcotest.(check bool) "not singular" false (Structural.is_singular s);
+  Alcotest.(check bool) "generic full rank" true (s.Structural.generic = None);
+  Alcotest.(check bool) "hf full rank" true (s.Structural.hf = None);
+  match s.Structural.dc with
+  | None -> Alcotest.fail "expected a DC deficiency"
+  | Some d -> Alcotest.(check bool) "regime" true (d.Structural.regime = Structural.Dc)
+
+let test_structural_hf_floating () =
+  let netlist =
+    Netlist.empty ~title:"inductor island" ()
+    |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "in" "a" 1_000.0
+    |> Netlist.inductor ~name:"L1" "a" "x" 1e-3
+    |> Netlist.inductor ~name:"L2" "x" "0" 1e-3
+  in
+  let s = Structural.analyse netlist in
+  Alcotest.(check bool) "generic full rank" true (s.Structural.generic = None);
+  Alcotest.(check (list string)) "x floats at HF" [ "x" ] s.Structural.hf_floating
+
+(* ---- new validation checks ---- *)
+
+let test_validate_dangling () =
+  let netlist =
+    Netlist.empty ()
+    |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "in" "m" 1_000.0
+    |> Netlist.resistor ~name:"R2" "m" "0" 1_000.0
+    |> Netlist.resistor ~name:"R3" "m" "x" 1_000.0
+  in
+  (match Validate.check netlist with
+  | Error [ Validate.Dangling_node { node = "x"; element = "R3" } ] -> ()
+  | Error issues ->
+      Alcotest.failf "unexpected issues: %s"
+        (String.concat "; " (List.map Validate.issue_to_string issues))
+  | Ok () -> Alcotest.fail "expected a dangling-node warning");
+  (* a warning alone must not stop solver pipelines *)
+  Validate.check_exn netlist
+
+let test_validate_drive_conflict () =
+  let netlist =
+    Netlist.empty ()
+    |> Netlist.vsource ~name:"V1" "in" "0" 1.0
+    |> Netlist.vsource ~name:"V2" "o" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "in" "x" 1_000.0
+    |> Netlist.resistor ~name:"R2" "x" "o" 1_000.0
+    |> Netlist.opamp ~name:"OP1" ~inp:"0" ~inn:"x" ~out:"o"
+  in
+  (match Validate.check netlist with
+  | Error issues ->
+      Alcotest.(check bool) "conflict reported" true
+        (List.exists
+           (function
+             | Validate.Opamp_drive_conflict { opamp = "OP1"; vsource = "V2" } -> true
+             | _ -> false)
+           issues)
+  | Ok () -> Alcotest.fail "expected a drive conflict");
+  match Validate.check_exn netlist with
+  | () -> Alcotest.fail "check_exn must raise on an error-severity issue"
+  | exception Invalid_argument _ -> ()
+
+(* ---- parser line table ---- *)
+
+let test_parser_line_table () =
+  let text =
+    "title line\n\
+     V1 in 0 AC 1\n\
+     R1 in out\n\
+     + 10k\n\
+     .subckt DIV a b\n\
+     RA a mid 1k\n\
+     RB mid b 1k\n\
+     .ends\n\
+     Xd out 0 DIV\n\
+     .end\n"
+  in
+  let _, lines = parse_with_lines text in
+  Alcotest.(check (option int)) "V1 line" (Some 2) (List.assoc_opt "V1" lines);
+  Alcotest.(check (option int)) "continued R1 maps to opening line" (Some 3)
+    (List.assoc_opt "R1" lines);
+  Alcotest.(check (option int)) "flattened Xd.RA keeps its body line" (Some 6)
+    (List.assoc_opt "Xd.RA" lines);
+  Alcotest.(check (option int)) "flattened Xd.RB keeps its body line" (Some 7)
+    (List.assoc_opt "Xd.RB" lines)
+
+(* ---- lint golden tests ---- *)
+
+let test_lint_vloop () =
+  let netlist, lines = parse_with_lines vloop_cir in
+  let src = { Lint.file = "vloop.cir"; lines } in
+  let findings = Lint.run ~src netlist in
+  let errors = Finding.errors findings in
+  Alcotest.(check int) "one error" 1 (List.length errors);
+  let e = List.hd errors in
+  Alcotest.(check string) "code" "S001" e.Finding.code;
+  (match e.Finding.loc with
+  | Some { Finding.file = "vloop.cir"; line = 2 } -> ()
+  | _ -> Alcotest.fail "expected vloop.cir:2 location");
+  let rendered = Finding.to_string e in
+  Alcotest.(check bool) "rendered with file:line" true
+    (String.length rendered > 12 && String.sub rendered 0 12 = "vloop.cir:2:")
+
+let test_lint_broken_chain () =
+  let netlist, lines = parse_with_lines broken_chain_cir in
+  let src = { Lint.file = "broken_chain.cir"; lines } in
+  let findings = Lint.run ~src ~source:"Vin" ~output:"v2" netlist in
+  Alcotest.(check int) "no errors" 0 (List.length (Finding.errors findings));
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "C003 names configuration C2" true
+    (List.exists
+       (fun f ->
+         f.Finding.code = "C003"
+         && f.Finding.severity = Finding.Warning
+         && f.Finding.config = Some "configuration C2")
+       findings);
+  Alcotest.(check bool) "message mentions input and output" true
+    (List.exists
+       (fun f ->
+         f.Finding.code = "C003" && contains f.Finding.message "v2"
+         && contains f.Finding.message "in")
+       findings)
+
+let test_lint_registry_clean () =
+  List.iter
+    (fun (b : Circuits.Benchmark.t) ->
+      let findings =
+        Lint.run ~source:b.Circuits.Benchmark.source ~output:b.Circuits.Benchmark.output
+          b.Circuits.Benchmark.netlist
+      in
+      Alcotest.(check int)
+        (b.Circuits.Benchmark.name ^ " lints without errors")
+        0
+        (List.length (Finding.errors findings)))
+    (Circuits.Registry.all ())
+
+(* ---- detectability pre-pass ---- *)
+
+let test_detectability_consistency () =
+  let b = Option.get (Circuits.Registry.find "tow-thomas") in
+  let dft =
+    Multiconfig.Transform.make ~source:b.Circuits.Benchmark.source
+      ~output:b.Circuits.Benchmark.output b.Circuits.Benchmark.netlist
+  in
+  let det = Analysis.Detectability.analyse dft in
+  let plan = Mcdft_core.Prefilter.analyse dft in
+  Alcotest.(check int) "skip_count = pruned_pairs"
+    plan.Mcdft_core.Prefilter.pruned_pairs
+    (Analysis.Detectability.skip_count det);
+  Alcotest.(check int) "total_pairs agree" plan.Mcdft_core.Prefilter.total_pairs
+    (Analysis.Detectability.total_pairs det);
+  Alcotest.(check bool) "pruning is non-trivial" true
+    (Analysis.Detectability.skip_count det > 0);
+  Alcotest.(check int) "every fault detectable somewhere" 0
+    (List.length (Analysis.Detectability.undetectable_everywhere det))
+
+(* ---- structural verdict vs numeric LU ---- *)
+
+(* A random connected soup: an R/C/L ladder plus an optional bridge,
+   plus one of three "hazards" — a duplicated source (V loop), an opamp
+   with shorted inputs (zero nullor row), or a healthy feedback opamp.
+   At most ONE opamp: two ideal opamps sharing an input pair are
+   structurally full-rank yet numerically singular, which is exactly
+   the (measure-zero-valued) case the property excludes by using
+   continuous random values. *)
+let random_soup rng =
+  let open QCheck.Gen in
+  let stages = 1 + int_bound 3 rng in
+  let netlist =
+    ref (Netlist.empty ~title:"soup" () |> Netlist.vsource ~name:"V1" "n0" "0" 1.0)
+  in
+  for k = 1 to stages do
+    let prev = Printf.sprintf "n%d" (k - 1) and here = Printf.sprintf "n%d" k in
+    let mag lo = lo *. (10.0 ** float_range 0.0 2.0 rng) in
+    netlist := Netlist.resistor ~name:(Printf.sprintf "RS%d" k) prev here (mag 100.0) !netlist;
+    netlist :=
+      (match int_bound 2 rng with
+      | 0 -> Netlist.resistor ~name:(Printf.sprintf "RP%d" k) here "0" (mag 100.0)
+      | 1 -> Netlist.capacitor ~name:(Printf.sprintf "CP%d" k) here "0" (mag 1e-9)
+      | _ -> Netlist.inductor ~name:(Printf.sprintf "LP%d" k) here "0" (mag 1e-4))
+        !netlist
+  done;
+  let node k = Printf.sprintf "n%d" k in
+  (if int_bound 2 rng = 0 then
+     let a = int_bound stages rng and b = int_bound stages rng in
+     if a <> b then
+       netlist :=
+         Netlist.resistor ~name:"RB" (node a) (node b)
+           (100.0 *. (10.0 ** QCheck.Gen.float_range 0.0 2.0 rng))
+           !netlist);
+  (match int_bound 5 rng with
+  | 0 ->
+      (* V loop: second source in parallel with V1 *)
+      netlist := Netlist.vsource ~name:"V2" "n0" "0" 1.0 !netlist
+  | 1 ->
+      (* nullor with both inputs on one node: zero row *)
+      let m = node (int_bound stages rng) in
+      netlist :=
+        !netlist
+        |> Netlist.opamp ~name:"OP1" ~inp:m ~inn:m ~out:"oo"
+        |> Netlist.resistor ~name:"RF" "oo" m 1_000.0
+  | 2 ->
+      (* healthy inverting stage around a ladder node *)
+      let m = node (int_bound stages rng) in
+      netlist :=
+        !netlist
+        |> Netlist.opamp ~name:"OP1" ~inp:"0" ~inn:m ~out:"oo"
+        |> Netlist.resistor ~name:"RF" "oo" m (1_000.0 *. (1.0 +. float_range 0.0 9.0 rng))
+  | _ -> ());
+  !netlist
+
+let numerically_solvable netlist ~omega =
+  let module F = (val Mna.Field.complex ~omega) in
+  let module AC = Mna.Assemble.Make (F) in
+  let index = Mna.Index.build netlist in
+  let { AC.matrix; _ } = AC.assemble index netlist in
+  match Linalg.Cmat.lu_factor (Linalg.Cmat.of_arrays matrix) with
+  | _ -> true
+  | exception Linalg.Cmat.Singular -> false
+
+let gen_seed = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let qcheck_structural_sound =
+  QCheck.Test.make ~name:"structural singular => LU Singular; full rank => solvable"
+    ~count:200 gen_seed (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let netlist = random_soup rng in
+      let omega = 2.0 *. Float.pi *. (10.0 ** QCheck.Gen.float_range 1.0 5.0 rng) in
+      let verdict = Structural.is_singular (Structural.analyse netlist) in
+      let solvable = numerically_solvable netlist ~omega in
+      if verdict then not solvable else solvable)
+
+let suite =
+  [
+    Alcotest.test_case "structural: V loop" `Quick test_structural_vloop;
+    Alcotest.test_case "structural: DC-only deficiency" `Quick test_structural_dc_only;
+    Alcotest.test_case "structural: HF floating node" `Quick test_structural_hf_floating;
+    Alcotest.test_case "validate: dangling node" `Quick test_validate_dangling;
+    Alcotest.test_case "validate: opamp drive conflict" `Quick test_validate_drive_conflict;
+    Alcotest.test_case "parser: line table" `Quick test_parser_line_table;
+    Alcotest.test_case "lint: V loop golden" `Quick test_lint_vloop;
+    Alcotest.test_case "lint: broken chain golden" `Quick test_lint_broken_chain;
+    Alcotest.test_case "lint: registry circuits are clean" `Quick test_lint_registry_clean;
+    Alcotest.test_case "detectability: prefilter consistency" `Quick
+      test_detectability_consistency;
+    QCheck_alcotest.to_alcotest qcheck_structural_sound;
+  ]
