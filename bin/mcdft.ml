@@ -9,6 +9,7 @@
      analyze  CIRCUIT       functional-configuration testability (Graph 1)
      matrix   CIRCUIT       detectability matrices over all configurations
      optimize CIRCUIT       the full ordered-requirements optimization
+     fuzz                   differential conformance fuzzing of the engines
 
    CIRCUIT is either a benchmark name from `mcdft list` or a path to a
    SPICE netlist. *)
@@ -437,9 +438,13 @@ let tf_cmd =
     Term.(const run $ circuit_arg $ source_opt $ output_opt)
 
 let analyze_cmd =
-  let run name source output criterion ppd fault_kind =
+  let run name source output criterion ppd fault_kind fault_element =
     with_circuit name source output (fun b ->
-        let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
+        let faults =
+          match fault_element with
+          | Some element -> [ Fault.deviation ~element 1.2 ]
+          | None -> faults_of fault_kind b.Circuits.Benchmark.netlist
+        in
         let grid =
           Testability.Grid.around ~points_per_decade:ppd
             ~center_hz:b.Circuits.Benchmark.center_hz ()
@@ -469,10 +474,17 @@ let analyze_cmd =
         print_string
           (Report.Chart.bars ~width:40 ~labels ~series:[ ("w-det %", values) ] ()))
   in
+  let fault_element_opt =
+    Arg.(value & opt (some string) None
+         & info [ "fault-element" ] ~docv:"NAME"
+             ~doc:"Restrict the analysis to the +20% deviation fault on the \
+                   named element; exits with code 4 when the element is \
+                   absent from the netlist.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Testability of the functional configuration (paper Sec. 2)")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt)
+          $ fault_kind_opt $ fault_element_opt)
 
 let matrix_cmd =
   let run name source output criterion ppd fault_kind jobs gc_default prefilter metrics
@@ -719,6 +731,214 @@ let blocks_cmd =
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
           $ jobs_opt $ gc_default_opt $ metrics_opt $ trace_opt)
 
+let fuzz_cmd =
+  (* "45", "45s" or "3m" *)
+  let budget_conv =
+    Arg.conv
+      ( (fun s ->
+          let num part = float_of_string_opt part in
+          let parse =
+            match String.length s with
+            | 0 -> None
+            | n -> (
+                match s.[n - 1] with
+                | 's' -> num (String.sub s 0 (n - 1))
+                | 'm' ->
+                    Option.map (fun v -> v *. 60.0) (num (String.sub s 0 (n - 1)))
+                | _ -> num s)
+          in
+          match parse with
+          | Some b when b > 0.0 -> Ok b
+          | _ -> Error (`Msg "expected a positive duration, e.g. 60, 60s or 2m")),
+        fun ppf b -> Format.fprintf ppf "%gs" b )
+  in
+  let seed_opt =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Base seed of the campaign. Case $(i,i) is always generated \
+                   from seed N+i of its family, so one seed pins the whole \
+                   circuit sequence and every verdict.")
+  in
+  let budget_opt =
+    Arg.(value & opt (some budget_conv) None
+         & info [ "budget" ] ~docv:"DURATION"
+             ~doc:"Stop after roughly $(docv) of wall clock (e.g. 60s, 2m). A \
+                   budget only truncates the deterministic case sequence; it \
+                   never changes a verdict.")
+  in
+  let cases_opt =
+    Arg.(value & opt (some positive_int) None
+         & info [ "cases" ] ~docv:"N"
+             ~doc:"Run exactly $(docv) cases (default 50 when no --budget is \
+                   given), for bit-identical reports across machines.")
+  in
+  let families_conv =
+    Arg.conv
+      ( (fun s ->
+          let names = String.split_on_char ',' s in
+          let parsed = List.map Conformance.Gen.family_of_string names in
+          if List.mem None parsed then
+            Error
+              (`Msg
+                (Printf.sprintf "unknown family in %S (known: %s)" s
+                   (String.concat ", "
+                      (List.map Conformance.Gen.family_name Conformance.Gen.families))))
+          else Ok (List.filter_map Fun.id parsed)),
+        fun ppf fams ->
+          Format.fprintf ppf "%s"
+            (String.concat "," (List.map Conformance.Gen.family_name fams)) )
+  in
+  let families_opt =
+    Arg.(value & opt families_conv Conformance.Gen.families
+         & info [ "families" ] ~docv:"LIST"
+             ~doc:"Comma-separated topology families to rotate over (default: \
+                   all).")
+  in
+  let oracles_conv =
+    Arg.conv
+      ( (fun s ->
+          let names = String.split_on_char ',' s in
+          let parsed = List.map Conformance.Oracle.find names in
+          if List.mem None parsed then
+            Error
+              (`Msg
+                (Printf.sprintf "unknown oracle in %S (known: %s)" s
+                   (String.concat ", "
+                      (List.map
+                         (fun o -> o.Conformance.Oracle.name)
+                         Conformance.Oracle.all))))
+          else Ok (List.filter_map Fun.id parsed)),
+        fun ppf os ->
+          Format.fprintf ppf "%s"
+            (String.concat ","
+               (List.map (fun o -> o.Conformance.Oracle.name) os)) )
+  in
+  let oracles_opt =
+    Arg.(value & opt oracles_conv Conformance.Oracle.all
+         & info [ "oracles" ] ~docv:"LIST"
+             ~doc:"Comma-separated differential oracles to run (default: all).")
+  in
+  let shrink_dir_opt =
+    Arg.(value & opt string "fuzz-repros"
+         & info [ "shrink-dir" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk failure repros (a SPICE netlist plus \
+                   an expected-oracle JSON per failure).")
+  in
+  let snapshot_dir_opt =
+    Arg.(value & opt string "test/fixtures/snapshots"
+         & info [ "snapshot-dir" ] ~docv:"DIR"
+             ~doc:"Directory holding the golden paper-table snapshots.")
+  in
+  let update_snapshots_flag =
+    Arg.(value & flag
+         & info [ "update-snapshots" ]
+             ~doc:"Regenerate the golden snapshots under --snapshot-dir and \
+                   exit (no fuzzing).")
+  in
+  let check_snapshots_flag =
+    Arg.(value & flag
+         & info [ "check-snapshots" ]
+             ~doc:"Byte-compare the golden snapshots under --snapshot-dir and \
+                   exit (no fuzzing); exit code 1 on drift.")
+  in
+  let replay_opt =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay one repro from its .expected.json file instead of \
+                   fuzzing: exit 0 when the failure still reproduces, 1 when \
+                   it no longer does.")
+  in
+  let list_oracles_flag =
+    Arg.(value & flag
+         & info [ "list-oracles" ] ~doc:"List the oracle registry and exit.")
+  in
+  let verbose_flag =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ]
+             ~doc:"Log every case and verdict to stderr as the campaign runs.")
+  in
+  let run seed budget cases families oracles shrink_dir snapshot_dir
+      update_snapshots check_snapshots replay list_oracles verbose _jobs =
+    handle_errors @@ fun () ->
+    if list_oracles then begin
+      List.iter
+        (fun (o : Conformance.Oracle.t) ->
+          Printf.printf "%-18s %s\n" o.Conformance.Oracle.name
+            o.Conformance.Oracle.doc)
+        Conformance.Oracle.all;
+      exit 0
+    end;
+    if update_snapshots then begin
+      List.iter print_endline (Conformance.Snapshot.update ~dir:snapshot_dir);
+      exit 0
+    end;
+    if check_snapshots then begin
+      match Conformance.Snapshot.check ~dir:snapshot_dir with
+      | Ok () ->
+          Printf.printf "snapshots under %s are up to date\n" snapshot_dir;
+          exit 0
+      | Error msg -> die 1 "snapshot drift:\n%s" msg
+    end;
+    match replay with
+    | Some expected -> (
+        match Conformance.Shrink.load ~expected with
+        | Error msg -> die 1 "%s" msg
+        | Ok repro -> (
+            match Conformance.Shrink.replay repro with
+            | Error msg -> die 1 "%s" msg
+            | Ok verdict ->
+                Printf.printf "%s on %s: %s\n" repro.Conformance.Shrink.oracle
+                  repro.Conformance.Shrink.label
+                  (Conformance.Oracle.verdict_to_string verdict);
+                exit
+                  (match verdict with Conformance.Oracle.Fail _ -> 0 | _ -> 1)))
+    | None ->
+        let max_cases =
+          match (cases, budget) with
+          | Some n, _ -> Some n
+          | None, None -> Some 50
+          | None, Some _ -> None
+        in
+        let config =
+          {
+            Conformance.Fuzz.seed;
+            budget_s = budget;
+            max_cases;
+            families;
+            oracles;
+            shrink_dir = Some shrink_dir;
+            log = (if verbose then fun s -> Printf.eprintf "%s\n%!" s else ignore);
+          }
+        in
+        Printf.printf "mcdft fuzz: seed %d, %s, families %s, oracles %s\n%!" seed
+          (match (max_cases, budget) with
+          | Some n, None -> Printf.sprintf "%d cases" n
+          | Some n, Some b -> Printf.sprintf "up to %d cases within %gs" n b
+          | None, Some b -> Printf.sprintf "budget %gs" b
+          | None, None -> "unbounded")
+          (String.concat "," (List.map Conformance.Gen.family_name families))
+          (String.concat ","
+             (List.map (fun o -> o.Conformance.Oracle.name) oracles));
+        let outcome = Conformance.Fuzz.run config in
+        print_string (Conformance.Fuzz.summary outcome);
+        Printf.printf "replay any failure with: mcdft fuzz --replay %s/<slug>.expected.json\n"
+          shrink_dir;
+        if outcome.Conformance.Fuzz.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential conformance fuzzing: random circuits checked by \
+             redundant-implementation oracles (planar vs boxed solves, rank-1 \
+             vs re-assembled faults, parallel vs sequential campaigns, \
+             structural vs numeric rank, exhaustive vs branch-and-bound \
+             covers), with failing cases shrunk to minimal repro fixtures. \
+             Verdicts depend only on --seed and the case index — never on \
+             --jobs or --budget.")
+    Term.(const run $ seed_opt $ budget_opt $ cases_opt $ families_opt
+          $ oracles_opt $ shrink_dir_opt $ snapshot_dir_opt
+          $ update_snapshots_flag $ check_snapshots_flag $ replay_opt
+          $ list_oracles_flag $ verbose_flag $ jobs_opt)
+
 let () =
   let doc = "multi-configuration DFT analysis for analog circuits (DATE 1998 reproduction)" in
   let info = Cmd.info "mcdft" ~version:"1.0.0" ~doc in
@@ -727,5 +947,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; show_cmd; lint_cmd; tf_cmd; analyze_cmd; matrix_cmd; optimize_cmd;
-            testplan_cmd; sweep_cmd; diagnose_cmd; blocks_cmd;
+            testplan_cmd; sweep_cmd; diagnose_cmd; blocks_cmd; fuzz_cmd;
           ]))

@@ -1,0 +1,187 @@
+module Netlist = Circuit.Netlist
+
+type family = Ladder | Soup | Active_chain | Near_singular
+
+let families = [ Ladder; Soup; Active_chain; Near_singular ]
+
+let family_name = function
+  | Ladder -> "ladder"
+  | Soup -> "soup"
+  | Active_chain -> "active"
+  | Near_singular -> "near-singular"
+
+let family_of_string = function
+  | "ladder" -> Some Ladder
+  | "soup" -> Some Soup
+  | "active" -> Some Active_chain
+  | "near-singular" -> Some Near_singular
+  | _ -> None
+
+type subject = {
+  label : string;
+  netlist : Netlist.t;
+  source : string;
+  output : string;
+}
+
+(* Primitive draws, deliberately mirroring the QCheck.Gen combinators
+   the original in-test generators used: [int_bound] is inclusive. *)
+let int_bound n rng = Random.State.int rng (n + 1)
+let float_range lo hi rng = lo +. Random.State.float rng (hi -. lo)
+
+(* magnitudes log-uniform over [lo, lo*10^decades) *)
+let mag ?(decades = 2.0) lo rng = lo *. (10.0 ** float_range 0.0 decades rng)
+
+let node k = Printf.sprintf "n%d" k
+
+(* A ladder skeleton shared by {!ladder} and {!near_singular}: series
+   resistor then shunt R/C/L per stage, all values drawn through
+   [draw] so the two families differ only in value spread. *)
+let ladder_with ~title ~stages ~draw rng =
+  let netlist =
+    ref (Netlist.empty ~title () |> Netlist.vsource ~name:"V1" "n0" "0" 1.0)
+  in
+  for k = 1 to stages do
+    let prev = node (k - 1) and here = node k in
+    netlist :=
+      Netlist.resistor ~name:(Printf.sprintf "RS%d" k) prev here
+        (draw 100.0 rng) !netlist;
+    netlist :=
+      (match int_bound 2 rng with
+      | 0 -> Netlist.resistor ~name:(Printf.sprintf "RP%d" k) here "0" (draw 100.0 rng)
+      | 1 -> Netlist.capacitor ~name:(Printf.sprintf "CP%d" k) here "0" (draw 1e-9 rng)
+      | _ -> Netlist.inductor ~name:(Printf.sprintf "LP%d" k) here "0" (draw 1e-4 rng))
+        !netlist
+  done;
+  (!netlist, node stages)
+
+let ladder rng =
+  let stages = 1 + int_bound 4 rng in
+  ladder_with ~title:"random ladder" ~stages ~draw:(mag ~decades:2.0) rng
+
+let near_singular rng =
+  (* up to 12 decades between neighbouring impedances: solvable in
+     exact arithmetic, hostile to fixed pivot/residual thresholds *)
+  let stages = 2 + int_bound 3 rng in
+  ladder_with ~title:"near-singular ladder" ~stages
+    ~draw:(fun lo rng -> lo *. (10.0 ** float_range (-6.0) 6.0 rng))
+    rng
+
+let soup rng =
+  let stages = 1 + int_bound 3 rng in
+  let netlist, out =
+    ladder_with ~title:"soup" ~stages ~draw:(mag ~decades:2.0) rng
+  in
+  let netlist = ref netlist in
+  (if int_bound 2 rng = 0 then
+     let a = int_bound stages rng and b = int_bound stages rng in
+     if a <> b then
+       netlist :=
+         Netlist.resistor ~name:"RB" (node a) (node b)
+           (mag ~decades:2.0 100.0 rng)
+           !netlist);
+  (match int_bound 5 rng with
+  | 0 ->
+      (* V loop: second source in parallel with V1 *)
+      netlist := Netlist.vsource ~name:"V2" "n0" "0" 1.0 !netlist
+  | 1 ->
+      (* nullor with both inputs on one node: zero row *)
+      let m = node (int_bound stages rng) in
+      netlist :=
+        !netlist
+        |> Netlist.opamp ~name:"OP1" ~inp:m ~inn:m ~out:"oo"
+        |> Netlist.resistor ~name:"RF" "oo" m 1_000.0
+  | 2 ->
+      (* healthy inverting stage around a ladder node *)
+      let m = node (int_bound stages rng) in
+      netlist :=
+        !netlist
+        |> Netlist.opamp ~name:"OP1" ~inp:"0" ~inn:m ~out:"oo"
+        |> Netlist.resistor ~name:"RF" "oo" m
+             (1_000.0 *. (1.0 +. float_range 0.0 9.0 rng))
+  | _ -> ());
+  (!netlist, out)
+
+let inverting_amp rng =
+  let r1 = mag 1_000.0 rng and rf = mag 1_000.0 rng in
+  let netlist =
+    Netlist.empty ~title:"inverting amplifier" ()
+    |> Netlist.vsource ~name:"V1" "n0" "0" 1.0
+    |> Netlist.resistor ~name:"R1" "n0" "m1" r1
+    |> Netlist.resistor ~name:"RF" "o1" "m1" rf
+    |> Netlist.opamp ~name:"OP1" ~inp:"0" ~inn:"m1" ~out:"o1"
+  in
+  (netlist, "o1")
+
+let integrator_cascade rng =
+  let stages = 1 + int_bound 1 rng in
+  let netlist =
+    ref
+      (Netlist.empty ~title:"lossy integrator cascade" ()
+      |> Netlist.vsource ~name:"V1" "n0" "0" 1.0)
+  in
+  for k = 1 to stages do
+    let prev = if k = 1 then "n0" else Printf.sprintf "o%d" (k - 1) in
+    let m = Printf.sprintf "m%d" k and o = Printf.sprintf "o%d" k in
+    netlist :=
+      !netlist
+      |> Netlist.resistor ~name:(Printf.sprintf "R%d" k) prev m (mag 10_000.0 rng)
+      |> Netlist.resistor ~name:(Printf.sprintf "RF%d" k) o m (mag 10_000.0 rng)
+      |> Netlist.capacitor ~name:(Printf.sprintf "C%d" k) o m (mag 1e-9 rng)
+      |> Netlist.opamp ~name:(Printf.sprintf "OP%d" k) ~inp:"0" ~inn:m ~out:o
+  done;
+  (!netlist, Printf.sprintf "o%d" stages)
+
+let tow_thomas rng =
+  let f0_hz = mag ~decades:3.0 100.0 rng in
+  let q = 0.5 +. float_range 0.0 4.5 rng in
+  let gain = 0.5 +. float_range 0.0 2.5 rng in
+  let params = Circuits.Tow_thomas.params_for ~q ~gain ~f0_hz () in
+  let tap =
+    match int_bound 2 rng with
+    | 0 -> Circuits.Tow_thomas.Lowpass
+    | 1 -> Circuits.Tow_thomas.Bandpass
+    | _ -> Circuits.Tow_thomas.Inverted_lowpass
+  in
+  let b = Circuits.Tow_thomas.make ~params ~tap () in
+  (b.Circuits.Benchmark.netlist, b.Circuits.Benchmark.output)
+
+let active_chain rng =
+  match int_bound 2 rng with
+  | 0 -> inverting_amp rng
+  | 1 -> integrator_cascade rng
+  | _ -> tow_thomas rng
+
+let source_of netlist =
+  match
+    List.find_opt
+      (function Circuit.Element.Vsource _ -> true | _ -> false)
+      (Netlist.elements netlist)
+  with
+  | Some e -> Circuit.Element.name e
+  | None -> "V1"
+
+let generate family ~seed =
+  let findex =
+    match family with
+    | Ladder -> 0
+    | Soup -> 1
+    | Active_chain -> 2
+    | Near_singular -> 3
+  in
+  (* the constant keys the stream so [generate] never collides with a
+     test that seeds Random.State.make [| seed |] directly *)
+  let rng = Random.State.make [| 0x4d43_4446; findex; seed |] in
+  let netlist, output =
+    match family with
+    | Ladder -> ladder rng
+    | Soup -> soup rng
+    | Active_chain -> active_chain rng
+    | Near_singular -> near_singular rng
+  in
+  {
+    label = Printf.sprintf "%s#%d" (family_name family) seed;
+    netlist;
+    source = source_of netlist;
+    output;
+  }

@@ -1,0 +1,63 @@
+module Netlist := Circuit.Netlist
+
+(** Seeded random-circuit generation — the fuzzer's topology families.
+
+    The raw generators ([ladder], [soup], …) take a [Random.State.t]
+    so property tests can drive them from their own seeds; {!generate}
+    wraps them into a self-describing {!subject} derived purely from a
+    [(family, seed)] pair, the unit of deterministic replay. All
+    generated netlists drive node ["n0"] from source ["V1"] (actives
+    use dedicated stage nodes) and name elements with the conventions
+    the original ad-hoc test generators used (RS/RP/CP/LP per ladder
+    stage), so shrunk repro fixtures read like the test fixtures that
+    predate them. *)
+
+type family =
+  | Ladder  (** Series/shunt R-C-L ladders, always solvable. *)
+  | Soup
+      (** Ladder + optional bridge + one of three hazards: a
+          voltage-source loop, a nullor with shorted inputs, or a
+          healthy feedback opamp — the structural-analysis stressor. *)
+  | Active_chain
+      (** Randomized opamp stages (inverting amp, lossy-integrator
+          cascade, or a full Tow-Thomas loop) — the multiconfig /
+          campaign stressor. *)
+  | Near_singular
+      (** Ladders with pathological value spreads (up to ~12 decades
+          between neighbouring impedances) — the LU-threshold and
+          refinement stressor. *)
+
+val families : family list
+(** All families, in fuzzing rotation order. *)
+
+val family_name : family -> string
+val family_of_string : string -> family option
+
+type subject = {
+  label : string;  (** e.g. ["ladder#417"] — family and seed. *)
+  netlist : Netlist.t;
+  source : string;  (** Driving voltage source. *)
+  output : string;  (** Observed output node. *)
+}
+
+val ladder : Random.State.t -> Netlist.t * string
+(** A random 1-5 stage series/shunt ladder; returns the netlist and
+    its output node. Every node keeps a DC path to ground through the
+    series resistors, so the system is solvable at every frequency. *)
+
+val soup : Random.State.t -> Netlist.t * string
+(** A random connected soup: ladder + optional bridge + at most one
+    opamp hazard (see {!Soup}). May be genuinely singular. *)
+
+val active_chain : Random.State.t -> Netlist.t * string
+(** A random 1-3 opamp active circuit, solvable in the functional
+    configuration and built from topologies whose DFT configuration
+    views are well-posed. *)
+
+val near_singular : Random.State.t -> Netlist.t * string
+(** A ladder with extreme value spreads; solvable in exact arithmetic
+    but hostile to fixed pivot/residual thresholds. *)
+
+val generate : family -> seed:int -> subject
+(** Deterministic: the same [(family, seed)] pair always yields the
+    same subject, independent of any global RNG state. *)

@@ -1,0 +1,353 @@
+module Netlist = Circuit.Netlist
+open Testability
+
+type verdict = Pass | Fail of string | Skip of string
+
+type t = { name : string; doc : string; check : Gen.subject -> verdict }
+
+let verdict_to_string = function
+  | Pass -> "pass"
+  | Fail m -> "FAIL: " ^ m
+  | Skip m -> "skip: " ^ m
+
+(* One shared grid for every differential sweep: five decades at two
+   points per decade. Coarse on purpose — oracles compare two
+   implementations point-by-point, they do not need resolution, and a
+   fuzzing campaign runs thousands of sweeps. *)
+let grid = Grid.make ~points_per_decade:2 ~f_lo:10.0 ~f_hi:1e6 ()
+let freqs_hz = Grid.freqs_hz grid
+
+let close ?(tol = 1e-12) a b =
+  Complex.norm (Complex.sub a b) <= tol *. Float.max 1.0 (Complex.norm b)
+
+let family_of (s : Gen.subject) =
+  match String.index_opt s.label '#' with
+  | Some i -> Gen.family_of_string (String.sub s.label 0 i)
+  | None -> None
+
+let is_near_singular s = family_of s = Some Gen.Near_singular
+
+(* The independent reference path: boxed functor assembly over the
+   Complex field, solved by the general Cmat entry point. Shares no
+   code with the split-stamp planar path Fastsim uses (the assembly
+   functor predates it and is kept precisely as this reference). *)
+let reference_solve ~source netlist ~omega =
+  let module F =
+    (val Mna.Field.complex ~omega : Mna.Field.S with type t = Complex.t)
+  in
+  let module A = Mna.Assemble.Make (F) in
+  let index = Mna.Index.build netlist in
+  let { A.matrix; rhs } = A.assemble ~sources:(Mna.Assemble.Only source) index netlist in
+  (index, Linalg.Cmat.solve (Linalg.Cmat.of_arrays matrix) rhs)
+
+let reference_transfer ~source ~output netlist ~omega =
+  let index, x = reference_solve ~source netlist ~omega in
+  match Mna.Index.node index output with None -> Complex.zero | Some i -> x.(i)
+
+let reference_sweep ~source ~output netlist =
+  Array.map
+    (fun f ->
+      let omega = 2.0 *. Float.pi *. f in
+      match reference_transfer ~source ~output netlist ~omega with
+      | v -> Some v
+      | exception Linalg.Cmat.Singular -> None)
+    freqs_hz
+
+let pp_complex c = Printf.sprintf "%g%+gi" c.Complex.re c.Complex.im
+
+(* --- ac-reference: planar nominal sweep vs boxed assembly --------- *)
+
+(* Near-singular ladders spread impedances over ~12 decades; both
+   paths solve the same ill-conditioned system and each carries a
+   forward error of order kappa * eps, so cross-path agreement
+   degrades with conditioning. The relaxed envelopes stay orders of
+   magnitude below any silent-wrong-answer bug. *)
+let nominal_tol s = if is_near_singular s then 1e-6 else 1e-9
+let fault_tol s (fault : Fault.t) =
+  match (fault.Fault.kind, is_near_singular s) with
+  | Fault.Deviation _, false -> 1e-9
+  | Fault.Deviation _, true -> 1e-3
+  | _, false -> 1e-6
+  | _, true -> 1e-3
+
+let ac_reference (s : Gen.subject) =
+  match Fastsim.create ~source:s.source ~output:s.output ~freqs_hz s.netlist with
+  | exception Mna.Ac.Singular_circuit msg -> Skip ("nominal singular: " ^ msg)
+  | sim ->
+      let nominal = Fastsim.nominal sim in
+      let reference = reference_sweep ~source:s.source ~output:s.output s.netlist in
+      let tol = nominal_tol s in
+      let failure = ref None in
+      Array.iteri
+        (fun i r ->
+          if !failure = None then
+            match r with
+            | None ->
+                failure :=
+                  Some
+                    (Printf.sprintf "%g Hz: planar solvable, boxed singular"
+                       freqs_hz.(i))
+            | Some b ->
+                if not (close ~tol nominal.(i) b) then
+                  failure :=
+                    Some
+                      (Printf.sprintf "%g Hz: planar %s, boxed %s" freqs_hz.(i)
+                         (pp_complex nominal.(i)) (pp_complex b)))
+        reference;
+      (match !failure with Some m -> Fail m | None -> Pass)
+
+(* --- rank1-updates: Sherman–Morrison vs inject-and-resolve -------- *)
+
+let faults_for s =
+  (* catastrophic opens/shorts rescale one conductance by ~1e7; on a
+     near-singular ladder that pushes cross-path agreement past any
+     useful envelope, so that family checks deviations only *)
+  if is_near_singular s then Fault.both_deviations s.Gen.netlist
+  else
+    Fault.both_deviations s.Gen.netlist @ Fault.catastrophic_faults s.Gen.netlist
+
+let rank1_updates (s : Gen.subject) =
+  match Fastsim.create ~source:s.source ~output:s.output ~freqs_hz s.netlist with
+  | exception Mna.Ac.Singular_circuit msg -> Skip ("nominal singular: " ^ msg)
+  | sim ->
+      (* near-singular family: a faulted system can sit exactly at the
+         LU's relative pivot threshold, where one path legitimately
+         declares Singular and the other solves — skip those points
+         (still scanning the rest for value disagreements) instead of
+         failing on the threshold itself *)
+      let lenient_singularity = is_near_singular s in
+      let check_fault failure (fault : Fault.t) =
+        if failure <> None then failure
+        else
+          let fast = Fastsim.response sim fault in
+          let faulty = Fault.inject fault s.netlist in
+          let naive = reference_sweep ~source:s.source ~output:s.output faulty in
+          let tol = fault_tol s fault in
+          let f = ref None in
+          Array.iteri
+            (fun i fo ->
+              if !f = None then
+                match (fo, naive.(i)) with
+                | None, None -> ()
+                | Some a, Some b ->
+                    if not (close ~tol a b) then
+                      f :=
+                        Some
+                          (Printf.sprintf "%s at %g Hz: fast %s, reference %s"
+                             fault.Fault.id freqs_hz.(i) (pp_complex a)
+                             (pp_complex b))
+                | Some _, None ->
+                    if not lenient_singularity then
+                      f :=
+                        Some
+                          (Printf.sprintf
+                             "%s at %g Hz: fast solvable, reference singular"
+                             fault.Fault.id freqs_hz.(i))
+                | None, Some _ ->
+                    if not lenient_singularity then
+                      f :=
+                        Some
+                          (Printf.sprintf
+                             "%s at %g Hz: fast singular, reference solvable"
+                             fault.Fault.id freqs_hz.(i)))
+            fast;
+          !f
+      in
+      (match List.fold_left check_fault None (faults_for s) with
+      | Some m -> Fail m
+      | None -> Pass)
+
+(* --- jobs-invariance: parallel campaign = sequential campaign ----- *)
+
+(* Every subject gets a multi-view campaign: opamp circuits through
+   the real multi-configuration pipeline, passive ones through
+   per-node probe views (any view family works for Matrix.build). *)
+let campaign ~jobs (s : Gen.subject) =
+  if Netlist.opamps s.netlist <> [] then
+    let b =
+      {
+        Circuits.Benchmark.name = s.label;
+        description = "conformance fuzz subject";
+        netlist = s.netlist;
+        source = s.source;
+        output = s.output;
+        center_hz = 1_000.0;
+      }
+    in
+    (Mcdft_core.Pipeline.run ~points_per_decade:3 ~jobs b).Mcdft_core.Pipeline.matrix
+  else
+    let views =
+      List.map
+        (fun node ->
+          {
+            Matrix.label = "probe:" ^ node;
+            netlist = s.netlist;
+            probe = { Detect.source = s.source; output = node };
+          })
+        (Netlist.internal_nodes s.netlist)
+    in
+    Matrix.build ~jobs grid views (Fault.both_deviations s.netlist)
+
+let counters_excluding_parallel snap =
+  List.filter
+    (fun (name, _) ->
+      not (String.length name >= 9 && String.sub name 0 9 = "parallel."))
+    snap.Obs.Metrics.counters
+
+let jobs_invariance (s : Gen.subject) =
+  (* when the registry is live (e.g. the fuzz run itself was started
+     with --metrics) we must not reset it, so only the matrix halves of
+     the property are checked *)
+  let check_counters = not (Obs.Metrics.enabled ()) in
+  let snapshot_run jobs =
+    if check_counters then begin
+      Obs.Metrics.set_enabled true;
+      Obs.Metrics.reset ()
+    end;
+    let m = campaign ~jobs s in
+    let snap = if check_counters then Some (Obs.Metrics.snapshot ()) else None in
+    if check_counters then begin
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled false
+    end;
+    (m, snap)
+  in
+  match snapshot_run 1 with
+  | exception Mna.Ac.Singular_circuit msg ->
+      if check_counters then begin
+        Obs.Metrics.reset ();
+        Obs.Metrics.set_enabled false
+      end;
+      Skip ("a view is singular: " ^ msg)
+  | m1, snap1 -> (
+      match snapshot_run 4 with
+      | exception Mna.Ac.Singular_circuit msg ->
+          if check_counters then begin
+            Obs.Metrics.reset ();
+            Obs.Metrics.set_enabled false
+          end;
+          Fail ("jobs:4 singular where jobs:1 was not: " ^ msg)
+      | m4, snap4 ->
+          if m1.Matrix.detect <> m4.Matrix.detect then
+            Fail "detect matrices differ between jobs:1 and jobs:4"
+          else if m1.Matrix.omega <> m4.Matrix.omega then
+            Fail "omega matrices differ between jobs:1 and jobs:4"
+          else
+            let c1 = Option.map counters_excluding_parallel snap1
+            and c4 = Option.map counters_excluding_parallel snap4 in
+            if c1 <> c4 then
+              Fail "Obs.Metrics counter totals differ between jobs:1 and jobs:4"
+            else Pass)
+
+(* --- structural-vs-lu: pattern rank vs numeric factorization ------ *)
+
+let lu_solvable netlist ~omega =
+  let module F =
+    (val Mna.Field.complex ~omega : Mna.Field.S with type t = Complex.t)
+  in
+  let module A = Mna.Assemble.Make (F) in
+  let index = Mna.Index.build netlist in
+  let { A.matrix; _ } = A.assemble index netlist in
+  match Linalg.Cmat.lu_factor (Linalg.Cmat.of_arrays matrix) with
+  | _ -> true
+  | exception Linalg.Cmat.Singular -> false
+
+(* deliberately non-round frequencies: a full-rank circuit is singular
+   at a given omega only on a measure-zero set of component values, and
+   generated values are continuous draws *)
+let probe_omegas =
+  List.map (fun f -> 2.0 *. Float.pi *. f) [ 37.0; 3_700.0; 370_000.0 ]
+
+let structural_vs_lu (s : Gen.subject) =
+  let verdict = Analysis.Structural.is_singular (Analysis.Structural.analyse s.netlist) in
+  if verdict then
+    match List.find_opt (fun omega -> lu_solvable s.netlist ~omega) probe_omegas with
+    | Some omega ->
+        Fail
+          (Printf.sprintf
+             "structurally singular yet LU succeeds at omega = %g rad/s" omega)
+    | None -> Pass
+  else if is_near_singular s then
+    (* extreme value spreads can push true pivots under the LU's
+       relative threshold: the converse direction is only guaranteed
+       for exact arithmetic *)
+    Skip "full-rank converse not checked on near-singular values"
+  else
+    match List.find_opt (fun omega -> not (lu_solvable s.netlist ~omega)) probe_omegas with
+    | Some omega ->
+        Fail
+          (Printf.sprintf
+             "structurally full-rank yet LU singular at omega = %g rad/s" omega)
+    | None -> Pass
+
+(* --- cover-minimality: branch-and-bound vs exhaustive covers ------ *)
+
+let cover_minimality (s : Gen.subject) =
+  match campaign ~jobs:1 s with
+  | exception Mna.Ac.Singular_circuit msg -> Skip ("a view is singular: " ^ msg)
+  | m ->
+      let clause = Cover.Clause.of_matrix m.Matrix.detect in
+      let n_candidates = Cover.Clause.IntSet.cardinal (Cover.Clause.candidates clause) in
+      if n_candidates = 0 then Skip "no fault is detectable in any view"
+      else if n_candidates > 20 then
+        Skip (Printf.sprintf "%d candidates exceed brute-force range" n_candidates)
+      else
+        let exact = Cover.Solver.exact clause in
+        let brute = Cover.Solver.brute_force clause in
+        let greedy = Cover.Solver.greedy clause in
+        let cost = Cover.Solver.cost_of in
+        if not (Cover.Clause.is_cover clause exact) then
+          Fail "exact returned a non-cover"
+        else if not (Cover.Clause.is_cover clause brute) then
+          Fail "brute_force returned a non-cover"
+        else if not (Cover.Clause.is_cover clause greedy) then
+          Fail "greedy returned a non-cover"
+        else if cost exact <> cost brute then
+          Fail
+            (Printf.sprintf "exact cost %g <> brute-force optimum %g" (cost exact)
+               (cost brute))
+        else if cost greedy < cost brute then
+          Fail
+            (Printf.sprintf "greedy cost %g beats the exhaustive optimum %g"
+               (cost greedy) (cost brute))
+        else Pass
+
+let all =
+  [
+    {
+      name = "ac-reference";
+      doc = "planar nominal AC sweep vs boxed functor assembly + Cmat.solve";
+      check = ac_reference;
+    };
+    {
+      name = "rank1-updates";
+      doc = "Sherman-Morrison faulty responses vs inject-and-resolve reference";
+      check = rank1_updates;
+    };
+    {
+      name = "jobs-invariance";
+      doc = "campaign matrices and Obs.Metrics totals identical for jobs:1 and jobs:4";
+      check = jobs_invariance;
+    };
+    {
+      name = "structural-vs-lu";
+      doc = "structural rank verdict consistent with numeric LU factorization";
+      check = structural_vs_lu;
+    };
+    {
+      name = "cover-minimality";
+      doc = "exact/greedy covers validated against exhaustive enumeration";
+      check = cover_minimality;
+    };
+  ]
+
+let find name = List.find_opt (fun o -> o.name = name) all
+
+let run o (s : Gen.subject) =
+  if not (Netlist.mem s.netlist s.source) then Skip "source element absent"
+  else if not (List.mem s.output (Netlist.nodes s.netlist)) then
+    Skip "output node absent"
+  else
+    match o.check s with
+    | v -> v
+    | exception e -> Fail ("unexpected exception: " ^ Printexc.to_string e)

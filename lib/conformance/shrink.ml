@@ -1,0 +1,145 @@
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+
+let fails ~oracle subject =
+  match Oracle.run oracle subject with Oracle.Fail _ -> true | _ -> false
+
+(* one pass over the current elements, dropping each one whose removal
+   keeps the oracle failing; later removals see earlier ones *)
+let removal_pass ~oracle (subject : Gen.subject) =
+  List.fold_left
+    (fun (s : Gen.subject) e ->
+      let name = Element.name e in
+      if name = s.Gen.source || not (Netlist.mem s.netlist name) then s
+      else
+        let candidate = { s with Gen.netlist = Netlist.remove name s.netlist } in
+        if fails ~oracle candidate then candidate else s)
+    subject
+    (Netlist.elements subject.Gen.netlist)
+
+let round_1sig v =
+  if v = 0.0 || not (Float.is_finite v) then v
+  else
+    let e = Float.floor (Float.log10 (Float.abs v)) in
+    let scale = 10.0 ** e in
+    let r = Float.round (v /. scale) *. scale in
+    if r = 0.0 then v else r
+
+let rounding_pass ~oracle (subject : Gen.subject) =
+  List.fold_left
+    (fun (s : Gen.subject) e ->
+      let name = Element.name e in
+      match Element.value e with
+      | None -> s
+      | Some v ->
+          let r = round_1sig v in
+          if r = v then s
+          else
+            let candidate =
+              { s with Gen.netlist = Netlist.map_value ~name ~f:(fun _ -> r) s.netlist }
+            in
+            if fails ~oracle candidate then candidate else s)
+    subject
+    (Netlist.passives subject.Gen.netlist)
+
+let minimize ~oracle subject =
+  if not (fails ~oracle subject) then subject
+  else begin
+    let current = ref subject in
+    let continue = ref true in
+    while !continue do
+      let next = removal_pass ~oracle !current in
+      continue := Netlist.size next.Gen.netlist < Netlist.size !current.Gen.netlist;
+      current := next
+    done;
+    rounding_pass ~oracle !current
+  end
+
+(* --- repro fixtures ----------------------------------------------- *)
+
+type repro = {
+  label : string;
+  oracle : string;
+  message : string;
+  source : string;
+  output : string;
+  netlist : Netlist.t;
+}
+
+let slug_of label oracle_name =
+  let sanitize s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+        | _ -> '-')
+      s
+  in
+  sanitize label ^ "--" ^ sanitize oracle_name
+
+let save ~dir ~oracle ~message (subject : Gen.subject) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let slug = slug_of subject.Gen.label oracle.Oracle.name in
+  let cir_path = Filename.concat dir (slug ^ ".cir") in
+  let json_path = Filename.concat dir (slug ^ ".expected.json") in
+  Spice.Writer.to_file cir_path subject.netlist;
+  let json =
+    Report.Json.Object
+      [
+        ("label", Report.Json.String subject.label);
+        ("cir", Report.Json.String (slug ^ ".cir"));
+        ("oracle", Report.Json.String oracle.Oracle.name);
+        ("verdict", Report.Json.String "fail");
+        ("message", Report.Json.String message);
+        ("source", Report.Json.String subject.source);
+        ("output", Report.Json.String subject.output);
+        ("elements", Report.Json.int (Netlist.size subject.netlist));
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc (Report.Json.to_string ~indent:2 json);
+  output_string oc "\n";
+  close_out oc;
+  (cir_path, json_path)
+
+let load ~expected =
+  let read_all path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Report.Json.of_string (read_all expected) with
+  | Error e -> Error (Printf.sprintf "%s: bad JSON: %s" expected e)
+  | Ok json -> (
+      let str field =
+        match Report.Json.member field json with
+        | Some (Report.Json.String s) -> Ok s
+        | _ -> Error (Printf.sprintf "%s: missing string field %S" expected field)
+      in
+      let ( let* ) = Result.bind in
+      let* label = str "label" in
+      let* cir = str "cir" in
+      let* oracle = str "oracle" in
+      let* message = str "message" in
+      let* source = str "source" in
+      let* output = str "output" in
+      let cir_path = Filename.concat (Filename.dirname expected) cir in
+      match Spice.Parser.parse_file cir_path with
+      | Error e ->
+          Error (Printf.sprintf "%s: %s" cir_path (Spice.Parser.error_to_string e))
+      | Ok netlist -> Ok { label; oracle; message; source; output; netlist })
+
+let replay (r : repro) =
+  match Oracle.find r.oracle with
+  | None -> Error (Printf.sprintf "unknown oracle %S" r.oracle)
+  | Some oracle ->
+      Ok
+        (Oracle.run oracle
+           {
+             Gen.label = r.label;
+             netlist = r.netlist;
+             source = r.source;
+             output = r.output;
+           })

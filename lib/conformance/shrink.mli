@@ -1,0 +1,39 @@
+(** Greedy delta-debugging of failing subjects, and the repro fixture
+    format the fuzzer leaves behind.
+
+    A shrink step is accepted when the {e same oracle} still returns
+    [Fail] on the candidate (any failure message — the bug's exact
+    evidence may move as the circuit shrinks). Oracles [Skip] subjects
+    that stop exercising them (missing output node, singular nominal),
+    so a destructive removal is rejected automatically. *)
+
+val minimize : oracle:Oracle.t -> Gen.subject -> Gen.subject
+(** Element-removal passes to a fixpoint (never removing the driving
+    source), then one value-rounding pass snapping surviving component
+    values to one significant digit. Returns the original subject
+    unchanged when the oracle does not [Fail] on it. *)
+
+type repro = {
+  label : string;
+  oracle : string;  (** Name in the {!Oracle.all} registry. *)
+  message : string;  (** The failure message at save time. *)
+  source : string;
+  output : string;
+  netlist : Circuit.Netlist.t;
+}
+
+val save : dir:string -> oracle:Oracle.t -> message:string -> Gen.subject -> string * string
+(** Write [<slug>.cir] (SPICE netlist) and [<slug>.expected.json]
+    (oracle name, probe, failure message) under [dir], creating it if
+    needed; the slug combines the subject label and the oracle name.
+    Returns the two paths. *)
+
+val load : expected:string -> (repro, string) result
+(** Read a repro from its [.expected.json] path (the [.cir] sits next
+    to it, named by the json's ["cir"] field). *)
+
+val replay : repro -> (Oracle.verdict, string) result
+(** Re-run the repro's oracle on its netlist. [Error] when the oracle
+    name is no longer registered. A regression harness asserts the
+    verdict is [Fail] for known-bug repros — or [Pass]/[Skip] once the
+    underlying bug is fixed and the fixture is retired. *)

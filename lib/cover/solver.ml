@@ -87,6 +87,38 @@ let preprocess ~clauses =
   in
   loop clauses IntSet.empty
 
+let brute_force ?(cost = fun _ -> 1.0) (t : Clause.t) =
+  let candidates = Array.of_list (IntSet.elements (Clause.candidates t)) in
+  let k = Array.length candidates in
+  if k > 20 then
+    invalid_arg
+      (Printf.sprintf "Solver.brute_force: %d candidates (limit 20; use exact)" k);
+  let best = ref IntSet.empty and best_cost = ref infinity and found = ref false in
+  for mask = 0 to (1 lsl k) - 1 do
+    let chosen = ref IntSet.empty in
+    for i = 0 to k - 1 do
+      if mask land (1 lsl i) <> 0 then chosen := IntSet.add candidates.(i) !chosen
+    done;
+    let chosen = !chosen in
+    if Clause.is_cover t chosen then begin
+      let c = cost_of ~cost chosen in
+      let better =
+        (not !found)
+        || c < !best_cost -. 1e-12
+        || (Float.abs (c -. !best_cost) <= 1e-12
+           && List.compare Int.compare (IntSet.elements chosen)
+                (IntSet.elements !best)
+              < 0)
+      in
+      if better then begin
+        found := true;
+        best := chosen;
+        best_cost := c
+      end
+    end
+  done;
+  !best
+
 let exact ?(cost = fun _ -> 1.0) (t : Clause.t) =
   Obs.Trace.span "cover.exact" @@ fun () ->
   let best = ref None in

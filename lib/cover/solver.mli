@@ -15,4 +15,11 @@ val exact : ?cost:(int -> float) -> Clause.t -> Clause.IntSet.t
 (** A minimum-cost cover. Ties are broken deterministically (prefer
     smaller candidate indices). *)
 
+val brute_force : ?cost:(int -> float) -> Clause.t -> Clause.IntSet.t
+(** Exhaustive minimum-cost cover by subset enumeration over the
+    candidates appearing in the clauses — the conformance fuzzer's
+    reference implementation for {!exact}. Same deterministic
+    tie-break as {!exact}. Raises [Invalid_argument] beyond 20
+    candidates. *)
+
 val cost_of : ?cost:(int -> float) -> Clause.IntSet.t -> float

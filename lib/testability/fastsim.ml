@@ -301,6 +301,15 @@ let full_point_solve t fs ~al_re ~al_im ~u ~v =
    the full refactorization is worth its O(n³). *)
 let smw_tolerance = 1e-9
 
+(* Conformance-testing chaos hook: [`Smw_denominator k] scales the
+   Sherman–Morrison denominator by [k] and bypasses the residual guard
+   — the exact class of silent-wrong-answer bug the differential
+   oracles exist to catch. Skipping the guard is the point: a real
+   denominator bug shipped together with a broken guard is what makes
+   the fast path return plausible-but-wrong responses. *)
+let chaos : [ `None | `Smw_denominator of float ] Atomic.t = Atomic.make `None
+let set_chaos c = Atomic.set chaos c
+
 let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
   let al_re = alpha_g and al_im = fs.omega *. alpha_c in
   if al_re = 0.0 && al_im = 0.0 then Some (output_of t fs.x0)
@@ -309,6 +318,11 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
     let vw_re = dot_pat v w.Pvec.re and vw_im = dot_pat v w.Pvec.im in
     let den_re = 1.0 +. ((al_re *. vw_re) -. (al_im *. vw_im))
     and den_im = (al_re *. vw_im) +. (al_im *. vw_re) in
+    let chaotic, den_re, den_im =
+      match Atomic.get chaos with
+      | `None -> (false, den_re, den_im)
+      | `Smw_denominator k -> (true, den_re *. k, den_im *. k)
+    in
     if Cmat.norm2 den_re den_im <= 1e-12 then
       full_point_solve t fs ~al_re ~al_im ~u ~v
     else begin
@@ -379,6 +393,12 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
             +. (Array.unsafe_get d0im i -. ((dc_re *. wi) +. (dc_im *. wr))))
         done
       in
+      if chaotic then begin
+        Atomic.incr t.smw_solves;
+        Obs.Metrics.incr "fastsim.smw_solves";
+        Some (output_of t xf)
+      end
+      else begin
       let scale_of () = (fs.anorm *. Pvec.norm_inf xf) +. fs.bnorm +. 1e-300 in
       faulty_residual ();
       let res = Pvec.norm_inf resid in
@@ -397,6 +417,7 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
         Some (output_of t xf)
       end
       else full_point_solve t fs ~al_re ~al_im ~u ~v
+      end
     end
   end
 

@@ -64,6 +64,14 @@ val response : t -> Fault.t -> Complex.t option array
     [Singular_circuit]-per-point outcome). Raises [Not_found] when the
     fault's element is absent from the netlist, like {!Fault.inject}. *)
 
+val set_chaos : [ `None | `Smw_denominator of float ] -> unit
+(** Conformance-testing hook. [`Smw_denominator k] multiplies the
+    Sherman–Morrison update denominator by [k] {e and} bypasses the
+    residual guard, simulating the silent-wrong-answer bug class the
+    differential oracles must catch (see {!Conformance.Oracle}).
+    [`None] — the default — restores correct behaviour. Tests that
+    enable it must restore [`None] before returning. *)
+
 val stats : t -> int * int
 (** [(smw, full)]: faulty point-solves served by the rank-1 update vs
     by a full assembly/refactorization (fallbacks and structural

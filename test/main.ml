@@ -33,4 +33,6 @@ let () =
       ("influence", Test_influence.suite);
       ("json", Test_json.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("conformance", Test_conformance.suite);
+      ("exit-codes", Test_exit_codes.suite);
     ]

@@ -218,58 +218,11 @@ let test_detectability_consistency () =
 
 (* ---- structural verdict vs numeric LU ---- *)
 
-(* A random connected soup: an R/C/L ladder plus an optional bridge,
-   plus one of three "hazards" — a duplicated source (V loop), an opamp
-   with shorted inputs (zero nullor row), or a healthy feedback opamp.
-   At most ONE opamp: two ideal opamps sharing an input pair are
-   structurally full-rank yet numerically singular, which is exactly
-   the (measure-zero-valued) case the property excludes by using
-   continuous random values. *)
-let random_soup rng =
-  let open QCheck.Gen in
-  let stages = 1 + int_bound 3 rng in
-  let netlist =
-    ref (Netlist.empty ~title:"soup" () |> Netlist.vsource ~name:"V1" "n0" "0" 1.0)
-  in
-  for k = 1 to stages do
-    let prev = Printf.sprintf "n%d" (k - 1) and here = Printf.sprintf "n%d" k in
-    let mag lo = lo *. (10.0 ** float_range 0.0 2.0 rng) in
-    netlist := Netlist.resistor ~name:(Printf.sprintf "RS%d" k) prev here (mag 100.0) !netlist;
-    netlist :=
-      (match int_bound 2 rng with
-      | 0 -> Netlist.resistor ~name:(Printf.sprintf "RP%d" k) here "0" (mag 100.0)
-      | 1 -> Netlist.capacitor ~name:(Printf.sprintf "CP%d" k) here "0" (mag 1e-9)
-      | _ -> Netlist.inductor ~name:(Printf.sprintf "LP%d" k) here "0" (mag 1e-4))
-        !netlist
-  done;
-  let node k = Printf.sprintf "n%d" k in
-  (if int_bound 2 rng = 0 then
-     let a = int_bound stages rng and b = int_bound stages rng in
-     if a <> b then
-       netlist :=
-         Netlist.resistor ~name:"RB" (node a) (node b)
-           (100.0 *. (10.0 ** QCheck.Gen.float_range 0.0 2.0 rng))
-           !netlist);
-  (match int_bound 5 rng with
-  | 0 ->
-      (* V loop: second source in parallel with V1 *)
-      netlist := Netlist.vsource ~name:"V2" "n0" "0" 1.0 !netlist
-  | 1 ->
-      (* nullor with both inputs on one node: zero row *)
-      let m = node (int_bound stages rng) in
-      netlist :=
-        !netlist
-        |> Netlist.opamp ~name:"OP1" ~inp:m ~inn:m ~out:"oo"
-        |> Netlist.resistor ~name:"RF" "oo" m 1_000.0
-  | 2 ->
-      (* healthy inverting stage around a ladder node *)
-      let m = node (int_bound stages rng) in
-      netlist :=
-        !netlist
-        |> Netlist.opamp ~name:"OP1" ~inp:"0" ~inn:m ~out:"oo"
-        |> Netlist.resistor ~name:"RF" "oo" m (1_000.0 *. (1.0 +. float_range 0.0 9.0 rng))
-  | _ -> ());
-  !netlist
+(* A random connected soup — ladder + optional bridge + at most one
+   opamp/source hazard. The generator lives in Conformance.Gen (the
+   fuzzer's Soup family); see its doc for why at most ONE opamp is
+   allowed in the hazard set. *)
+let random_soup rng = fst (Conformance.Gen.soup rng)
 
 let numerically_solvable netlist ~omega =
   let module F = (val Mna.Field.complex ~omega) in

@@ -1,0 +1,73 @@
+(* Table-driven check of the documented CLI exit-code contract, driven
+   against the real binary and real fixtures:
+
+     0  success
+     1  invalid input (unknown benchmark, bad flag value)
+     3  singular system reached the solver
+     4  unknown fault element
+     5  file i/o error
+     6  netlist rejected by the pre-flight lint
+
+   The distinction between 3 and 6 is load-bearing: a structurally
+   detectable defect (voltage-source loop) must be caught by the lint
+   before any matrix is built, while a numerically singular but
+   structurally full-rank netlist (fixtures/singular_vcvs.cir) must
+   sail through the lint and fail in the LU. *)
+
+let mcdft_exe = "../bin/mcdft.exe"
+
+let exit_code cmd =
+  Sys.command (Printf.sprintf "%s %s > /dev/null 2>&1" mcdft_exe cmd)
+
+let table =
+  [
+    ("list", "list", 0);
+    ("tf on a benchmark", "tf tow-thomas", 0);
+    ("unknown benchmark", "tf no-such-benchmark", 1);
+    ( "numerically singular netlist",
+      "tf fixtures/singular_vcvs.cir --output y",
+      3 );
+    ( "unknown fault element",
+      "analyze tow-thomas --fault-element RZZZ --points-per-decade 2",
+      4 );
+    (* a path that exists but cannot be read as a netlist file; a
+       *missing* .cir path falls through to benchmark lookup (exit 1) *)
+    ("unreadable netlist path", "tf fixtures", 5);
+    ("missing netlist path is an unknown benchmark", "tf no/such/file.cir", 1);
+    ("lint-rejected netlist", "tf fixtures/vloop.cir", 6);
+  ]
+
+let test_exit_codes () =
+  Alcotest.(check bool)
+    "binary present at ../bin/mcdft.exe" true (Sys.file_exists mcdft_exe);
+  List.iter
+    (fun (what, cmd, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s (`mcdft %s`)" what cmd)
+        expected (exit_code cmd))
+    table
+
+let test_fuzz_exit_codes () =
+  (* healthy campaign exits 0; a replay of a checked-in repro on the
+     healthy engine exits 1 ("no longer reproduces") *)
+  Alcotest.(check int) "fuzz healthy campaign" 0
+    (exit_code "fuzz --seed 7 --cases 4 --shrink-dir tmp_exit_repros");
+  if Sys.file_exists "tmp_exit_repros" then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat "tmp_exit_repros" f))
+      (Sys.readdir "tmp_exit_repros");
+    Sys.rmdir "tmp_exit_repros"
+  end;
+  Alcotest.(check int) "replay on healthy engine" 1
+    (exit_code
+       "fuzz --replay fixtures/shrunk/ladder-0--rank1-updates.expected.json");
+  Alcotest.(check int) "replay of a missing repro is an i/o error" 5
+    (exit_code "fuzz --replay fixtures/shrunk/nope.expected.json")
+
+let suite =
+  [
+    Alcotest.test_case "documented exit codes hold against fixtures" `Quick
+      test_exit_codes;
+    Alcotest.test_case "fuzz subcommand exit codes" `Quick
+      test_fuzz_exit_codes;
+  ]

@@ -143,6 +143,79 @@ let test_trace_spans_and_export () =
               Alcotest.(check int) "traceEvents length" 3 (List.length evs)
           | _ -> Alcotest.fail "traceEvents array missing"))
 
+(* Concurrent emitters: spans opened on different domains must land on
+   different lanes (tids), keep their per-lane nesting, and still
+   export one valid Chrome document. A barrier keeps all workers alive
+   simultaneously so their domain ids cannot be reused. *)
+let test_trace_concurrent_emitters () =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      let workers = 4 and rounds = 5 in
+      let ready = Atomic.make 0 in
+      let domains =
+        List.init workers (fun w ->
+            Domain.spawn (fun () ->
+                Atomic.incr ready;
+                while Atomic.get ready < workers do Domain.cpu_relax () done;
+                for k = 1 to rounds do
+                  Trace.span
+                    (Printf.sprintf "outer.%d.%d" w k)
+                    (fun () ->
+                      Trace.span (Printf.sprintf "inner.%d.%d" w k) (fun () ->
+                          ignore (Sys.opaque_identity (k * k))))
+                done))
+      in
+      List.iter Domain.join domains;
+      let events = Trace.events () in
+      Alcotest.(check int) "outer+inner per round per worker"
+        (workers * rounds * 2)
+        (List.length events);
+      let tids = List.sort_uniq compare (List.map (fun e -> e.Trace.tid) events) in
+      Alcotest.(check int) "one lane per live domain" workers (List.length tids);
+      (* per lane: every inner span sits inside an outer span's window
+         of the same lane, and lanes never mix workers *)
+      List.iter
+        (fun e ->
+          let is_inner = String.length e.Trace.name >= 6 && String.sub e.Trace.name 0 6 = "inner." in
+          if is_inner then begin
+            let outer_name = "outer." ^ String.sub e.Trace.name 6 (String.length e.Trace.name - 6) in
+            match List.find_opt (fun o -> o.Trace.name = outer_name) events with
+            | None -> Alcotest.failf "%s has no matching outer span" e.Trace.name
+            | Some o ->
+                Alcotest.(check int)
+                  (e.Trace.name ^ " shares its outer's lane")
+                  o.Trace.tid e.Trace.tid;
+                (* 0.5µs slack: clock reads share ticks at the µs
+                   resolution of gettimeofday and ts+dur re-rounds *)
+                Alcotest.(check bool)
+                  (e.Trace.name ^ " nested in its outer's window")
+                  true
+                  (o.Trace.ts_us <= e.Trace.ts_us +. 0.5
+                  && e.Trace.ts_us +. e.Trace.dur_us
+                     <= o.Trace.ts_us +. o.Trace.dur_us +. 0.5)
+          end)
+        events;
+      (* events are globally sorted by start time *)
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a.Trace.ts_us <= b.Trace.ts_us && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "events sorted by start time" true (sorted events);
+      match Report.Json.of_string (Trace.export_chrome ()) with
+      | Error msg -> Alcotest.fail ("export is not valid JSON: " ^ msg)
+      | Ok doc -> (
+          match Report.Json.member "traceEvents" doc with
+          | Some (Report.Json.List evs) ->
+              Alcotest.(check int) "all spans exported"
+                (workers * rounds * 2)
+                (List.length evs)
+          | _ -> Alcotest.fail "traceEvents array missing"))
+
 let test_trace_disabled_noop () =
   Trace.reset ();
   Trace.set_enabled false;
@@ -164,6 +237,8 @@ let suite =
       test_fastsim_stats_mirror;
     Alcotest.test_case "trace spans nest and export as Chrome JSON" `Quick
       test_trace_spans_and_export;
+    Alcotest.test_case "trace lanes stay nested under concurrent emitters"
+      `Quick test_trace_concurrent_emitters;
     Alcotest.test_case "trace disabled is a no-op" `Quick
       test_trace_disabled_noop;
   ]

@@ -1,45 +1,13 @@
 (* Property tests on randomly generated circuits: the numeric AC
    engine, the symbolic engine, the SPICE round-trip and the adjoint
-   sensitivities must all agree on arbitrary RC(L) ladder networks. *)
+   sensitivities must all agree on arbitrary RC(L) ladder networks.
+   The generator lives in Conformance.Gen (the fuzzer's Ladder family)
+   so these properties and the differential oracles explore the same
+   topology space. *)
 
 module Netlist = Circuit.Netlist
 
-(* A random N-stage ladder: series element then shunt element per
-   stage, mixing R, C and (occasionally) L. Always solvable: every
-   node has a DC path to ground through the series resistors. *)
-let random_ladder rng =
-  let stages = 1 + QCheck.Gen.int_bound 4 rng in
-  let netlist =
-    ref
-      (Netlist.empty ~title:"random ladder" ()
-      |> Netlist.vsource ~name:"V1" "n0" "0" 1.0)
-  in
-  for k = 1 to stages do
-    let prev = Printf.sprintf "n%d" (k - 1) in
-    let here = Printf.sprintf "n%d" k in
-    let r = 100.0 *. (10.0 ** QCheck.Gen.float_range 0.0 2.0 rng) in
-    netlist := Netlist.resistor ~name:(Printf.sprintf "RS%d" k) prev here r !netlist;
-    (* shunt: resistor, capacitor or inductor *)
-    let shunt = QCheck.Gen.int_bound 2 rng in
-    let name_r = Printf.sprintf "RP%d" k
-    and name_c = Printf.sprintf "CP%d" k
-    and name_l = Printf.sprintf "LP%d" k in
-    netlist :=
-      (match shunt with
-      | 0 ->
-          Netlist.resistor ~name:name_r here "0"
-            (100.0 *. (10.0 ** QCheck.Gen.float_range 0.0 2.0 rng))
-            !netlist
-      | 1 ->
-          Netlist.capacitor ~name:name_c here "0"
-            (1e-9 *. (10.0 ** QCheck.Gen.float_range 0.0 2.0 rng))
-            !netlist
-      | _ ->
-          Netlist.inductor ~name:name_l here "0"
-            (1e-4 *. (10.0 ** QCheck.Gen.float_range 0.0 2.0 rng))
-            !netlist)
-  done;
-  (!netlist, Printf.sprintf "n%d" stages)
+let random_ladder = Conformance.Gen.ladder
 
 let gen_seed = QCheck.make QCheck.Gen.(int_bound 1_000_000)
 

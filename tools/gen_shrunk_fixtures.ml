@@ -1,0 +1,50 @@
+(* Regenerates the checked-in repro fixtures under test/fixtures/shrunk/.
+
+   The fixtures capture what the fuzzer leaves behind when a real
+   silent-wrong-answer bug is present: we re-inject the Sherman-Morrison
+   denominator-guard bug through the Fastsim chaos hook, let the
+   rank1-updates oracle catch it on three different topology families,
+   shrink each failure, and persist the (netlist, expected-oracle)
+   pairs. The regression suite replays them with the bug absent (must
+   pass) and re-injected (must fail again).
+
+   Usage: dune exec tools/gen_shrunk_fixtures.exe -- [DIR]
+   (DIR defaults to test/fixtures/shrunk) *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/fixtures/shrunk" in
+  let oracle =
+    match Conformance.Oracle.find "rank1-updates" with
+    | Some o -> o
+    | None -> failwith "rank1-updates oracle missing"
+  in
+  Testability.Fastsim.set_chaos (`Smw_denominator 1.25);
+  Fun.protect
+    ~finally:(fun () -> Testability.Fastsim.set_chaos `None)
+    (fun () ->
+      let families =
+        [ Conformance.Gen.Ladder; Conformance.Gen.Active_chain; Conformance.Gen.Near_singular ]
+      in
+      List.iter
+        (fun family ->
+          (* first seed whose subject trips the oracle under the bug *)
+          let rec hunt seed =
+            if seed > 99 then
+              failwith
+                (Printf.sprintf "no failing %s subject in seeds 0..99"
+                   (Conformance.Gen.family_name family))
+            else
+              let subject = Conformance.Gen.generate family ~seed in
+              match Conformance.Oracle.run oracle subject with
+              | Conformance.Oracle.Fail message -> (subject, message)
+              | _ -> hunt (seed + 1)
+          in
+          let subject, message = hunt 0 in
+          let shrunk = Conformance.Shrink.minimize ~oracle subject in
+          let cir, json = Conformance.Shrink.save ~dir ~oracle ~message shrunk in
+          Printf.printf "%s: %d -> %d elements\n  %s\n  %s\n"
+            subject.Conformance.Gen.label
+            (Circuit.Netlist.size subject.Conformance.Gen.netlist)
+            (Circuit.Netlist.size shrunk.Conformance.Gen.netlist)
+            cir json)
+        families)
