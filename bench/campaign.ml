@@ -7,12 +7,14 @@
    Every case is swept over jobs ∈ {1, 2, 4} — including smoke mode —
    so each report carries the parallel-scaling picture next to the
    absolute numbers: speedup = t(jobs=1)/t(jobs=n) and efficiency =
-   speedup/jobs for the same circuit and grid. On a machine with fewer
-   cores than requested workers the jobs clamp in Util.Parallel makes
-   the extra rows degenerate to the jobs=1 schedule, so efficiency
-   reads as 1/jobs there — still worth printing, because a clamped run
-   that is *slower* than jobs=1 is exactly the oversubscription bug
-   the clamp exists to prevent (and the --baseline gate fails on it).
+   speedup/effective_jobs for the same circuit and grid, where
+   effective_jobs is the worker count after Util.Parallel's hardware
+   clamp. On a machine with fewer cores than requested workers the
+   clamp makes the extra rows degenerate to a smaller schedule;
+   normalizing by the clamped count keeps the efficiency column about
+   the engine rather than the runner — and a clamped run that is
+   *slower* than jobs=1 is exactly the oversubscription bug the clamp
+   exists to prevent (the --baseline gate fails on it).
 
    Each case is timed twice: once with the observability sinks
    disabled (the headline number — instrumentation must be free when
@@ -52,6 +54,7 @@ let counter_columns =
     "fastsim.wcache_misses";
     "mna.fills";
     "parallel.chunks";
+    "parallel.steals";
   ]
 
 let jobs_sweep = [ 1; 2; 4 ]
@@ -87,7 +90,9 @@ let rows ~smoke () =
           Gc.full_major ();
           Obs.Metrics.reset ();
           Obs.Metrics.set_enabled true;
+          let gc0 = Gc.quick_stat () in
           let seconds_metrics_on = time_s run in
+          let gc1 = Gc.quick_stat () in
           Obs.Metrics.set_enabled false;
           let snap = Obs.Metrics.snapshot () in
           Obs.Metrics.reset ();
@@ -101,20 +106,39 @@ let rows ~smoke () =
             seconds;
             seconds_metrics_on;
             counters =
-              List.map (fun c -> (c, Obs.Metrics.counter snap c)) counter_columns;
+              List.map (fun c -> (c, Obs.Metrics.counter snap c)) counter_columns
+              (* GC activity of the metrics-on run (the calling
+                 domain's view): with the off-heap solver state, a
+                 warmed campaign should barely move these. *)
+              @ [
+                  ( "gc.minor_words",
+                    int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words) );
+                  ( "gc.major_collections",
+                    gc1.Gc.major_collections - gc0.Gc.major_collections );
+                ];
           })
         jobs_sweep)
     cases
 
 (* Parallel efficiency of a row against its jobs=1 sibling in the same
-   sweep: speedup/jobs, where speedup = t(jobs=1)/t(this row). [None]
-   when the sweep has no jobs=1 sibling or its timing is degenerate. *)
+   sweep: speedup/effective_jobs, where speedup = t(jobs=1)/t(this
+   row) and effective_jobs is the worker count the scheduler really
+   ran after the hardware clamp (Util.Parallel.effective_jobs).
+   Normalizing by the requested count would report 1/jobs on any
+   machine with fewer cores than requested — a statement about the
+   runner, not the engine. Normalizing by the clamped count makes the
+   metric machine-honest: on a big machine it is the classic
+   speedup/jobs; on a small one a clamped row measures pure scheduling
+   overhead and should sit near 1.0. [None] when the sweep has no
+   jobs=1 sibling or its timing is degenerate. *)
 let efficiency rows r =
   match
     List.find_opt (fun r1 -> r1.case = r.case && r1.jobs = 1) rows
   with
   | Some r1 when r.seconds > 0.0 && r1.seconds > 0.0 ->
-      Some (r1.seconds /. r.seconds /. float_of_int r.jobs)
+      Some
+        (r1.seconds /. r.seconds
+        /. float_of_int (Util.Parallel.effective_jobs r.jobs))
   | _ -> None
 
 let print_rows rows =
@@ -122,7 +146,7 @@ let print_rows rows =
   let header =
     [
       "campaign"; "time (s)"; "metrics on (s)"; "speedup"; "eff"; "smw"; "full";
-      "chunks";
+      "chunks"; "steals"; "gc minor words";
     ]
   in
   let printable =
@@ -132,7 +156,8 @@ let print_rows rows =
         let speedup, eff =
           match efficiency rows r with
           | Some e ->
-              ( Printf.sprintf "%.2fx" (e *. float_of_int r.jobs),
+              ( Printf.sprintf "%.2fx"
+                  (e *. float_of_int (Util.Parallel.effective_jobs r.jobs)),
                 Printf.sprintf "%.2f" e )
           | None -> ("-", "-")
         in
@@ -145,6 +170,8 @@ let print_rows rows =
           c "fastsim.smw_solves";
           c "fastsim.full_solves";
           c "parallel.chunks";
+          c "parallel.steals";
+          c "gc.minor_words";
         ])
       rows
   in

@@ -16,7 +16,13 @@
    entry fails the process — the observability layer must stay free
    when disabled. The same flag also gates worker scaling within the
    fresh run: a jobs>1 row slower than its jobs=1 sibling (same
-   slack) fails, so oversubscription regressions cannot land. *)
+   slack) fails, so oversubscription regressions cannot land; and a
+   jobs>1 row whose parallel efficiency falls more than 0.15 below
+   the baseline's recorded campaign_parallel_efficiency fails, so
+   scheduler/scaling regressions cannot land either. The efficiency
+   gate only arms when the hardware clamp leaves more than one worker
+   (Util.Parallel.effective_jobs) — on a single-core runner the
+   efficiency column measures scheduling overhead, not scaling. *)
 
 let today () =
   let tm = Unix.localtime (Unix.time ()) in
@@ -141,6 +147,42 @@ let check_baseline path campaign =
     fail
       ("worker scaling regressed (jobs>1 slower than jobs=1)\n  "
       ^ String.concat "\n  " scaling_regressions);
+  (* Parallel-efficiency floor: fresh jobs>1 rows must stay within an
+     absolute allowance of the baseline's recorded efficiency. Armed
+     only when the hardware clamp actually grants extra workers —
+     clamped rows measure scheduling overhead, not scaling, and their
+     efficiency is noise around 1.0. The allowance is absolute (not
+     relative) because efficiency already is a ratio; 0.15 absorbs
+     shared-runner timing noise on both the jobs=1 and jobs=n
+     measurements. *)
+  let baseline_efficiency label =
+    match Report.Json.member "campaign_parallel_efficiency" doc with
+    | Some (Report.Json.Object rows) -> (
+        match List.assoc_opt label rows with
+        | Some (Report.Json.Number e) -> Some e
+        | _ -> None)
+    | _ -> None
+  in
+  let efficiency_allowance = 0.15 in
+  let efficiency_regressions =
+    List.filter_map
+      (fun r ->
+        if r.Campaign.jobs <= 1 || Util.Parallel.effective_jobs r.Campaign.jobs <= 1
+        then None
+        else
+          match (baseline_efficiency r.Campaign.label, Campaign.efficiency campaign r)
+          with
+          | Some base, Some fresh when fresh < base -. efficiency_allowance ->
+              Some
+                (Printf.sprintf "%s: efficiency %.2f vs baseline %.2f (floor %.2f)"
+                   r.Campaign.label fresh base (base -. efficiency_allowance))
+          | _ -> None)
+      campaign
+  in
+  if efficiency_regressions <> [] then
+    fail
+      ("parallel efficiency regressed below the baseline floor\n  "
+      ^ String.concat "\n  " efficiency_regressions);
   Printf.printf "baseline check: ok (%s)\n" path
 
 let () =

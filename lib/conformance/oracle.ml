@@ -280,6 +280,58 @@ let structural_vs_lu (s : Gen.subject) =
              "structurally full-rank yet LU singular at omega = %g rad/s" omega)
     | None -> Pass
 
+(* --- block-backsolve: blocked campaign scoring vs per-fault path -- *)
+
+(* Matrix.build scores through immutable plans, planar response rows
+   and multi-RHS block back-solves on a warmed engine; analyze_prepared
+   on an unwarmed view boxes one response per fault and fills its
+   cache through single-column solves. The block kernel promises
+   bitwise equality with scalar solves, so the two paths must agree
+   exactly — every detect verdict and every omega measure, not just
+   within tolerance. *)
+let block_backsolve (s : Gen.subject) =
+  let faults = Fault.both_deviations s.netlist @ Fault.catastrophic_faults s.netlist in
+  let views =
+    List.map
+      (fun node ->
+        {
+          Matrix.label = "probe:" ^ node;
+          netlist = s.netlist;
+          probe = { Detect.source = s.source; output = node };
+        })
+      (Netlist.internal_nodes s.netlist)
+  in
+  if views = [] || faults = [] then Skip "no views or no faults to score"
+  else
+    match Matrix.build ~jobs:1 grid views faults with
+    | exception Mna.Ac.Singular_circuit msg -> Skip ("a view is singular: " ^ msg)
+    | m ->
+        let failure = ref None in
+        List.iteri
+          (fun i v ->
+            if !failure = None then
+              let pv = Detect.prepare_view v.Matrix.probe grid v.Matrix.netlist in
+              List.iteri
+                (fun j fault ->
+                  if !failure = None then begin
+                    let r = Detect.analyze_prepared pv grid fault in
+                    if r.Detect.detectable <> m.Matrix.detect.(i).(j) then
+                      failure :=
+                        Some
+                          (Printf.sprintf "%s / %s: detect verdicts differ"
+                             v.Matrix.label fault.Fault.id)
+                    else if r.Detect.omega_det <> m.Matrix.omega.(i).(j) then
+                      failure :=
+                        Some
+                          (Printf.sprintf
+                             "%s / %s: per-fault omega %.17g, blocked %.17g"
+                             v.Matrix.label fault.Fault.id r.Detect.omega_det
+                             m.Matrix.omega.(i).(j))
+                  end)
+                faults)
+          views;
+        (match !failure with Some msg -> Fail msg | None -> Pass)
+
 (* --- cover-minimality: branch-and-bound vs exhaustive covers ------ *)
 
 let cover_minimality (s : Gen.subject) =
@@ -328,6 +380,11 @@ let all =
       name = "jobs-invariance";
       doc = "campaign matrices and Obs.Metrics totals identical for jobs:1 and jobs:4";
       check = jobs_invariance;
+    };
+    {
+      name = "block-backsolve";
+      doc = "blocked matrix scoring bitwise-equal to per-fault analyze_prepared";
+      check = block_backsolve;
     };
     {
       name = "structural-vs-lu";

@@ -455,3 +455,451 @@ let pp ppf m =
     done;
     Format.fprintf ppf " ]@."
   done
+
+(* ---- off-heap planar kernels -------------------------------------
+
+   Same split re/im layout and bit-identical arithmetic as the float
+   array kernels above, but the planes live in Bigarray storage outside
+   the OCaml heap. A [float array] is already unboxed, yet it still
+   sits on the major heap: every campaign worker's live numeric state
+   adds to the marking work of each GC cycle, and under OCaml 5 every
+   stop-the-world minor collection synchronizes all domains. Bigarray
+   planes are invisible to the GC — a warmed campaign's numeric state
+   contributes nothing to collection, so the domains have nothing to
+   stop the world for. The float-array path above is kept verbatim as
+   the differential reference; every [Big] kernel must match it
+   bitwise (same formulas, same loop order, same pivot decisions). *)
+
+module Big = struct
+  open Bigarray
+
+  type plane = (float, float64_elt, c_layout) Array1.t
+
+  let plane len : plane =
+    let p = Array1.create Float64 C_layout len in
+    Array1.fill p 0.0;
+    p
+
+  module Vec = struct
+    type t = { re : plane; im : plane }
+
+    let create n = { re = plane n; im = plane n }
+    let length v = Array1.dim v.re
+
+    let get v i =
+      let re = Array1.get v.re i and im = Array1.get v.im i in
+      Complex.{ re; im }
+
+    let set v i (z : Complex.t) =
+      Array1.set v.re i z.Complex.re;
+      Array1.set v.im i z.Complex.im
+
+    let fill_zero v =
+      Array1.fill v.re 0.0;
+      Array1.fill v.im 0.0
+
+    let blit ~src ~dst =
+      Array1.blit src.re dst.re;
+      Array1.blit src.im dst.im
+
+    let of_complex (x : Complex.t array) =
+      let v = create (Array.length x) in
+      Array.iteri (fun i z -> set v i z) x;
+      v
+
+    let to_complex v = Array.init (length v) (fun i -> get v i)
+
+    let of_pvec (p : Pvec.t) =
+      let n = Pvec.length p in
+      let v = create n in
+      for i = 0 to n - 1 do
+        Array1.unsafe_set v.re i (Array.unsafe_get p.Pvec.re i);
+        Array1.unsafe_set v.im i (Array.unsafe_get p.Pvec.im i)
+      done;
+      v
+
+    let to_pvec v =
+      let n = length v in
+      let p = Pvec.create n in
+      for i = 0 to n - 1 do
+        Array.unsafe_set p.Pvec.re i (Array1.unsafe_get v.re i);
+        Array.unsafe_set p.Pvec.im i (Array1.unsafe_get v.im i)
+      done;
+      p
+
+    let norm_inf v =
+      let vre = v.re and vim = v.im in
+      let acc = ref 0.0 in
+      for i = 0 to Array1.dim vre - 1 do
+        let m = norm2 (Array1.unsafe_get vre i) (Array1.unsafe_get vim i) in
+        if m > !acc then acc := m
+      done;
+      !acc
+  end
+
+  type mat = { nrows : int; ncols : int; re : plane; im : plane }
+  type nonrec t = mat
+
+  let create nrows ncols =
+    if nrows < 0 || ncols < 0 then invalid_arg "Cmat.Big.create: negative dimension";
+    let len = nrows * ncols in
+    { nrows; ncols; re = plane len; im = plane len }
+
+  let rows m = m.nrows
+  let cols m = m.ncols
+
+  let check_bounds m i j =
+    if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then
+      invalid_arg
+        (Printf.sprintf "Cmat.Big: index (%d, %d) out of bounds for %dx%d" i j m.nrows
+           m.ncols)
+
+  let get m i j =
+    check_bounds m i j;
+    let k = (i * m.ncols) + j in
+    let re = Array1.get m.re k and im = Array1.get m.im k in
+    Complex.{ re; im }
+
+  let set m i j (v : Complex.t) =
+    check_bounds m i j;
+    let k = (i * m.ncols) + j in
+    Array1.set m.re k v.Complex.re;
+    Array1.set m.im k v.Complex.im
+
+  let add_to m i j (v : Complex.t) =
+    check_bounds m i j;
+    let k = (i * m.ncols) + j in
+    Array1.set m.re k (Array1.get m.re k +. v.Complex.re);
+    Array1.set m.im k (Array1.get m.im k +. v.Complex.im)
+
+  let blit ~src ~dst =
+    if src.nrows <> dst.nrows || src.ncols <> dst.ncols then
+      invalid_arg "Cmat.Big.blit: dimension mismatch";
+    Array1.blit src.re dst.re;
+    Array1.blit src.im dst.im
+
+  let copy m =
+    let r = create m.nrows m.ncols in
+    blit ~src:m ~dst:r;
+    r
+
+  let fill_parts m ~re ~im_scale ~im =
+    let len = m.nrows * m.ncols in
+    if Array.length re <> len || Array.length im <> len then
+      invalid_arg "Cmat.Big.fill_parts: part length mismatch";
+    let dre = m.re and dim = m.im in
+    for k = 0 to len - 1 do
+      Array1.unsafe_set dre k (Array.unsafe_get re k);
+      Array1.unsafe_set dim k (im_scale *. Array.unsafe_get im k)
+    done
+
+  let col_into m ~c (v : Vec.t) =
+    if c < 0 || c >= m.ncols || Vec.length v <> m.nrows then
+      invalid_arg "Cmat.Big.col_into: dimension mismatch";
+    let nc = m.ncols in
+    for i = 0 to m.nrows - 1 do
+      Array1.unsafe_set v.Vec.re i (Array1.unsafe_get m.re ((i * nc) + c));
+      Array1.unsafe_set v.Vec.im i (Array1.unsafe_get m.im ((i * nc) + c))
+    done
+
+  let norm_inf m =
+    let acc = ref 0.0 in
+    for i = 0 to m.nrows - 1 do
+      let row = i * m.ncols in
+      let row_sum = ref 0.0 in
+      for j = 0 to m.ncols - 1 do
+        row_sum :=
+          !row_sum
+          +. norm2 (Array1.unsafe_get m.re (row + j)) (Array1.unsafe_get m.im (row + j))
+      done;
+      if !row_sum > !acc then acc := !row_sum
+    done;
+    !acc
+
+  (* y <- A x on the off-heap planes, zero visible allocation. *)
+  let mul_vec_into a ~(x : Vec.t) ~(y : Vec.t) =
+    if a.ncols <> Vec.length x || a.nrows <> Vec.length y then
+      invalid_arg "Cmat.Big.mul_vec_into: dimension mismatch";
+    let nc = a.ncols in
+    let mre = a.re and mim = a.im in
+    let xre = x.Vec.re and xim = x.Vec.im in
+    for i = 0 to a.nrows - 1 do
+      let row = i * nc in
+      let acc_re = ref 0.0 and acc_im = ref 0.0 in
+      for k = 0 to nc - 1 do
+        let are = Array1.unsafe_get mre (row + k)
+        and aim = Array1.unsafe_get mim (row + k)
+        and vre = Array1.unsafe_get xre k
+        and vim = Array1.unsafe_get xim k in
+        acc_re := !acc_re +. ((are *. vre) -. (aim *. vim));
+        acc_im := !acc_im +. ((are *. vim) +. (aim *. vre))
+      done;
+      Array1.unsafe_set y.Vec.re i !acc_re;
+      Array1.unsafe_set y.Vec.im i !acc_im
+    done
+
+  (* The LU workspace owns its factor storage, so a sweep reuses one
+     workspace across every frequency point instead of allocating a
+     fresh factor per factorization (the float-array [lu_factor] copies
+     its input each call). *)
+  type lu = { mat : mat; perm : int array; mutable sign : int }
+
+  let lu_create n = { mat = create n n; perm = Array.make (Int.max n 1) 0; sign = 1 }
+  let lu_dim lu = lu.mat.nrows
+
+  (* Identical algorithm to the float-array [lu_factor] above: same
+     scale norm, same growth-aware threshold, same pivot comparisons,
+     same Smith division — bitwise-equal factors and the same Singular
+     verdicts, with the storage off-heap. *)
+  let lu_factor_into ws a =
+    if a.nrows <> a.ncols then invalid_arg "Cmat.Big.lu_factor_into: non-square matrix";
+    if ws.mat.nrows <> a.nrows then
+      invalid_arg "Cmat.Big.lu_factor_into: workspace dimension mismatch";
+    let n = a.nrows in
+    blit ~src:a ~dst:ws.mat;
+    let dre = ws.mat.re and dim = ws.mat.im in
+    let perm = ws.perm in
+    for i = 0 to n - 1 do
+      perm.(i) <- i
+    done;
+    let sign = ref 1 in
+    let scale_norm = ref 0.0 in
+    for k = 0 to (n * n) - 1 do
+      let v = norm2 (Array1.unsafe_get dre k) (Array1.unsafe_get dim k) in
+      if v > !scale_norm then scale_norm := v
+    done;
+    let tiny = 1e-300 +. (!scale_norm *. float_of_int n *. 4.0 *. epsilon_float) in
+    for k = 0 to n - 1 do
+      let pivot_row = ref k
+      and pivot_mag =
+        ref
+          (norm2
+             (Array1.unsafe_get dre ((k * n) + k))
+             (Array1.unsafe_get dim ((k * n) + k)))
+      in
+      for i = k + 1 to n - 1 do
+        let mag =
+          norm2
+            (Array1.unsafe_get dre ((i * n) + k))
+            (Array1.unsafe_get dim ((i * n) + k))
+        in
+        if mag > !pivot_mag then begin
+          pivot_mag := mag;
+          pivot_row := i
+        end
+      done;
+      if !pivot_mag <= tiny then raise Singular;
+      if !pivot_row <> k then begin
+        sign := - !sign;
+        let p = !pivot_row in
+        let rk = k * n and rp = p * n in
+        for j = 0 to n - 1 do
+          let tr = Array1.unsafe_get dre (rk + j) in
+          Array1.unsafe_set dre (rk + j) (Array1.unsafe_get dre (rp + j));
+          Array1.unsafe_set dre (rp + j) tr;
+          let ti = Array1.unsafe_get dim (rk + j) in
+          Array1.unsafe_set dim (rk + j) (Array1.unsafe_get dim (rp + j));
+          Array1.unsafe_set dim (rp + j) ti
+        done;
+        let tmp = perm.(k) in
+        perm.(k) <- perm.(p);
+        perm.(p) <- tmp
+      end;
+      let rk = k * n in
+      let p_re = Array1.unsafe_get dre (rk + k)
+      and p_im = Array1.unsafe_get dim (rk + k) in
+      for i = k + 1 to n - 1 do
+        let ri = i * n in
+        let a_re = Array1.unsafe_get dre (ri + k)
+        and a_im = Array1.unsafe_get dim (ri + k) in
+        if Float.abs p_re >= Float.abs p_im then begin
+          let r = p_im /. p_re in
+          let d = p_re +. (r *. p_im) in
+          Array1.unsafe_set dre (ri + k) ((a_re +. (r *. a_im)) /. d);
+          Array1.unsafe_set dim (ri + k) ((a_im -. (r *. a_re)) /. d)
+        end
+        else begin
+          let r = p_re /. p_im in
+          let d = p_im +. (r *. p_re) in
+          Array1.unsafe_set dre (ri + k) (((r *. a_re) +. a_im) /. d);
+          Array1.unsafe_set dim (ri + k) (((r *. a_im) -. a_re) /. d)
+        end;
+        let f_re = Array1.unsafe_get dre (ri + k)
+        and f_im = Array1.unsafe_get dim (ri + k) in
+        if f_re <> 0.0 || f_im <> 0.0 then
+          for j = k + 1 to n - 1 do
+            let akj_re = Array1.unsafe_get dre (rk + j)
+            and akj_im = Array1.unsafe_get dim (rk + j) in
+            Array1.unsafe_set dre (ri + j)
+              (Array1.unsafe_get dre (ri + j) -. ((f_re *. akj_re) -. (f_im *. akj_im)));
+            Array1.unsafe_set dim (ri + j)
+              (Array1.unsafe_get dim (ri + j) -. ((f_re *. akj_im) +. (f_im *. akj_re)))
+          done
+      done
+    done;
+    ws.sign <- !sign
+
+  let lu_factor a =
+    let ws = lu_create a.nrows in
+    lu_factor_into ws a;
+    ws
+
+  (* In-place substitution core on one off-heap vector; mirrors
+     [lu_substitute] exactly. *)
+  let lu_substitute { mat = m; _ } (x : Vec.t) =
+    let n = m.nrows in
+    let dre = m.re and dim = m.im in
+    let xre = x.Vec.re and xim = x.Vec.im in
+    for i = 1 to n - 1 do
+      let ri = i * n in
+      let acc_re = ref (Array1.unsafe_get xre i)
+      and acc_im = ref (Array1.unsafe_get xim i) in
+      for j = 0 to i - 1 do
+        let l_re = Array1.unsafe_get dre (ri + j)
+        and l_im = Array1.unsafe_get dim (ri + j) in
+        let v_re = Array1.unsafe_get xre j and v_im = Array1.unsafe_get xim j in
+        acc_re := !acc_re -. ((l_re *. v_re) -. (l_im *. v_im));
+        acc_im := !acc_im -. ((l_re *. v_im) +. (l_im *. v_re))
+      done;
+      Array1.unsafe_set xre i !acc_re;
+      Array1.unsafe_set xim i !acc_im
+    done;
+    for i = n - 1 downto 0 do
+      let ri = i * n in
+      let acc_re = ref (Array1.unsafe_get xre i)
+      and acc_im = ref (Array1.unsafe_get xim i) in
+      for j = i + 1 to n - 1 do
+        let u_re = Array1.unsafe_get dre (ri + j)
+        and u_im = Array1.unsafe_get dim (ri + j) in
+        let v_re = Array1.unsafe_get xre j and v_im = Array1.unsafe_get xim j in
+        acc_re := !acc_re -. ((u_re *. v_re) -. (u_im *. v_im));
+        acc_im := !acc_im -. ((u_re *. v_im) +. (u_im *. v_re))
+      done;
+      let p_re = Array1.unsafe_get dre (ri + i)
+      and p_im = Array1.unsafe_get dim (ri + i) in
+      let a_re = !acc_re and a_im = !acc_im in
+      if Float.abs p_re >= Float.abs p_im then begin
+        let r = p_im /. p_re in
+        let d = p_re +. (r *. p_im) in
+        Array1.unsafe_set xre i ((a_re +. (r *. a_im)) /. d);
+        Array1.unsafe_set xim i ((a_im -. (r *. a_re)) /. d)
+      end
+      else begin
+        let r = p_re /. p_im in
+        let d = p_im +. (r *. p_re) in
+        Array1.unsafe_set xre i (((r *. a_re) +. a_im) /. d);
+        Array1.unsafe_set xim i (((r *. a_im) -. a_re) /. d)
+      end
+    done
+
+  let lu_solve_into ({ mat = m; perm; _ } as lu) ~(b : Vec.t) ~(x : Vec.t) =
+    let n = m.nrows in
+    if Vec.length b <> n || Vec.length x <> n then
+      invalid_arg "Cmat.Big.lu_solve_into: dimension mismatch";
+    for i = 0 to n - 1 do
+      let p = Array.unsafe_get perm i in
+      Array1.unsafe_set x.Vec.re i (Array1.unsafe_get b.Vec.re p);
+      Array1.unsafe_set x.Vec.im i (Array1.unsafe_get b.Vec.im p)
+    done;
+    lu_substitute lu x
+
+  (* Multi-RHS back-solve: [b] and [x] are n×k blocks whose column [r]
+     is the r-th right-hand side / solution. The substitution recurrence
+     accumulates in place row by row with the RHS index in the innermost
+     loop, so for each (i, j) the k column updates read two contiguous
+     runs — SIMD-amenable and one pass of the factor per block instead
+     of one pass per right-hand side. Per column the operation sequence
+     (and so every rounding) is exactly {!lu_solve_into}'s. *)
+  let lu_solve_block_into { mat = m; perm; _ } ~b ~x =
+    let n = m.nrows in
+    let k = b.ncols in
+    if b.nrows <> n || x.nrows <> n || x.ncols <> k then
+      invalid_arg "Cmat.Big.lu_solve_block_into: dimension mismatch";
+    let dre = m.re and dim = m.im in
+    let xre = x.re and xim = x.im in
+    (* x <- P b *)
+    for i = 0 to n - 1 do
+      let p = Array.unsafe_get perm i in
+      let ri = i * k and rp = p * k in
+      for r = 0 to k - 1 do
+        Array1.unsafe_set xre (ri + r) (Array1.unsafe_get b.re (rp + r));
+        Array1.unsafe_set xim (ri + r) (Array1.unsafe_get b.im (rp + r))
+      done
+    done;
+    (* forward substitution: L y = P b, unit diagonal *)
+    for i = 1 to n - 1 do
+      let mi = i * n and ri = i * k in
+      for j = 0 to i - 1 do
+        let l_re = Array1.unsafe_get dre (mi + j)
+        and l_im = Array1.unsafe_get dim (mi + j) in
+        if l_re <> 0.0 || l_im <> 0.0 then begin
+          let rj = j * k in
+          for r = 0 to k - 1 do
+            let v_re = Array1.unsafe_get xre (rj + r)
+            and v_im = Array1.unsafe_get xim (rj + r) in
+            Array1.unsafe_set xre (ri + r)
+              (Array1.unsafe_get xre (ri + r) -. ((l_re *. v_re) -. (l_im *. v_im)));
+            Array1.unsafe_set xim (ri + r)
+              (Array1.unsafe_get xim (ri + r) -. ((l_re *. v_im) +. (l_im *. v_re)))
+          done
+        end
+      done
+    done;
+    (* back substitution: U x = y *)
+    for i = n - 1 downto 0 do
+      let mi = i * n and ri = i * k in
+      for j = i + 1 to n - 1 do
+        let u_re = Array1.unsafe_get dre (mi + j)
+        and u_im = Array1.unsafe_get dim (mi + j) in
+        if u_re <> 0.0 || u_im <> 0.0 then begin
+          let rj = j * k in
+          for r = 0 to k - 1 do
+            let v_re = Array1.unsafe_get xre (rj + r)
+            and v_im = Array1.unsafe_get xim (rj + r) in
+            Array1.unsafe_set xre (ri + r)
+              (Array1.unsafe_get xre (ri + r) -. ((u_re *. v_re) -. (u_im *. v_im)));
+            Array1.unsafe_set xim (ri + r)
+              (Array1.unsafe_get xim (ri + r) -. ((u_re *. v_im) +. (u_im *. v_re)))
+          done
+        end
+      done;
+      let p_re = Array1.unsafe_get dre (mi + i)
+      and p_im = Array1.unsafe_get dim (mi + i) in
+      if Float.abs p_re >= Float.abs p_im then begin
+        let r = p_im /. p_re in
+        let d = p_re +. (r *. p_im) in
+        for c = 0 to k - 1 do
+          let a_re = Array1.unsafe_get xre (ri + c)
+          and a_im = Array1.unsafe_get xim (ri + c) in
+          Array1.unsafe_set xre (ri + c) ((a_re +. (r *. a_im)) /. d);
+          Array1.unsafe_set xim (ri + c) ((a_im -. (r *. a_re)) /. d)
+        done
+      end
+      else begin
+        let r = p_re /. p_im in
+        let d = p_im +. (r *. p_re) in
+        for c = 0 to k - 1 do
+          let a_re = Array1.unsafe_get xre (ri + c)
+          and a_im = Array1.unsafe_get xim (ri + c) in
+          Array1.unsafe_set xre (ri + c) (((r *. a_re) +. a_im) /. d);
+          Array1.unsafe_set xim (ri + c) (((r *. a_im) -. a_re) /. d)
+        done
+      end
+    done
+
+  let determinant a =
+    if a.nrows <> a.ncols then invalid_arg "Cmat.Big.determinant: non-square matrix";
+    match lu_factor a with
+    | exception Singular -> Complex.zero
+    | { mat = m; sign; _ } ->
+        let n = a.nrows in
+        let acc_re = ref (if sign >= 0 then 1.0 else -1.0) and acc_im = ref 0.0 in
+        for i = 0 to n - 1 do
+          let d_re = Array1.get m.re ((i * n) + i)
+          and d_im = Array1.get m.im ((i * n) + i) in
+          let r = (!acc_re *. d_re) -. (!acc_im *. d_im) in
+          acc_im := (!acc_re *. d_im) +. (!acc_im *. d_re);
+          acc_re := r
+        done;
+        Complex.{ re = !acc_re; im = !acc_im }
+end

@@ -123,3 +123,104 @@ val fill_parts : t -> re:float array -> im_scale:float -> im:float array -> unit
     one scaling pass over the imaginary plane. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Off-heap planar kernels: the same split re/im layout and the exact
+    same arithmetic as the float-array kernels above, but with the
+    planes stored in [Bigarray.Array1] (C layout, float64) outside the
+    OCaml heap. The GC never scans them, so a campaign whose hot state
+    lives here adds nothing to the marking work of a collection and
+    gives OCaml 5's stop-the-world minor GC nothing to stop the world
+    for. All kernels are verbatim ports of the float-array versions —
+    same formulas, same loop order, same pivoting — and therefore
+    produce bitwise-identical results (enforced by qcheck equivalence
+    tests); the float-array path remains the differential reference. *)
+module Big : sig
+  type plane = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  (** Off-heap planar vectors; the [Big] analogue of {!Pvec}. *)
+  module Vec : sig
+    type t = { re : plane; im : plane }
+
+    val create : int -> t
+    (** [create n] is the zero vector of length [n]. *)
+
+    val length : t -> int
+    val get : t -> int -> Complex.t
+    val set : t -> int -> Complex.t -> unit
+    val fill_zero : t -> unit
+    val blit : src:t -> dst:t -> unit
+    val of_complex : Complex.t array -> t
+    val to_complex : t -> Complex.t array
+    val of_pvec : Pvec.t -> t
+    val to_pvec : t -> Pvec.t
+
+    val norm_inf : t -> float
+    (** Largest element magnitude ([Complex.norm] semantics). *)
+  end
+
+  type t
+  (** A dense [rows x cols] off-heap complex matrix. *)
+
+  val create : int -> int -> t
+  (** [create rows cols] is the zero matrix. *)
+
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> Complex.t
+  val set : t -> int -> int -> Complex.t -> unit
+
+  val add_to : t -> int -> int -> Complex.t -> unit
+  (** Accumulate — the stamping primitive, as in the heap API. *)
+
+  val blit : src:t -> dst:t -> unit
+  val copy : t -> t
+
+  val fill_parts : t -> re:float array -> im_scale:float -> im:float array -> unit
+  (** As the heap {!fill_parts}: overwrite row-major with
+      [re.(k) + i·im_scale·im.(k)] in one fused pass. *)
+
+  val col_into : t -> c:int -> Vec.t -> unit
+  (** [col_into m ~c v] copies column [c] of [m] into [v] — extracts
+      one right-hand side / solution from a multi-RHS block. *)
+
+  val norm_inf : t -> float
+
+  val mul_vec_into : t -> x:Vec.t -> y:Vec.t -> unit
+  (** [y <- A·x], zero allocation; [x] and [y] must be distinct. *)
+
+  type lu
+  (** A reusable LU workspace. Unlike the heap {!lu_factor} (which
+      allocates a fresh factor per call), a [Big.lu] owns its factor
+      storage: sweeps call {!lu_factor_into} once per frequency point
+      on the same workspace and allocate nothing. *)
+
+  val lu_create : int -> lu
+  (** Workspace for [n x n] factorizations. *)
+
+  val lu_dim : lu -> int
+
+  val lu_factor_into : lu -> t -> unit
+  (** Factorize [a] into the workspace (the input is not modified).
+      Raises {!Singular} exactly when the heap kernel would. *)
+
+  val lu_factor : t -> lu
+  (** One-shot convenience: [lu_create] + [lu_factor_into]. *)
+
+  val lu_solve_into : lu -> b:Vec.t -> x:Vec.t -> unit
+  (** Allocation-free solve into [x]; [b] unmodified, [b] and [x]
+      distinct. Bitwise-identical to the heap {!lu_solve_into}. *)
+
+  val lu_solve_block_into : lu -> b:t -> x:t -> unit
+  (** Multi-RHS back-solve: [b] and [x] are [n x k] blocks whose
+      columns are the right-hand sides / solutions ([n] = system
+      dimension, [k] = block width, element [(i, r)] at offset
+      [i*k + r]). One pass over the factor serves all [k] columns —
+      the factor stays hot in cache and the innermost loop runs
+      contiguously over the block — while each column's operation
+      order (hence every rounding) is exactly {!lu_solve_into}'s, so
+      results are bitwise-equal to [k] scalar solves. [b] and [x] must
+      be distinct. *)
+
+  val determinant : t -> Complex.t
+  (** Determinant via LU; [Complex.zero] for singular matrices. *)
+end

@@ -5,20 +5,39 @@ type contribution = { element : string; psd : float }
 
 let boltzmann = 1.380649e-23
 
+module Big = Linalg.Cmat.Big
+
+(* Reusable per-sweep off-heap workspace: A(jω), its transpose for
+   the adjoint solve, and one LU factor. *)
+type ws = { wa : Big.t; wat : Big.t; wlu : Big.lu; wb : Big.Vec.t; wx : Big.Vec.t }
+
+let make_ws n =
+  { wa = Big.create n n; wat = Big.create n n;
+    wlu = Big.lu_create n; wb = Big.Vec.create n; wx = Big.Vec.create n }
+
 (* Assembly goes through the frequency-split Stamps planes so a
    frequency sweep builds the stamps once (see integrated_rms). *)
-let analyze index stamps ?(temperature = 300.0) ~output netlist ~omega =
-  let a = Stamps.matrix stamps ~omega in
+let analyze ws index stamps ?(temperature = 300.0) ~output netlist ~omega =
+  let n = Index.size index in
+  Stamps.fill_big stamps ~omega ws.wa;
   let out_idx =
     match Index.node index output with
     | Some i -> i
     | None -> invalid_arg "Noise.at_omega: output node is ground"
   in
-  let e_out = Array.make (Index.size index) Complex.zero in
-  e_out.(out_idx) <- Complex.one;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Big.set ws.wat j i (Big.get ws.wa i j)
+    done
+  done;
+  Big.Vec.fill_zero ws.wb;
+  Big.Vec.set ws.wb out_idx Complex.one;
   let xi =
-    match Linalg.Cmat.solve (Linalg.Cmat.transpose a) e_out with
-    | xi -> xi
+    match
+      Big.lu_factor_into ws.wlu ws.wat;
+      Big.lu_solve_into ws.wlu ~b:ws.wb ~x:ws.wx
+    with
+    | () -> Big.Vec.to_complex ws.wx
     | exception Linalg.Cmat.Singular ->
         raise (Ac.Singular_circuit "Noise.at_omega: singular adjoint system")
   in
@@ -48,18 +67,22 @@ let analyze index stamps ?(temperature = 300.0) ~output netlist ~omega =
 let at_omega ?temperature ~output netlist ~omega =
   let index = Index.build netlist in
   let stamps = Stamps.build ~sources:Assemble.Zeroed index netlist in
-  analyze index stamps ?temperature ~output netlist ~omega
+  analyze (make_ws (Index.size index)) index stamps ?temperature ~output netlist ~omega
 
 let integrated_rms ?temperature ~output netlist ~freqs_hz =
   let n = Array.length freqs_hz in
   if n < 2 then invalid_arg "Noise.integrated_rms: need at least two frequencies";
-  (* One index + stamp build for the whole integration grid. *)
+  (* One index + stamp build — and one off-heap workspace — for the
+     whole integration grid. *)
   let index = Index.build netlist in
   let stamps = Stamps.build ~sources:Assemble.Zeroed index netlist in
+  let ws = make_ws (Index.size index) in
   let psd =
     Array.map
       (fun f ->
-        snd (analyze index stamps ?temperature ~output netlist ~omega:(2.0 *. Float.pi *. f)))
+        snd
+          (analyze ws index stamps ?temperature ~output netlist
+             ~omega:(2.0 *. Float.pi *. f)))
       freqs_hz
   in
   let variance = ref 0.0 in

@@ -8,6 +8,25 @@ type t = {
   rel_magnitude : float;
 }
 
+module Big = Linalg.Cmat.Big
+
+(* Reusable per-sweep off-heap workspace: one A(jω) buffer, its
+   transpose for the adjoint system, and one LU factor — so a
+   frequency sweep re-assembles and re-factorizes without allocating
+   per point. *)
+type ws = { wa : Big.t; wat : Big.t; wlu : Big.lu; wb : Big.Vec.t; wx : Big.Vec.t }
+
+let make_ws n =
+  { wa = Big.create n n; wat = Big.create n n;
+    wlu = Big.lu_create n; wb = Big.Vec.create n; wx = Big.Vec.create n }
+
+let transpose_into ~src ~dst n =
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Big.set dst j i (Big.get src i j)
+    done
+  done
+
 (* dV_out/dp = -xi^T (dA/dp) x  with  A^T xi = e_out.  The stamp
    derivative of a two-terminal admittance y(p) between n1 and n2
    contracts to  (xi_n1 - xi_n2)(x_n1 - x_n2) * dy/dp, so each element
@@ -15,11 +34,16 @@ type t = {
    through the frequency-split Stamps planes (built once per netlist
    by the caller) instead of re-running the stamping functor at every
    frequency. *)
-let analyze index stamps ~output netlist ~omega =
-  let a = Stamps.matrix stamps ~omega in
+let analyze ws index stamps ~output netlist ~omega =
+  let n = Index.size index in
+  Stamps.fill_big stamps ~omega ws.wa;
+  Stamps.rhs_into_big stamps ~omega ws.wb;
   let x =
-    match Linalg.Cmat.solve a (Stamps.rhs stamps ~omega) with
-    | x -> x
+    match
+      Big.lu_factor_into ws.wlu ws.wa;
+      Big.lu_solve_into ws.wlu ~b:ws.wb ~x:ws.wx
+    with
+    | () -> Big.Vec.to_complex ws.wx
     | exception Linalg.Cmat.Singular ->
         raise (Ac.Singular_circuit "Sensitivity.at_omega: singular system")
   in
@@ -28,11 +52,15 @@ let analyze index stamps ~output netlist ~omega =
     | Some i -> i
     | None -> invalid_arg "Sensitivity.at_omega: output node is ground"
   in
-  let e_out = Array.make (Index.size index) Complex.zero in
-  e_out.(out_idx) <- Complex.one;
+  transpose_into ~src:ws.wa ~dst:ws.wat n;
+  Big.Vec.fill_zero ws.wb;
+  Big.Vec.set ws.wb out_idx Complex.one;
   let xi =
-    match Linalg.Cmat.solve (Linalg.Cmat.transpose a) e_out with
-    | xi -> xi
+    match
+      Big.lu_factor_into ws.wlu ws.wat;
+      Big.lu_solve_into ws.wlu ~b:ws.wb ~x:ws.wx
+    with
+    | () -> Big.Vec.to_complex ws.wx
     | exception Linalg.Cmat.Singular ->
         raise (Ac.Singular_circuit "Sensitivity.at_omega: singular adjoint system")
   in
@@ -85,15 +113,17 @@ let analyze index stamps ~output netlist ~omega =
 let at_omega ~source ~output netlist ~omega =
   let index = Index.build netlist in
   let stamps = Stamps.build ~sources:(Assemble.Only source) index netlist in
-  analyze index stamps ~output netlist ~omega
+  analyze (make_ws (Index.size index)) index stamps ~output netlist ~omega
 
 let magnitude_sweep ~source ~output netlist ~freqs_hz =
-  (* One index + stamp build for the whole sweep. *)
+  (* One index + stamp build — and one off-heap workspace — for the
+     whole sweep. *)
   let index = Index.build netlist in
   let stamps = Stamps.build ~sources:(Assemble.Only source) index netlist in
+  let ws = make_ws (Index.size index) in
   let per_freq =
     Array.map
-      (fun f -> analyze index stamps ~output netlist ~omega:(2.0 *. Float.pi *. f))
+      (fun f -> analyze ws index stamps ~output netlist ~omega:(2.0 *. Float.pi *. f))
       freqs_hz
   in
   match Array.length per_freq with

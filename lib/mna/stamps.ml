@@ -61,3 +61,25 @@ let rhs t ~omega =
   let b = Cmat.Pvec.create t.n in
   rhs_into t ~omega b;
   Cmat.Pvec.to_complex b
+
+(* Off-heap variants: identical fill discipline (and the same
+   "mna.fills" accounting) with the destination planes in Bigarray
+   storage. *)
+
+let fill_big t ~omega (m : Cmat.Big.t) =
+  if Cmat.Big.rows m <> t.n || Cmat.Big.cols m <> t.n then
+    invalid_arg "Stamps.fill_big: matrix dimension mismatch";
+  Obs.Metrics.incr "mna.fills";
+  Cmat.Big.fill_parts m ~re:t.g ~im_scale:omega ~im:t.c;
+  List.iter
+    (fun (k, p) -> Cmat.Big.set m (k / t.n) (k mod t.n) (eval_at p omega))
+    t.extra
+
+let rhs_into_big t ~omega (b : Cmat.Big.Vec.t) =
+  if Cmat.Big.Vec.length b <> t.n then
+    invalid_arg "Stamps.rhs_into_big: dimension mismatch";
+  for i = 0 to t.n - 1 do
+    Bigarray.Array1.unsafe_set b.Cmat.Big.Vec.re i t.rhs_g.(i);
+    Bigarray.Array1.unsafe_set b.Cmat.Big.Vec.im i (omega *. t.rhs_c.(i))
+  done;
+  List.iter (fun (i, p) -> Cmat.Big.Vec.set b i (eval_at p omega)) t.rhs_extra

@@ -44,3 +44,11 @@ val rhs : t -> omega:float -> Linalg.Cmat.vec
 val rhs_into : t -> omega:float -> Linalg.Cmat.Pvec.t -> unit
 (** Allocation-free {!rhs}: overwrite the caller's planar workspace
     with b(jω). The workspace length must be [size t]. *)
+
+val fill_big : t -> omega:float -> Linalg.Cmat.Big.t -> unit
+(** {!fill} onto an off-heap matrix. Same entry values and the same
+    ["mna.fills"] counter discipline — one increment per assembled
+    A(jω), whichever storage receives it. *)
+
+val rhs_into_big : t -> omega:float -> Linalg.Cmat.Big.Vec.t -> unit
+(** {!rhs_into} onto an off-heap vector. *)

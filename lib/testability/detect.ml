@@ -174,6 +174,40 @@ let analyze_prepared pv grid fault =
   result_of ~nominal:pv.nominal ~prepared:pv.prepared grid fault
     (Fastsim.response pv.sim fault)
 
+(* ---- blocked scoring (the campaign matrix path) ----
+
+   {!Testability.Matrix} decomposes scoring into (view × fault-chunk ×
+   frequency-block) tasks: plans are built once per (view, fault),
+   each task fills a frequency block of planar response rows, and a
+   sequential reduce turns each completed row into a {!result}. The
+   arithmetic is exactly {!analyze_prepared}'s — same solver, same
+   deviation/threshold comparisons — just restructured so one cached
+   LU factor serves a contiguous block of back-solves and workers
+   never box per-point responses. *)
+
+let view_dim pv = Fastsim.dim pv.sim
+let plan_fault pv fault = Fastsim.plan_of pv.sim fault
+
+let score_range pv plan ~lo ~hi ~re ~im ~ok =
+  Fastsim.response_range_into pv.sim plan ~lo ~hi ~re ~im ~ok
+
+let result_of_rows pv grid fault ~re ~im ~ok =
+  let nominal = pv.nominal and prepared = pv.prepared in
+  let deviates i =
+    if Bytes.get ok i = '\000' then true
+    else
+      let tf = { Complex.re = re.(i); im = im.(i) } in
+      List.exists (fun p -> p.deviation nominal.(i) tf > p.thresholds.(i)) prepared
+  in
+  let intervals = ref [] in
+  for i = 0 to Grid.n_points grid - 1 do
+    if deviates i then intervals := Grid.point_interval grid i :: !intervals
+  done;
+  let regions = Util.Interval.Set.of_intervals !intervals in
+  let measure = Util.Interval.Set.measure regions in
+  let omega_det = measure /. Grid.log_measure grid in
+  { fault; detectable = not (Util.Interval.Set.is_empty regions); omega_det; regions }
+
 let analyze ?criterion probe grid netlist faults =
   let pv = prepare_view ?criterion probe grid netlist in
   List.map (fun fault -> analyze_prepared pv grid fault) faults

@@ -106,6 +106,41 @@ val analyze_prepared : prepared_view -> Grid.t -> Fault.t -> result
 (** Score one fault against a prepared view. Thread-safe once the view
     was prepared with a [warm] list containing the fault. *)
 
+val view_dim : prepared_view -> int
+(** The view engine's MNA dimension ({!Fastsim.dim}) — for sizing
+    campaign work estimates. *)
+
+val plan_fault : prepared_view -> Fault.t -> Fastsim.plan
+(** Classify and prepare one fault against the view's engine
+    ({!Fastsim.plan_of}); build each (view, fault) plan exactly once.
+    Raises [Not_found] when the fault's element is absent. *)
+
+val score_range :
+  prepared_view ->
+  Fastsim.plan ->
+  lo:int ->
+  hi:int ->
+  re:float array ->
+  im:float array ->
+  ok:Bytes.t ->
+  unit
+(** Fill grid slots [lo .. hi-1] of one fault's planar response row —
+    {!Fastsim.response_range_into} on the view's engine. Disjoint
+    ranges of one row may be filled concurrently. *)
+
+val result_of_rows :
+  prepared_view ->
+  Grid.t ->
+  Fault.t ->
+  re:float array ->
+  im:float array ->
+  ok:Bytes.t ->
+  result
+(** Reduce one completed planar response row to a {!result}: the same
+    deviation/threshold comparisons as {!analyze_prepared} (an
+    [ok]=['\000'] point counts as detectable, like a [None]
+    response). *)
+
 val analyze :
   ?criterion:criterion -> probe -> Grid.t -> Netlist.t -> Fault.t list -> result list
 (** Analyze a fault list against one circuit, sharing the nominal sweep

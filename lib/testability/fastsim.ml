@@ -1,7 +1,8 @@
 module Netlist = Circuit.Netlist
 module Element = Circuit.Element
 module Cmat = Linalg.Cmat
-module Pvec = Cmat.Pvec
+module Big = Cmat.Big
+module Bvec = Big.Vec
 
 (* A sparse ±1 stamp pattern: the nonzero rows (columns) of the rank-1
    factor u (v), as (index, sign) pairs. *)
@@ -10,7 +11,8 @@ type pat = (int * float) list
 (* ΔA(ω) = (alpha_g + jω alpha_c) · u vᵀ *)
 type rank1 = { u : pat; v : pat; alpha_g : float; alpha_c : float }
 
-type plan =
+(* Fault classification, before any per-plan state is built. *)
+type cls =
   | Unchanged  (* the fault does not alter the system (e.g. grounded element) *)
   | Rank_one of rank1
   | Structural of Netlist.t  (* full path on the injected netlist *)
@@ -21,17 +23,17 @@ type plan =
    and books the one miss the lazy path would have booked at insertion
    time. The claim is exactly-once even when workers race, so the
    counter totals are schedule-invariant. *)
-type wentry = { w : Pvec.t; fresh : bool Atomic.t }
+type wentry = { w : Bvec.t; fresh : bool Atomic.t }
 
 type freq_state = {
   omega : float;
   f_hz : float;
-  a : Cmat.t;  (* fault-free A(jω), kept for residual checks and fallbacks *)
+  a : Big.t;  (* fault-free A(jω), kept for residual checks and fallbacks *)
   anorm : float;
-  lu : Cmat.lu;
-  b : Pvec.t;
+  lu : Big.lu;
+  b : Bvec.t;
   bnorm : float;
-  x0 : Pvec.t;
+  x0 : Bvec.t;
   wcache : (pat, wentry) Hashtbl.t;  (* u-pattern -> A⁻¹u this frequency *)
 }
 
@@ -41,37 +43,136 @@ type t = {
   source : string;
   output : string;
   out_idx : int option;
+  n : int;
   freqs : freq_state array;
   nominal : Complex.t array;
+  nom_re : float array;  (* nominal, planar, for the Unchanged fast path *)
+  nom_im : float array;
   smw_solves : int Atomic.t;
   full_solves : int Atomic.t;
 }
 
-(* Per-domain planar workspaces for the rank-1 hot path: one scratch
+(* A fault ready to simulate. Plans are immutable and safe to share
+   across domains; all mutable solve state lives in per-domain
+   scratch. *)
+type plan =
+  | P_unchanged
+  | P_rank1 of rank1
+  | P_structural of { s_stamps : Mna.Stamps.t; s_n : int; s_out : int option }
+
+(* Counter increments batched per domain: the solver hot loop bumps
+   plain mutable ints and {!flush_pending} folds them into the
+   engine's atomics and the {!Obs.Metrics} registry once per response
+   / range call, instead of one sharded-counter operation per solve
+   (which was ~17% of a metrics-enabled campaign). [p_owner] records
+   which engine the pending counts belong to so a domain interleaving
+   several engines can never misattribute them. *)
+type pending = {
+  mutable p_owner : t option;
+  mutable p_smw : int;
+  mutable p_full : int;
+  mutable p_refine : int;
+  mutable p_hits : int;
+  mutable p_misses : int;
+}
+
+(* Per-domain off-heap workspaces for the rank-1 hot path: one scratch
    record per domain (via DLS), re-sized when the engine dimension
-   changes. Workers therefore share nothing but the scheduler cursor
-   and the read-only engine state. *)
+   changes. Workers therefore share nothing but the scheduler state
+   and the read-only engine/plan state. The [s*] fields are the
+   fallback workspace (full refactorization and structural assembly),
+   sized independently because a structural netlist can change the
+   system dimension. *)
 type scratch = {
   mutable dim : int;
-  mutable xf : Pvec.t;  (* candidate faulty solution *)
-  mutable resid : Pvec.t;  (* faulty residual b_f − A_f xf *)
-  mutable d0 : Pvec.t;  (* refinement back-solve *)
-  mutable uvec : Pvec.t;  (* densified u pattern for cache misses *)
+  mutable xf : Bvec.t;  (* candidate faulty solution *)
+  mutable resid : Bvec.t;  (* faulty residual b_f − A_f xf *)
+  mutable d0 : Bvec.t;  (* refinement back-solve *)
+  mutable uvec : Bvec.t;  (* densified u pattern for cache misses *)
+  mutable sdim : int;
+  mutable sm : Big.t;  (* fallback assembly / perturbed-copy target *)
+  mutable slu : Big.lu;
+  mutable sb : Bvec.t;
+  mutable sx : Bvec.t;
+  pend : pending;
 }
 
 let scratch_key =
   Domain.DLS.new_key (fun () ->
-      { dim = -1; xf = Pvec.create 0; resid = Pvec.create 0; d0 = Pvec.create 0;
-        uvec = Pvec.create 0 })
+      {
+        dim = -1;
+        xf = Bvec.create 0;
+        resid = Bvec.create 0;
+        d0 = Bvec.create 0;
+        uvec = Bvec.create 0;
+        sdim = -1;
+        sm = Big.create 0 0;
+        slu = Big.lu_create 0;
+        sb = Bvec.create 0;
+        sx = Bvec.create 0;
+        pend =
+          {
+            p_owner = None;
+            p_smw = 0;
+            p_full = 0;
+            p_refine = 0;
+            p_hits = 0;
+            p_misses = 0;
+          };
+      })
+
+let flush_pending (p : pending) =
+  match p.p_owner with
+  | None -> ()
+  | Some t ->
+      if p.p_smw > 0 then begin
+        ignore (Atomic.fetch_and_add t.smw_solves p.p_smw);
+        Obs.Metrics.incr "fastsim.smw_solves" ~by:p.p_smw
+      end;
+      if p.p_full > 0 then begin
+        ignore (Atomic.fetch_and_add t.full_solves p.p_full);
+        Obs.Metrics.incr "fastsim.full_solves" ~by:p.p_full
+      end;
+      if p.p_refine > 0 then Obs.Metrics.incr "fastsim.refine_steps" ~by:p.p_refine;
+      if p.p_hits > 0 then Obs.Metrics.incr "fastsim.wcache_hits" ~by:p.p_hits;
+      if p.p_misses > 0 then Obs.Metrics.incr "fastsim.wcache_misses" ~by:p.p_misses;
+      p.p_smw <- 0;
+      p.p_full <- 0;
+      p.p_refine <- 0;
+      p.p_hits <- 0;
+      p.p_misses <- 0;
+      p.p_owner <- None
+
+(* The pending record for engine [t]: re-targets (flushing first) if
+   the previous counts belonged to a different engine. *)
+let pend_for t s =
+  let p = s.pend in
+  (match p.p_owner with
+  | Some o when o == t -> ()
+  | Some _ ->
+      flush_pending p;
+      p.p_owner <- Some t
+  | None -> p.p_owner <- Some t);
+  p
 
 let scratch_for n =
   let s = Domain.DLS.get scratch_key in
   if s.dim <> n then begin
     s.dim <- n;
-    s.xf <- Pvec.create n;
-    s.resid <- Pvec.create n;
-    s.d0 <- Pvec.create n;
-    s.uvec <- Pvec.create n
+    s.xf <- Bvec.create n;
+    s.resid <- Bvec.create n;
+    s.d0 <- Bvec.create n;
+    s.uvec <- Bvec.create n
+  end;
+  s
+
+let fallback_ws s n =
+  if s.sdim <> n then begin
+    s.sdim <- n;
+    s.sm <- Big.create n n;
+    s.slu <- Big.lu_create n;
+    s.sb <- Bvec.create n;
+    s.sx <- Bvec.create n
   end;
   s
 
@@ -85,26 +186,27 @@ let create ~source ~output ~freqs_hz netlist =
     Array.map
       (fun f_hz ->
         let omega = 2.0 *. Float.pi *. f_hz in
-        let a = Mna.Stamps.matrix stamps ~omega in
-        let b = Pvec.create n in
-        Mna.Stamps.rhs_into stamps ~omega b;
-        match Obs.Metrics.time "mna.factor_s" (fun () -> Cmat.lu_factor a) with
+        let a = Big.create n n in
+        Mna.Stamps.fill_big stamps ~omega a;
+        let b = Bvec.create n in
+        Mna.Stamps.rhs_into_big stamps ~omega b;
+        match Obs.Metrics.time "mna.factor_s" (fun () -> Big.lu_factor a) with
         | exception Cmat.Singular ->
             raise
               (Mna.Ac.Singular_circuit
                  (Printf.sprintf "MNA matrix singular at f = %g Hz for %S" f_hz
                     (Netlist.title netlist)))
         | lu ->
-            let x0 = Pvec.create n in
-            Cmat.lu_solve_into lu ~b ~x:x0;
+            let x0 = Bvec.create n in
+            Big.lu_solve_into lu ~b ~x:x0;
             {
               omega;
               f_hz;
               a;
-              anorm = Cmat.norm_inf a;
+              anorm = Big.norm_inf a;
               lu;
               b;
-              bnorm = Pvec.norm_inf b;
+              bnorm = Bvec.norm_inf b;
               x0;
               wcache = Hashtbl.create 16;
             })
@@ -112,7 +214,7 @@ let create ~source ~output ~freqs_hz netlist =
   in
   let nominal =
     Array.map
-      (fun fs -> match out_idx with None -> Complex.zero | Some i -> Pvec.get fs.x0 i)
+      (fun fs -> match out_idx with None -> Complex.zero | Some i -> Bvec.get fs.x0 i)
       freqs
   in
   {
@@ -121,14 +223,19 @@ let create ~source ~output ~freqs_hz netlist =
     source;
     output;
     out_idx;
+    n;
     freqs;
     nominal;
+    nom_re = Array.map (fun (z : Complex.t) -> z.Complex.re) nominal;
+    nom_im = Array.map (fun (z : Complex.t) -> z.Complex.im) nominal;
     smw_solves = Atomic.make 0;
     full_solves = Atomic.make 0;
   }
 
 let nominal t = t.nominal
 let stats t = (Atomic.get t.smw_solves, Atomic.get t.full_solves)
+let dim t = t.n
+let n_freqs t = Array.length t.freqs
 
 (* ---- fault classification ---- *)
 
@@ -205,14 +312,36 @@ let classify t (fault : Fault.t) =
           or_structural { u = p; v = p; alpha_g = 1.0 /. r; alpha_c = -.value }
       | _ -> structural ())
 
+let plan_of t fault =
+  match classify t fault with
+  | Unchanged -> P_unchanged
+  | Rank_one r1 -> P_rank1 r1
+  | Structural faulty ->
+      (* Once per (engine, fault) plan — the same accounting point the
+         per-call structural path used before plans existed. *)
+      Obs.Metrics.incr "fastsim.structural_faults";
+      Obs.Trace.span "fastsim.structural" @@ fun () ->
+      let index = Mna.Index.build faulty in
+      let stamps =
+        Mna.Stamps.build ~sources:(Mna.Assemble.Only t.source) index faulty
+      in
+      P_structural
+        {
+          s_stamps = stamps;
+          s_n = Mna.Stamps.size stamps;
+          s_out = Mna.Index.node index t.output;
+        }
+
 (* ---- rank-1 solves ---- *)
 
 (* Pattern dot product against one plane: Σ s·plane.(i). The complex
    dot against a planar vector is two of these, one per plane. *)
-let dot_pat (pat : pat) (plane : float array) =
-  let acc = ref 0.0 in
-  List.iter (fun (i, s) -> acc := !acc +. (s *. Array.unsafe_get plane i)) pat;
-  !acc
+let rec dot_pat (pat : pat) (plane : Big.plane) acc =
+  match pat with
+  | [] -> acc
+  | (i, s) :: tl -> dot_pat tl plane (acc +. (s *. Bigarray.Array1.unsafe_get plane i))
+
+let dot_pat pat plane = dot_pat pat plane 0.0
 
 (* (nr + i·ni) / (dr + i·di) — Smith's algorithm, exactly Complex.div. *)
 let div2 nr ni dr di =
@@ -225,75 +354,118 @@ let div2 nr ni dr di =
     let d = di +. (r *. dr) in
     (((r *. nr) +. ni) /. d, ((r *. ni) -. nr) /. d)
 
-let solve_pattern fs (u : pat) (w : Pvec.t) =
-  let s = scratch_for (Pvec.length fs.x0) in
+let solve_pattern fs (u : pat) (w : Bvec.t) =
+  let s = scratch_for (Bvec.length fs.x0) in
   let uvec = s.uvec in
-  List.iter (fun (i, sg) -> uvec.Pvec.re.(i) <- sg) u;
-  Cmat.lu_solve_into fs.lu ~b:uvec ~x:w;
-  List.iter (fun (i, _) -> uvec.Pvec.re.(i) <- 0.0) u
+  List.iter (fun (i, sg) -> Bigarray.Array1.set uvec.Bvec.re i sg) u;
+  Big.lu_solve_into fs.lu ~b:uvec ~x:w;
+  List.iter (fun (i, _) -> Bigarray.Array1.set uvec.Bvec.re i 0.0) u
 
 (* Cache lookup. The on-demand insertion path mutates the Hashtbl and
    is only safe while the engine is confined to one domain; parallel
    analysis must {!warm_cache} first so lookups during the parallel
    phase are read-only. *)
-let w_for fs u =
+let w_for t fs u =
+  let s = Domain.DLS.get scratch_key in
   match Hashtbl.find_opt fs.wcache u with
   | Some e ->
+      let p = pend_for t s in
       if Atomic.get e.fresh && Atomic.compare_and_set e.fresh true false then
-        Obs.Metrics.incr "fastsim.wcache_misses"
-      else Obs.Metrics.incr "fastsim.wcache_hits";
+        p.p_misses <- p.p_misses + 1
+      else p.p_hits <- p.p_hits + 1;
       e.w
   | None ->
-      Obs.Metrics.incr "fastsim.wcache_misses";
-      let w = Pvec.create (Pvec.length fs.x0) in
+      let p = pend_for t s in
+      p.p_misses <- p.p_misses + 1;
+      let w = Bvec.create (Bvec.length fs.x0) in
       solve_pattern fs u w;
       Hashtbl.add fs.wcache u { w; fresh = Atomic.make false };
       w
 
+(* Warm the A⁻¹u cache with one multi-RHS block back-solve per
+   frequency: every missing pattern at that frequency becomes a column
+   of one n×k block, so the cached LU factor is swept once per
+   frequency instead of once per (pattern, frequency). Column results
+   are bitwise-identical to the per-pattern {!solve_pattern} path
+   (see {!Linalg.Cmat.Big.lu_solve_block_into}). *)
 let warm_cache t faults =
   Obs.Trace.span "fastsim.warm_cache" @@ fun () ->
-  List.iter
-    (fun fault ->
-      match classify t fault with
-      | Rank_one { u; _ } ->
-          Array.iter
-            (fun fs ->
-              if not (Hashtbl.mem fs.wcache u) then begin
-                let w = Pvec.create (Pvec.length fs.x0) in
-                solve_pattern fs u w;
-                Hashtbl.add fs.wcache u { w; fresh = Atomic.make true }
-              end)
-            t.freqs
-      | Unchanged | Structural _ -> ()
-      | exception Not_found -> ())
-    faults
+  let pats =
+    List.fold_left
+      (fun acc fault ->
+        match classify t fault with
+        | Rank_one { u; _ } -> if List.mem u acc then acc else u :: acc
+        | Unchanged | Structural _ -> acc
+        | exception Not_found -> acc)
+      [] faults
+    |> List.rev
+  in
+  if pats <> [] then
+    Array.iter
+      (fun fs ->
+        let missing = List.filter (fun u -> not (Hashtbl.mem fs.wcache u)) pats in
+        let k = List.length missing in
+        if k > 0 then begin
+          let b = Big.create t.n k and x = Big.create t.n k in
+          List.iteri
+            (fun r u ->
+              List.iter
+                (fun (i, sg) -> Big.set b i r Complex.{ re = sg; im = 0.0 })
+                u)
+            missing;
+          Big.lu_solve_block_into fs.lu ~b ~x;
+          List.iteri
+            (fun r u ->
+              let w = Bvec.create t.n in
+              Big.col_into x ~c:r w;
+              Hashtbl.add fs.wcache u { w; fresh = Atomic.make true })
+            missing
+        end)
+      t.freqs
 
-let output_of t (x : Pvec.t) =
-  match t.out_idx with None -> Complex.zero | Some i -> Pvec.get x i
+(* ---- point solvers ----
+
+   Each writes slot [ix] of the caller's planar response row
+   ([re]/[im] plus the [ok] validity byte, '\000' = singular). Keeping
+   the output planar avoids boxing a [Some Complex.t] per point in the
+   campaign inner loop. *)
+
+let write_out t (x : Bvec.t) ~re ~im ~ok ~ix =
+  (match t.out_idx with
+  | None ->
+      Array.unsafe_set re ix 0.0;
+      Array.unsafe_set im ix 0.0
+  | Some oi ->
+      Array.unsafe_set re ix (Bigarray.Array1.unsafe_get x.Bvec.re oi);
+      Array.unsafe_set im ix (Bigarray.Array1.unsafe_get x.Bvec.im oi));
+  Bytes.unsafe_set ok ix '\001'
 
 (* Full fallback at one frequency: perturb a copy of A(jω) and
    refactorize — exactly the naive path, minus the assembly. *)
-let full_point_solve t fs ~al_re ~al_im ~u ~v =
-  Atomic.incr t.full_solves;
-  Obs.Metrics.incr "fastsim.full_solves";
-  let af = Cmat.copy fs.a in
+let full_point_solve t fs ~al_re ~al_im ~u ~v ~re ~im ~ok ~ix =
+  let s = Domain.DLS.get scratch_key in
+  let p = pend_for t s in
+  p.p_full <- p.p_full + 1;
+  let s = fallback_ws s t.n in
+  Big.blit ~src:fs.a ~dst:s.sm;
   List.iter
     (fun (i, si) ->
       List.iter
         (fun (j, sj) ->
-          Cmat.add_to af i j
+          Big.add_to s.sm i j
             { Complex.re = al_re *. si *. sj; Complex.im = al_im *. si *. sj })
         v)
     u;
   match
     Obs.Metrics.time "mna.solve_s" (fun () ->
-        let lu = Cmat.lu_factor af in
-        let x = Pvec.create (Pvec.length fs.b) in
-        Cmat.lu_solve_into lu ~b:fs.b ~x;
-        x)
+        Big.lu_factor_into s.slu s.sm;
+        Big.lu_solve_into s.slu ~b:fs.b ~x:s.sx)
   with
-  | x -> Some (output_of t x)
-  | exception Cmat.Singular -> None
+  | () -> write_out t s.sx ~re ~im ~ok ~ix
+  | exception Cmat.Singular ->
+      Array.unsafe_set re ix 0.0;
+      Array.unsafe_set im ix 0.0;
+      Bytes.unsafe_set ok ix '\000'
 
 (* After refinement a healthy update sits at ~machine-precision
    normwise relative residual; anything above this bound means the
@@ -310,12 +482,12 @@ let smw_tolerance = 1e-9
 let chaos : [ `None | `Smw_denominator of float ] Atomic.t = Atomic.make `None
 let set_chaos c = Atomic.set chaos c
 
-let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
+let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) ~re ~im ~ok ~ix =
   let al_re = alpha_g and al_im = fs.omega *. alpha_c in
-  if al_re = 0.0 && al_im = 0.0 then Some (output_of t fs.x0)
+  if al_re = 0.0 && al_im = 0.0 then write_out t fs.x0 ~re ~im ~ok ~ix
   else begin
-    let w = w_for fs u in
-    let vw_re = dot_pat v w.Pvec.re and vw_im = dot_pat v w.Pvec.im in
+    let w = w_for t fs u in
+    let vw_re = dot_pat v w.Bvec.re and vw_im = dot_pat v w.Bvec.im in
     let den_re = 1.0 +. ((al_re *. vw_re) -. (al_im *. vw_im))
     and den_im = (al_re *. vw_im) +. (al_im *. vw_re) in
     let chaotic, den_re, den_im =
@@ -324,27 +496,28 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
       | `Smw_denominator k -> (true, den_re *. k, den_im *. k)
     in
     if Cmat.norm2 den_re den_im <= 1e-12 then
-      full_point_solve t fs ~al_re ~al_im ~u ~v
+      full_point_solve t fs ~al_re ~al_im ~u ~v ~re ~im ~ok ~ix
     else begin
-      let vx0_re = dot_pat v fs.x0.Pvec.re and vx0_im = dot_pat v fs.x0.Pvec.im in
+      let vx0_re = dot_pat v fs.x0.Bvec.re and vx0_im = dot_pat v fs.x0.Bvec.im in
       let coef_re, coef_im =
         div2
           ((al_re *. vx0_re) -. (al_im *. vx0_im))
           ((al_re *. vx0_im) +. (al_im *. vx0_re))
           den_re den_im
       in
-      let n = Pvec.length fs.x0 in
+      let n = t.n in
       let s = scratch_for n in
       let xf = s.xf and resid = s.resid in
-      let xf_re = xf.Pvec.re and xf_im = xf.Pvec.im in
-      let wre = w.Pvec.re and wim = w.Pvec.im in
-      let x0re = fs.x0.Pvec.re and x0im = fs.x0.Pvec.im in
+      let xf_re = xf.Bvec.re and xf_im = xf.Bvec.im in
+      let wre = w.Bvec.re and wim = w.Bvec.im in
+      let x0re = fs.x0.Bvec.re and x0im = fs.x0.Bvec.im in
+      let open Bigarray in
       for i = 0 to n - 1 do
-        let wr = Array.unsafe_get wre i and wi = Array.unsafe_get wim i in
-        Array.unsafe_set xf_re i
-          (Array.unsafe_get x0re i -. ((coef_re *. wr) -. (coef_im *. wi)));
-        Array.unsafe_set xf_im i
-          (Array.unsafe_get x0im i -. ((coef_re *. wi) +. (coef_im *. wr)))
+        let wr = Array1.unsafe_get wre i and wi = Array1.unsafe_get wim i in
+        Array1.unsafe_set xf_re i
+          (Array1.unsafe_get x0re i -. ((coef_re *. wr) -. (coef_im *. wi)));
+        Array1.unsafe_set xf_im i
+          (Array1.unsafe_get x0im i -. ((coef_re *. wi) +. (coef_im *. wr)))
       done;
       (* Residual of the perturbed system without forming it:
          b − A_f xf = (b − α (vᵀxf) u) − A xf. *)
@@ -352,17 +525,17 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
         let vxf_re = dot_pat v xf_re and vxf_im = dot_pat v xf_im in
         let av_re = (al_re *. vxf_re) -. (al_im *. vxf_im)
         and av_im = (al_re *. vxf_im) +. (al_im *. vxf_re) in
-        Cmat.mul_vec_into fs.a ~x:xf ~y:resid;
-        let rre = resid.Pvec.re and rim = resid.Pvec.im in
-        let bre = fs.b.Pvec.re and bim = fs.b.Pvec.im in
+        Big.mul_vec_into fs.a ~x:xf ~y:resid;
+        let rre = resid.Bvec.re and rim = resid.Bvec.im in
+        let bre = fs.b.Bvec.re and bim = fs.b.Bvec.im in
         for i = 0 to n - 1 do
-          Array.unsafe_set rre i (Array.unsafe_get bre i -. Array.unsafe_get rre i);
-          Array.unsafe_set rim i (Array.unsafe_get bim i -. Array.unsafe_get rim i)
+          Array1.unsafe_set rre i (Array1.unsafe_get bre i -. Array1.unsafe_get rre i);
+          Array1.unsafe_set rim i (Array1.unsafe_get bim i -. Array1.unsafe_get rim i)
         done;
         List.iter
           (fun (i, sg) ->
-            rre.(i) <- rre.(i) -. (sg *. av_re);
-            rim.(i) <- rim.(i) -. (sg *. av_im))
+            Array1.set rre i (Array1.get rre i -. (sg *. av_re));
+            Array1.set rim i (Array1.get rim i -. (sg *. av_im)))
           u
       in
       (* One step of iterative refinement: a large |α| (a catastrophic
@@ -374,8 +547,8 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
          skips the extra back-solve. *)
       let refine () =
         let d0 = s.d0 in
-        Cmat.lu_solve_into fs.lu ~b:resid ~x:d0;
-        let d0re = d0.Pvec.re and d0im = d0.Pvec.im in
+        Big.lu_solve_into fs.lu ~b:resid ~x:d0;
+        let d0re = d0.Bvec.re and d0im = d0.Bvec.im in
         let vd_re = dot_pat v d0re and vd_im = dot_pat v d0im in
         let dc_re, dc_im =
           div2
@@ -384,72 +557,108 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) =
             den_re den_im
         in
         for i = 0 to n - 1 do
-          let wr = Array.unsafe_get wre i and wi = Array.unsafe_get wim i in
-          Array.unsafe_set xf_re i
-            (Array.unsafe_get xf_re i
-            +. (Array.unsafe_get d0re i -. ((dc_re *. wr) -. (dc_im *. wi))));
-          Array.unsafe_set xf_im i
-            (Array.unsafe_get xf_im i
-            +. (Array.unsafe_get d0im i -. ((dc_re *. wi) +. (dc_im *. wr))))
+          let wr = Array1.unsafe_get wre i and wi = Array1.unsafe_get wim i in
+          Array1.unsafe_set xf_re i
+            (Array1.unsafe_get xf_re i
+            +. (Array1.unsafe_get d0re i -. ((dc_re *. wr) -. (dc_im *. wi))));
+          Array1.unsafe_set xf_im i
+            (Array1.unsafe_get xf_im i
+            +. (Array1.unsafe_get d0im i -. ((dc_re *. wi) +. (dc_im *. wr))))
         done
       in
       if chaotic then begin
-        Atomic.incr t.smw_solves;
-        Obs.Metrics.incr "fastsim.smw_solves";
-        Some (output_of t xf)
+        let p = pend_for t (Domain.DLS.get scratch_key) in
+        p.p_smw <- p.p_smw + 1;
+        write_out t xf ~re ~im ~ok ~ix
       end
       else begin
-      let scale_of () = (fs.anorm *. Pvec.norm_inf xf) +. fs.bnorm +. 1e-300 in
-      faulty_residual ();
-      let res = Pvec.norm_inf resid in
-      let res =
-        if res <= 1024.0 *. epsilon_float *. scale_of () then res
-        else begin
-          Obs.Metrics.incr "fastsim.refine_steps";
-          refine ();
-          faulty_residual ();
-          Pvec.norm_inf resid
+        let scale_of () = (fs.anorm *. Bvec.norm_inf xf) +. fs.bnorm +. 1e-300 in
+        faulty_residual ();
+        let res = Bvec.norm_inf resid in
+        let res =
+          if res <= 1024.0 *. epsilon_float *. scale_of () then res
+          else begin
+            let p = pend_for t (Domain.DLS.get scratch_key) in
+            p.p_refine <- p.p_refine + 1;
+            refine ();
+            faulty_residual ();
+            Bvec.norm_inf resid
+          end
+        in
+        if res <= smw_tolerance *. scale_of () then begin
+          let p = pend_for t (Domain.DLS.get scratch_key) in
+          p.p_smw <- p.p_smw + 1;
+          write_out t xf ~re ~im ~ok ~ix
         end
-      in
-      if res <= smw_tolerance *. scale_of () then begin
-        Atomic.incr t.smw_solves;
-        Obs.Metrics.incr "fastsim.smw_solves";
-        Some (output_of t xf)
-      end
-      else full_point_solve t fs ~al_re ~al_im ~u ~v
+        else full_point_solve t fs ~al_re ~al_im ~u ~v ~re ~im ~ok ~ix
       end
     end
   end
 
-(* ---- structural fallback: split-assemble the faulty netlist once ---- *)
+(* ---- structural fallback: the plan holds the split-assembled
+   stamps; each point assembles and factorizes in per-domain fallback
+   workspaces ---- *)
 
-let structural_response t faulty =
-  Obs.Trace.span "fastsim.structural" @@ fun () ->
-  let index = Mna.Index.build faulty in
-  let stamps = Mna.Stamps.build ~sources:(Mna.Assemble.Only t.source) index faulty in
-  let n = Mna.Stamps.size stamps in
-  let out = Mna.Index.node index t.output in
-  let buf = Cmat.create n n in
-  let b = Pvec.create n and x = Pvec.create n in
-  Array.map
-    (fun fs ->
-      Atomic.incr t.full_solves;
-      Obs.Metrics.incr "fastsim.full_solves";
-      Mna.Stamps.fill stamps ~omega:fs.omega buf;
-      Mna.Stamps.rhs_into stamps ~omega:fs.omega b;
-      match
-        Obs.Metrics.time "mna.solve_s" (fun () ->
-            let lu = Cmat.lu_factor buf in
-            Cmat.lu_solve_into lu ~b ~x)
-      with
-      | () -> Some (match out with None -> Complex.zero | Some i -> Pvec.get x i)
-      | exception Cmat.Singular -> None)
-    t.freqs
+let structural_point t ~s_stamps ~s_n ~s_out fs ~re ~im ~ok ~ix =
+  let s = Domain.DLS.get scratch_key in
+  let p = pend_for t s in
+  p.p_full <- p.p_full + 1;
+  let s = fallback_ws s s_n in
+  Mna.Stamps.fill_big s_stamps ~omega:fs.omega s.sm;
+  Mna.Stamps.rhs_into_big s_stamps ~omega:fs.omega s.sb;
+  match
+    Obs.Metrics.time "mna.solve_s" (fun () ->
+        Big.lu_factor_into s.slu s.sm;
+        Big.lu_solve_into s.slu ~b:s.sb ~x:s.sx)
+  with
+  | () -> (
+      match s_out with
+      | None ->
+          Array.unsafe_set re ix 0.0;
+          Array.unsafe_set im ix 0.0;
+          Bytes.unsafe_set ok ix '\001'
+      | Some oi ->
+          Array.unsafe_set re ix (Bigarray.Array1.unsafe_get s.sx.Bvec.re oi);
+          Array.unsafe_set im ix (Bigarray.Array1.unsafe_get s.sx.Bvec.im oi);
+          Bytes.unsafe_set ok ix '\001')
+  | exception Cmat.Singular ->
+      Array.unsafe_set re ix 0.0;
+      Array.unsafe_set im ix 0.0;
+      Bytes.unsafe_set ok ix '\000'
+
+(* ---- response over a frequency range ---- *)
+
+let response_range_into t plan ~lo ~hi ~re ~im ~ok =
+  if lo < 0 || hi > Array.length t.freqs || lo > hi then
+    invalid_arg "Fastsim.response_range_into: bad frequency range";
+  if Array.length re < hi || Array.length im < hi || Bytes.length ok < hi then
+    invalid_arg "Fastsim.response_range_into: row buffers too short";
+  Fun.protect ~finally:(fun () -> flush_pending (Domain.DLS.get scratch_key).pend)
+  @@ fun () ->
+  match plan with
+  | P_unchanged ->
+      for i = lo to hi - 1 do
+        Array.unsafe_set re i (Array.unsafe_get t.nom_re i);
+        Array.unsafe_set im i (Array.unsafe_get t.nom_im i);
+        Bytes.unsafe_set ok i '\001'
+      done
+  | P_rank1 r1 ->
+      for i = lo to hi - 1 do
+        smw_point_solve t (Array.unsafe_get t.freqs i) r1 ~re ~im ~ok ~ix:i
+      done
+  | P_structural { s_stamps; s_n; s_out } ->
+      for i = lo to hi - 1 do
+        structural_point t ~s_stamps ~s_n ~s_out (Array.unsafe_get t.freqs i) ~re ~im
+          ~ok ~ix:i
+      done
 
 let response t fault =
-  match classify t fault with
-  | Unchanged -> Array.map (fun z -> Some z) t.nominal
-  | Rank_one r1 -> Array.map (fun fs -> smw_point_solve t fs r1) t.freqs
-  | Structural faulty ->
-      Obs.Metrics.incr "fastsim.structural_faults";
-      structural_response t faulty
+  let plan = plan_of t fault in
+  let nf = Array.length t.freqs in
+  let rre = Array.make nf 0.0
+  and rim = Array.make nf 0.0
+  and ok = Bytes.make nf '\000' in
+  response_range_into t plan ~lo:0 ~hi:nf ~re:rre ~im:rim ~ok;
+  Array.init nf (fun i ->
+      if Bytes.get ok i = '\000' then None
+      else Some { Complex.re = rre.(i); im = rim.(i) })

@@ -24,11 +24,15 @@ module Netlist := Circuit.Netlist
       split assembly. Either way the result matches the naive path to
       round-off.
 
-    The engine state is planar ({!Linalg.Cmat.Pvec}) and the rank-1
-    hot path is allocation-free: solve buffers live in a per-domain
-    scratch workspace (domain-local storage), so an engine may be
-    shared by several workers — stats counters are atomic and cached
-    back-solves are read under a freshness CAS. The one mutating
+    The engine state is planar and off-heap ({!Linalg.Cmat.Big}: re/im
+    planes in Bigarray storage the GC never scans), and the rank-1 hot
+    path allocates zero GC-visible words proportional to the system:
+    solve buffers live in a per-domain scratch workspace (domain-local
+    storage), so an engine may be shared by several workers — stats
+    counters are atomic and cached back-solves are read under a
+    freshness CAS. Under OCaml 5's stop-the-world minor GC this is
+    what lets campaign domains scale: a warmed campaign's numeric
+    state contributes nothing to any collection. The one mutating
     operation is the w-cache insertion on a cache miss, which is only
     safe while the engine is confined to a single domain; parallel
     analysis must call {!warm_cache} with its fault list first so that
@@ -62,7 +66,47 @@ val response : t -> Fault.t -> Complex.t option array
 (** The faulty transfer at every grid frequency; [None] where the
     faulty system is singular (the naive path's
     [Singular_circuit]-per-point outcome). Raises [Not_found] when the
-    fault's element is absent from the netlist, like {!Fault.inject}. *)
+    fault's element is absent from the netlist, like {!Fault.inject}.
+    Equivalent to {!plan_of} + a full-range {!response_range_into}. *)
+
+val dim : t -> int
+(** The MNA system dimension — for callers sizing work estimates. *)
+
+val n_freqs : t -> int
+(** Number of grid frequencies (the length of {!nominal} and of
+    response rows). *)
+
+type plan
+(** A fault prepared for simulation: classification (unchanged /
+    rank-1 / structural) plus any per-fault state (a structural
+    fault's split-assembled stamps). Plans are immutable and safe to
+    share across domains; all mutable solve state is per-domain. *)
+
+val plan_of : t -> Fault.t -> plan
+(** Classify and prepare one fault. Structural faults book their
+    [fastsim.structural_faults] increment (and their assembly) here,
+    once per plan — so build each (engine, fault) plan once. Raises
+    [Not_found] like {!response}. *)
+
+val response_range_into :
+  t ->
+  plan ->
+  lo:int ->
+  hi:int ->
+  re:float array ->
+  im:float array ->
+  ok:Bytes.t ->
+  unit
+(** [response_range_into t plan ~lo ~hi ~re ~im ~ok] writes the faulty
+    transfer for grid indices [lo .. hi-1] into slots [lo .. hi-1] of
+    the planar row buffers: [re]/[im] hold the response, [ok.(i)] is
+    ['\001'] for a valid point and ['\000'] where the faulty system is
+    singular ({!response}'s [None]). Buffers must extend to at least
+    [hi]; slots outside the range are untouched, so campaign workers
+    can fill disjoint frequency blocks of one row concurrently. Values
+    are bitwise-identical to {!response} — this is the same solver
+    walked over a sub-range, writing planar output instead of boxing
+    per-point [Complex.t option]s. *)
 
 val set_chaos : [ `None | `Smw_denominator of float ] -> unit
 (** Conformance-testing hook. [`Smw_denominator k] multiplies the
@@ -78,8 +122,13 @@ val stats : t -> int * int
     faults). For benches and tests.
 
     When {!Obs.Metrics} is enabled the same events are mirrored into
-    the global registry at the same increment sites —
-    [fastsim.smw_solves] and [fastsim.full_solves] totals across all
-    engines equal the per-engine [stats] sums exactly — alongside
+    the global registry — [fastsim.smw_solves] and
+    [fastsim.full_solves] totals across all engines equal the
+    per-engine [stats] sums exactly — alongside
     [fastsim.refine_steps], [fastsim.structural_faults],
-    [fastsim.wcache_hits] and [fastsim.wcache_misses]. *)
+    [fastsim.wcache_hits] and [fastsim.wcache_misses]. Increments are
+    batched in per-domain locals and flushed (into the atomics and the
+    registry together) when each {!response} /
+    {!response_range_into} / {!warm_cache} call returns, so totals are
+    exact at every call boundary without paying one sharded-counter
+    operation per solve. *)

@@ -9,44 +9,97 @@ type t = {
   omega : float array array;
 }
 
+(* Task shape of the scoring phase: a few faults per task keeps the
+   view's per-frequency LU factor hot across the faults that reuse it,
+   and a bounded frequency block caps each task's working set while
+   letting one cached factor serve a contiguous run of back-solves. *)
+let fault_chunk = 8
+let freq_block = 16
+
+(* Rough per-point cost of a warmed rank-1 solve (two O(n²) passes:
+   the update and the residual matvec) — feeds the scheduler's
+   sequential cutoff, so only the order of magnitude matters. *)
+let point_ns dim = (3.0 *. float_of_int (dim * dim)) +. 250.0
+
 let build ?criterion ?(jobs = 1) grid views faults =
   Obs.Trace.span "matrix.build" @@ fun () ->
   let views = Array.of_list views in
   let faults = Array.of_list faults in
   let n = Array.length views and m = Array.length faults in
+  let nf = Grid.n_points grid in
   let detect = Array.make_matrix n m false in
   let omega = Array.make_matrix n m 0.0 in
   let fault_list = Array.to_list faults in
   (* Phase 1 — per-view preparation: build each view's engine and
-     thresholds and pre-warm its back-solve cache for the fault list,
-     so phase 2 never mutates an engine. Parallel over views. *)
+     thresholds, pre-warm its back-solve cache for the fault list
+     (block back-solves, one per frequency), and classify every fault
+     into an immutable plan — so phase 2 never mutates an engine.
+     Parallel over views. The work estimate only needs the order of
+     magnitude, so the element count stands in for the unknown MNA
+     dimension. *)
+  let prep_est =
+    let dim_proxy i = List.length (Netlist.elements views.(i).netlist) in
+    Util.Floatx.fold_range n ~init:0.0 ~f:(fun acc i ->
+        let d = float_of_int (dim_proxy i) in
+        acc +. (float_of_int nf *. d *. d *. (d +. (6.0 *. float_of_int m))))
+  in
   let prepared =
-    Util.Parallel.map ~jobs n (fun i ->
+    Util.Parallel.map ~jobs ~est_ns:prep_est n (fun i ->
         let view = views.(i) in
         Obs.Trace.span ("matrix.prepare " ^ view.label) @@ fun () ->
-        Detect.prepare_view ?criterion ~warm:fault_list view.probe grid view.netlist)
+        let pv =
+          Detect.prepare_view ?criterion ~warm:fault_list view.probe grid view.netlist
+        in
+        let plans = Array.map (fun fault -> Detect.plan_fault pv fault) faults in
+        (pv, plans))
   in
-  (* Phase 2 — score the (view, fault) matrix in per-(view, fault-chunk)
-     work items: a campaign often has fewer views than workers want
-     (#configurations < jobs×4), so chunking the fault axis restores
-     load balance on large fault lists. Each item writes a disjoint
-     span of one row, so workers share nothing but the cursor and the
-     read-only prepared views; results land in fixed cells, keeping
-     the matrix jobs-deterministic. *)
-  let chunks_per_view =
-    if n = 0 || m = 0 then 0 else Int.min m (Int.max 1 ((jobs * 4) / Int.max 1 n))
+  (* Phase 2 — score the matrix over (view × fault-chunk ×
+     frequency-block) tasks. Each task fills one frequency block of a
+     handful of response rows; rows are per-(view, fault) planar
+     buffers, so tasks touching the same row write disjoint index
+     ranges and workers share nothing but the scheduler state, the
+     read-only prepared views and plans. Work-stealing balances the
+     uneven task costs (structural faults and full fallbacks cost
+     O(n³) per point, warmed rank-1 solves O(n²)). *)
+  let rows =
+    Array.init n (fun _ ->
+        Array.init m (fun _ ->
+            (Array.make nf 0.0, Array.make nf 0.0, Bytes.make nf '\000')))
   in
-  let chunk = if chunks_per_view = 0 then 1 else (m + chunks_per_view - 1) / chunks_per_view in
-  let n_chunks = if chunks_per_view = 0 then 0 else (m + chunk - 1) / chunk in
-  Util.Parallel.for_ ~jobs (n * n_chunks) (fun item ->
-      let i = item / n_chunks and c = item mod n_chunks in
-      let pv = prepared.(i) in
-      let j0 = c * chunk in
-      let j1 = Int.min m (j0 + chunk) - 1 in
-      for j = j0 to j1 do
-        let r = Detect.analyze_prepared pv grid faults.(j) in
-        detect.(i).(j) <- r.Detect.detectable;
-        omega.(i).(j) <- r.Detect.omega_det
+  let n_fc = if m = 0 then 0 else (m + fault_chunk - 1) / fault_chunk in
+  let n_fb = if nf = 0 then 0 else (nf + freq_block - 1) / freq_block in
+  let score_est =
+    Util.Floatx.fold_range n ~init:0.0 ~f:(fun acc i ->
+        let pv, _ = prepared.(i) in
+        acc +. (float_of_int (m * nf) *. point_ns (Detect.view_dim pv)))
+  in
+  Util.Parallel.for_ ~jobs ~est_ns:score_est
+    (n * n_fc * n_fb)
+    (fun item ->
+      let i = item / (n_fc * n_fb) in
+      let rem = item mod (n_fc * n_fb) in
+      let c = rem / n_fb and bq = rem mod n_fb in
+      let pv, plans = prepared.(i) in
+      let lo = bq * freq_block in
+      let hi = Int.min nf (lo + freq_block) in
+      let j1 = Int.min m ((c * fault_chunk) + fault_chunk) - 1 in
+      for j = c * fault_chunk to j1 do
+        let re, im, ok = rows.(i).(j) in
+        Detect.score_range pv plans.(j) ~lo ~hi ~re ~im ~ok
+      done);
+  (* Phase 3 — sequential reduce: each completed planar row becomes a
+     detectability verdict. Cheap (interval bookkeeping), and keeping
+     it sequential keeps the reduction order — hence the matrix —
+     trivially jobs-deterministic. *)
+  Obs.Trace.span "matrix.reduce" (fun () ->
+      for i = 0 to n - 1 do
+        let pv, _ = prepared.(i) in
+        for j = 0 to m - 1 do
+          let re, im, ok = rows.(i).(j) in
+          let r = Detect.result_of_rows pv grid faults.(j) ~re ~im ~ok in
+          detect.(i).(j) <- r.Detect.detectable;
+          omega.(i).(j) <- r.Detect.omega_det
+        done
       done);
   { views; faults; detect; omega }
 

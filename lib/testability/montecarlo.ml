@@ -34,8 +34,15 @@ let run ?(seed = 42) ?(samples = 200) ?jobs ~component_tol probe grid netlist =
         drifted.(s) <- drift_all rng ~component_tol netlist
       done);
   let deviations =
+    (* One sweep per sample: nf LU factorizations of the MNA system —
+       the element count stands in for the dimension; the estimate
+       only feeds the scheduler's sequential cutoff. *)
+    let est_ns =
+      let d = float_of_int (List.length (Netlist.elements netlist)) in
+      float_of_int (samples * n) *. d *. d *. d
+    in
     Obs.Trace.span "montecarlo.sweep" (fun () ->
-        Util.Parallel.map ?jobs samples (fun s ->
+        Util.Parallel.map ?jobs ~est_ns samples (fun s ->
             let response = Detect.nominal_response probe grid drifted.(s) in
             Detect.response_deviation ~nominal ~faulty:response))
   in

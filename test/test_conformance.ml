@@ -262,11 +262,17 @@ let qcheck_brute_matches_exact =
       let exact = Cover.Solver.exact ?cost clause in
       let brute = Cover.Solver.brute_force ?cost clause in
       let greedy = Cover.Solver.greedy ?cost clause in
+      (* the two searches may return *different* minimal covers whose
+         float costs differ in the last ulp (the 0.3·i weights are
+         inexact and the summation orders differ), so the optimality
+         checks compare with an ulp-level slack rather than [=] *)
+      let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs b) in
+      let c_exact = Cover.Solver.cost_of ?cost exact in
       Cover.Clause.is_cover clause exact
       && Cover.Clause.is_cover clause brute
       && Cover.Clause.is_cover clause greedy
-      && Cover.Solver.cost_of ?cost exact = Cover.Solver.cost_of ?cost brute
-      && Cover.Solver.cost_of ?cost greedy >= Cover.Solver.cost_of ?cost exact)
+      && close (Cover.Solver.cost_of ?cost brute) c_exact
+      && Cover.Solver.cost_of ?cost greedy >= c_exact -. (1e-9 *. Float.max 1.0 c_exact))
 
 let test_brute_force_candidate_limit () =
   let clauses =
@@ -283,7 +289,7 @@ let test_brute_force_candidate_limit () =
 
 let test_oracle_registry () =
   let names = List.map (fun o -> o.Oracle.name) Oracle.all in
-  Alcotest.(check int) "five oracles" 5 (List.length names);
+  Alcotest.(check int) "six oracles" 6 (List.length names);
   Alcotest.(check bool) "names unique" true
     (List.length (List.sort_uniq compare names) = List.length names);
   List.iter

@@ -164,6 +164,38 @@ let test_nominal_matches_sweep () =
         sweep)
     benchmarks
 
+(* --- batched metrics flushes -------------------------------------- *)
+
+(* The engine batches its Obs.Metrics increments into per-domain
+   locals and flushes them once per scored range, so the hot loop
+   never touches the shared counter table. The batching must be
+   invisible at call boundaries: after any sequence of responses, the
+   Obs totals equal the engine's own atomic counters exactly. *)
+let test_metrics_batching_exact () =
+  let b = Circuits.Tow_thomas.make () in
+  let freqs_hz = Grid.freqs_hz (grid_of b) in
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    (fun () ->
+      let sim =
+        Fastsim.create ~source:b.Circuits.Benchmark.source
+          ~output:b.Circuits.Benchmark.output ~freqs_hz
+          b.Circuits.Benchmark.netlist
+      in
+      List.iter
+        (fun fault -> ignore (Fastsim.response sim fault))
+        (all_faults b.Circuits.Benchmark.netlist);
+      let snap = Obs.Metrics.snapshot () in
+      let smw, full = Fastsim.stats sim in
+      Alcotest.(check int) "smw_solves flushed exactly" smw
+        (Obs.Metrics.counter snap "fastsim.smw_solves");
+      Alcotest.(check int) "full_solves flushed exactly" full
+        (Obs.Metrics.counter snap "fastsim.full_solves"))
+
 (* --- worker-count independence ------------------------------------ *)
 
 let test_pipeline_jobs_deterministic () =
@@ -207,6 +239,8 @@ let suite =
     Alcotest.test_case "rank-1 path serves deviation faults" `Quick
       test_smw_actually_used;
     Alcotest.test_case "nominal equals Ac.sweep" `Quick test_nominal_matches_sweep;
+    Alcotest.test_case "batched metrics equal engine stats" `Quick
+      test_metrics_batching_exact;
     Alcotest.test_case "Pipeline.run independent of jobs" `Quick
       test_pipeline_jobs_deterministic;
     Alcotest.test_case "Montecarlo.run independent of jobs" `Quick

@@ -35,6 +35,27 @@ let test_map_complete () =
   let sum = Array.fold_left ( + ) 0 r in
   Alcotest.(check int) "sum 1..1000" (1000 * 1001 / 2) sum
 
+(* The sequential cutoff: a tiny declared workload must run inline on
+   the calling domain even under jobs:4 — observable as strictly
+   ascending index order, which the work-stealing schedule does not
+   guarantee (and as zero spawned domains, which we cannot observe
+   directly). *)
+let test_est_ns_cutoff_runs_inline () =
+  let seen = ref [] in
+  Util.Parallel.for_ ~jobs:4 ~est_ns:1.0 64 (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int))
+    "tiny est_ns runs in order on the caller"
+    (List.init 64 Fun.id) (List.rev !seen)
+
+let test_est_ns_above_cutoff_completes () =
+  (* a large estimate keeps the parallel path; coverage must be exact *)
+  let hits = Array.make 200 0 in
+  Util.Parallel.for_ ~jobs:4 ~est_ns:1e9 200 (fun i ->
+      hits.(i) <- hits.(i) + 1);
+  Array.iteri
+    (fun i n -> if n <> 1 then Alcotest.failf "index %d ran %d times" i n)
+    hits
+
 let suite =
   [
     Alcotest.test_case "sequential raise propagates" `Quick test_sequential_raise;
@@ -45,4 +66,8 @@ let suite =
     Alcotest.test_case "scheduler usable after failures" `Quick
       test_usable_after_failures;
     Alcotest.test_case "map covers every slot" `Quick test_map_complete;
+    Alcotest.test_case "tiny est_ns takes the sequential cutoff" `Quick
+      test_est_ns_cutoff_runs_inline;
+    Alcotest.test_case "large est_ns keeps exact coverage" `Quick
+      test_est_ns_above_cutoff_completes;
   ]

@@ -192,6 +192,125 @@ let test_singular_agreement () =
   Alcotest.(check bool) "determinants agree on singular" true
     (exact_c (Cmat.determinant (Cmat.of_arrays rows)) (Ref.determinant rows))
 
+(* ---- off-heap (Bigarray) kernels ----
+
+   Cmat.Big ports the planar kernels verbatim onto Bigarray planes, so
+   every check is again bitwise: same pivots, same permutation sign,
+   same Singular refusals. The block back-solve additionally promises
+   column-wise bitwise equality with k scalar solves. *)
+
+let big_of_rows rows =
+  let n = Array.length rows in
+  let m = Cmat.Big.create n n in
+  Array.iteri (fun i r -> Array.iteri (fun j z -> Cmat.Big.set m i j z) r) rows;
+  m
+
+let qcheck_big_solve_equiv =
+  QCheck.Test.make ~name:"Big lu_factor/lu_solve_into == heap planar (bitwise)"
+    ~count:200 n_seed (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let rows = random_rows rng n in
+      let b = random_vec rng n in
+      let heap =
+        match Cmat.lu_solve (Cmat.lu_factor (Cmat.of_arrays rows)) b with
+        | x -> Some x
+        | exception Cmat.Singular -> None
+      in
+      let big =
+        match Cmat.Big.lu_factor (big_of_rows rows) with
+        | exception Cmat.Singular -> None
+        | lu ->
+            let bv = Cmat.Big.Vec.of_complex b in
+            let xv = Cmat.Big.Vec.create n in
+            Cmat.Big.lu_solve_into lu ~b:bv ~x:xv;
+            Some (Cmat.Big.Vec.to_complex xv)
+      in
+      match (heap, big) with
+      | None, None -> true
+      | Some x, Some y -> exact_vec x y
+      | _ -> false)
+
+let qcheck_big_det_equiv =
+  QCheck.Test.make
+    ~name:"Big determinant == heap planar (incl. permutation sign)" ~count:200
+    n_seed (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let rows = random_rows rng n in
+      exact_c (Cmat.Big.determinant (big_of_rows rows))
+        (Cmat.determinant (Cmat.of_arrays rows)))
+
+let qcheck_big_mul_vec_equiv =
+  QCheck.Test.make ~name:"Big mul_vec_into == heap planar (bitwise)" ~count:200
+    n_seed (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let rows = random_rows rng n in
+      let x = random_vec rng n in
+      let xv = Cmat.Big.Vec.of_complex x in
+      let yv = Cmat.Big.Vec.create n in
+      Cmat.Big.mul_vec_into (big_of_rows rows) ~x:xv ~y:yv;
+      exact_vec (Cmat.Big.Vec.to_complex yv) (Cmat.mul_vec (Cmat.of_arrays rows) x))
+
+let qcheck_big_block_solve =
+  QCheck.Test.make
+    ~name:"Big lu_solve_block_into == k scalar lu_solve_into (bitwise)" ~count:100
+    (QCheck.make QCheck.Gen.(triple (int_range 1 10) (int_range 1 8) (int_range 0 1000000)))
+    (fun (n, k, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let rows = random_rows rng n in
+      match Cmat.Big.lu_factor (big_of_rows rows) with
+      | exception Cmat.Singular -> QCheck.assume_fail ()
+      | lu ->
+          let cols = Array.init k (fun _ -> random_vec rng n) in
+          let b = Cmat.Big.create n k and x = Cmat.Big.create n k in
+          Array.iteri
+            (fun r col -> Array.iteri (fun i z -> Cmat.Big.set b i r z) col)
+            cols;
+          Cmat.Big.lu_solve_block_into lu ~b ~x;
+          let xv = Cmat.Big.Vec.create n in
+          Array.for_all
+            (fun r ->
+              let bv = Cmat.Big.Vec.of_complex cols.(r) in
+              let sx = Cmat.Big.Vec.create n in
+              Cmat.Big.lu_solve_into lu ~b:bv ~x:sx;
+              Cmat.Big.col_into x ~c:r xv;
+              exact_vec (Cmat.Big.Vec.to_complex xv) (Cmat.Big.Vec.to_complex sx))
+            (Array.init k Fun.id))
+
+let test_big_singular_agreement () =
+  let rows = [| [| c 1.0 2.0; c 3.0 (-1.0) |]; [| c 2.0 4.0; c 6.0 (-2.0) |] |] in
+  (match Cmat.Big.lu_factor (big_of_rows rows) with
+  | exception Cmat.Singular -> ()
+  | _ -> Alcotest.fail "Big accepted a singular matrix");
+  Alcotest.(check bool) "Big determinant is zero on singular" true
+    (exact_c (Cmat.Big.determinant (big_of_rows rows)) Complex.zero)
+
+(* The headline contract of the off-heap move: a warmed block
+   back-solve touches only Bigarray planes, so it allocates zero
+   GC-visible words. Exact equality, not a bound — under bytecode the
+   instrumented interpreter allocates on its own, so native only. *)
+let test_big_block_solve_zero_alloc () =
+  if Sys.backend_type = Sys.Native then begin
+    let n = 8 and k = 5 in
+    let rng = Random.State.make [| 7 |] in
+    let rows = random_rows rng n in
+    let lu = Cmat.Big.lu_factor (big_of_rows rows) in
+    let b = Cmat.Big.create n k and x = Cmat.Big.create n k in
+    for i = 0 to n - 1 do
+      for r = 0 to k - 1 do
+        Cmat.Big.set b i r
+          (c (Random.State.float rng 2.0) (Random.State.float rng 2.0))
+      done
+    done;
+    (* warm once, then measure *)
+    Cmat.Big.lu_solve_block_into lu ~b ~x;
+    let w0 = Gc.minor_words () in
+    Cmat.Big.lu_solve_block_into lu ~b ~x;
+    let w1 = Gc.minor_words () in
+    ignore (Sys.opaque_identity x);
+    Alcotest.(check (float 0.0))
+      "warmed block back-solve allocates zero words" 0.0 (w1 -. w0)
+  end
+
 (* ---- allocation regression ----
 
    The campaign inner loop (a warmed rank-1 SMW solve) must be
@@ -244,7 +363,14 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_det_equiv;
     QCheck_alcotest.to_alcotest qcheck_mul_vec_equiv;
     QCheck_alcotest.to_alcotest qcheck_into_variants;
+    QCheck_alcotest.to_alcotest qcheck_big_solve_equiv;
+    QCheck_alcotest.to_alcotest qcheck_big_det_equiv;
+    QCheck_alcotest.to_alcotest qcheck_big_mul_vec_equiv;
+    QCheck_alcotest.to_alcotest qcheck_big_block_solve;
     Alcotest.test_case "singular agreement" `Quick test_singular_agreement;
+    Alcotest.test_case "Big singular agreement" `Quick test_big_singular_agreement;
+    Alcotest.test_case "Big block back-solve zero allocation" `Quick
+      test_big_block_solve_zero_alloc;
     Alcotest.test_case "rank-1 solve allocation bound" `Quick
       test_allocation_per_rank1_solve;
   ]
