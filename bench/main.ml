@@ -5,6 +5,8 @@
      dune exec bench/main.exe -- perf       - bechamel kernel timings only
      dune exec bench/main.exe -- campaign   - end-to-end campaign timings only
 
+     dune exec bench/main.exe -- diag       - diagnosis/cover structural numbers only
+
    Add --smoke to shrink the campaign workload (CI). Any run that
    produces timings also writes them to BENCH_<yyyy-mm-dd>.json in the
    current directory; campaign rows carry the solver counters of a
@@ -29,8 +31,8 @@ let today () =
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday
 
-let write_json ~kernels ~campaign =
-  if kernels <> [] || campaign <> [] then begin
+let write_json ~kernels ~campaign ~diag =
+  if kernels <> [] || campaign <> [] || diag <> [] then begin
     let date = today () in
     let num_obj rows =
       Report.Json.Object (List.map (fun (k, v) -> (k, Report.Json.Number v)) rows)
@@ -66,6 +68,24 @@ let write_json ~kernels ~campaign =
                           (fun (k, v) -> (k, Report.Json.int v))
                           r.Campaign.counters) ))
                  campaign) );
+          ( "diagnosis",
+            Report.Json.Object
+              (List.map
+                 (fun r ->
+                   ( r.Diag.label,
+                     Report.Json.Object
+                       [
+                         ("resolution", Report.Json.Number r.Diag.resolution);
+                         ( "ambiguity_group_sizes",
+                           Report.Json.List
+                             (List.map Report.Json.int r.Diag.group_sizes) );
+                         ( "counters",
+                           Report.Json.Object
+                             (List.map
+                                (fun (k, v) -> (k, Report.Json.int v))
+                                r.Diag.counters) );
+                       ] ))
+                 diag) );
         ]
     in
     let path = Printf.sprintf "BENCH_%s.json" date in
@@ -203,22 +223,25 @@ let () =
           "usage: main.exe [repro|perf|campaign|all] [--smoke] [--baseline FILE]";
         exit 2
   in
-  let kernels = ref [] and campaign = ref [] in
+  let kernels = ref [] and campaign = ref [] and diag = ref [] in
   (match what with
   | "repro" -> Repro.all ()
   | "perf" -> kernels := Perf.all ()
   | "campaign" -> campaign := Campaign.all ~smoke ()
+  | "diag" -> diag := Diag.all ~smoke ()
   | "all" ->
       (* campaigns first: the wall-clock timings are the headline
          numbers and should not inherit allocator state from the
          repro/bechamel phases *)
       campaign := Campaign.all ~smoke ();
       Repro.all ();
-      kernels := Perf.all ()
+      kernels := Perf.all ();
+      diag := Diag.all ~smoke ()
   | other ->
-      Printf.eprintf "unknown target %S (expected: repro | perf | campaign | all)\n"
+      Printf.eprintf
+        "unknown target %S (expected: repro | perf | campaign | diag | all)\n"
         other;
       exit 2);
-  write_json ~kernels:!kernels ~campaign:!campaign;
+  write_json ~kernels:!kernels ~campaign:!campaign ~diag:!diag;
   Option.iter (fun path -> check_baseline path !campaign) baseline;
   print_newline ()

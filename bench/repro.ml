@@ -366,8 +366,8 @@ let cover_ablation () =
     (r, (Unix.gettimeofday () -. t0) *. 1e6)
   in
   let on_problem label p =
-    let exact, te = time (fun () -> Cover.Solver.exact p) in
-    let greedy, tg = time (fun () -> Cover.Solver.greedy p) in
+    let exact, te = time (fun () -> Cover.Solver.(cover_exn (exact p))) in
+    let greedy, tg = time (fun () -> Cover.Solver.(cover_exn (greedy p))) in
     [
       label;
       string_of_int (IntSet.cardinal exact);
@@ -409,7 +409,7 @@ let cover_ablation () =
   let suboptimal = ref 0 in
   for seed = 0 to trials - 1 do
     let p = random_problem ~n:12 ~m:20 ~density:0.25 seed in
-    let e = Cover.Solver.exact p and g = Cover.Solver.greedy p in
+    let e = Cover.Solver.(cover_exn (exact p)) and g = Cover.Solver.(cover_exn (greedy p)) in
     if IntSet.cardinal g > IntSet.cardinal e then incr suboptimal
   done;
   Printf.printf "\ngreedy sub-optimal on %d/%d random 12x20 instances\n" !suboptimal trials
@@ -554,12 +554,12 @@ let diagnosability () =
   section "X7" "Extension: fault diagnosability with and without reconfiguration";
   let t = Lazy.force sim_pipeline in
   let row label configs =
-    let d = Mcdft_core.Diagnosis.build ?configs t in
-    let groups = Mcdft_core.Diagnosis.ambiguity_groups d in
+    let d = Diagnosis.Dictionary.build ?configs t in
+    let groups = Diagnosis.Dictionary.ambiguity_groups d in
     [
       label;
       string_of_int (List.length groups);
-      pct (100.0 *. Mcdft_core.Diagnosis.resolution d);
+      pct (100.0 *. Diagnosis.Dictionary.resolution d);
     ]
   in
   let r = Lazy.force sim_report in

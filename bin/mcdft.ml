@@ -225,6 +225,19 @@ let handle_errors f =
          (the MNA system has no unique solution — look for floating nodes, a \
          shorted source, or a wrong --source/--output pair)"
         msg
+  | Fault.Unknown_element name ->
+      die 4
+        "unknown element %S: no element with that name in the analyzed netlist\n\
+         (catastrophic fault lists only cover passive components; check the \
+         fault universe against the circuit)"
+        name
+  | Cover.Solver.Infeasible_cover tags ->
+      die 1
+        "infeasible covering problem: clause%s %s cannot be satisfied\n\
+         (a fault demands more detecting configurations than exist; lower \
+         --n-detect or drop the fault)"
+        (if List.length tags = 1 then "" else "s")
+        (String.concat ", " (List.map string_of_int tags))
   | Not_found ->
       die 4
         "a fault names an element absent from the analyzed netlist\n\
@@ -545,13 +558,14 @@ let matrix_cmd =
           $ trace_opt)
 
 let optimize_cmd =
-  let run name source output criterion ppd fault_kind jobs gc_default json metrics trace =
+  let run name source output criterion ppd fault_kind jobs gc_default n_detect json
+      metrics trace =
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
-        let r = P.optimize t in
+        let r = P.optimize ~n_detect t in
         if json then
           let snap =
             if metrics <> None then Some (Obs.Metrics.snapshot ()) else None
@@ -580,6 +594,18 @@ let optimize_cmd =
                (List.map
                   (fun j -> (List.nth faults j).Fault.id)
                   r.O.uncoverable));
+        if n_detect > 1 then begin
+          Printf.printf "  n-detect target     : %d detections per fault\n" n_detect;
+          if r.O.short_faults <> [] then
+            Printf.printf "  short faults        : %s\n"
+              (String.concat ", "
+                 (List.map
+                    (fun (j, avail) ->
+                      Printf.sprintf "%s (only %d config%s)" (List.nth faults j).Fault.id
+                        avail
+                        (if avail = 1 then "" else "s"))
+                    r.O.short_faults))
+        end;
         Printf.printf "  essential configs   : %s\n" (configs_to_string r.O.essential);
         (match r.O.xi_terms_raw with
         | Some terms when List.length terms <= 12 ->
@@ -593,23 +619,41 @@ let optimize_cmd =
         Printf.printf "\nobjective A - minimal test configurations:\n";
         Printf.printf "  chosen set          : %s\n" (configs_to_string r.O.choice_a.O.configs);
         Printf.printf "  <w-det>             : %.1f%%\n" r.O.choice_a.O.avg_omega;
+        if n_detect > 1 then
+          Printf.printf "  detections/fault    : worst %d, average %.2f\n"
+            r.O.detection_a.O.worst r.O.detection_a.O.average;
         Printf.printf "\nobjective B - minimal configurable opamps (partial DFT):\n";
         Printf.printf "  configurable opamps : %s\n"
           (opamps_to_string r.O.choice_b.O.opamps);
         Printf.printf "  reachable configs   : %s\n"
           (configs_to_string r.O.choice_b.O.reachable_configs);
         Printf.printf "  <w-det>             : %.1f%%\n" r.O.choice_b.O.avg_omega_reachable;
+        if n_detect > 1 then
+          Printf.printf "  detections/fault    : worst %d, average %.2f\n"
+            r.O.detection_b.O.worst r.O.detection_b.O.average;
         Printf.printf "\nreference <w-det>: functional %.1f%%, brute-force DFT %.1f%%\n"
           r.O.functional_avg_omega r.O.brute_force_avg_omega)
   in
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
+  let n_detect_opt =
+    Arg.(
+      value
+      & opt positive_int 1
+      & info [ "n-detect" ] ~docv:"N"
+          ~doc:
+            "Require each fault to be detected by at least $(docv) chosen \
+             configurations (n-detection covering). Faults detectable by fewer than \
+             $(docv) configurations are covered as far as possible and reported as \
+             short.")
+  in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Ordered-requirements optimization of the multi-configuration DFT (Sec. 4)")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ json_flag $ metrics_opt $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ n_detect_opt $ json_flag
+          $ metrics_opt $ trace_opt)
 
 let testplan_cmd =
   let run name source output criterion ppd fault_kind jobs gc_default metrics trace =
@@ -667,37 +711,182 @@ let sweep_cmd =
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ ppd_opt $ csv_flag)
 
 let diagnose_cmd =
-  let run name source output criterion ppd fault_kind jobs gc_default metrics trace =
+  let module T = Diagnosis.Trajectory in
+  let read_magnitudes file =
+    let ic =
+      try open_in file
+      with Sys_error msg -> die 5 "cannot read observation file: %s" msg
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let values = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         String.split_on_char ' ' line
+         |> List.concat_map (String.split_on_char ',')
+         |> List.iter (fun tok ->
+                let tok = String.trim tok in
+                if tok <> "" then
+                  match float_of_string_opt tok with
+                  | Some v -> values := v :: !values
+                  | None -> die 1 "observation file %s: %S is not a number" file tok)
+       done
+     with End_of_file -> ());
+    Array.of_list (List.rev !values)
+  in
+  let print_verdict (v : T.verdict) =
+    Printf.printf "  located fault : %s\n" v.T.fault.Fault.id;
+    Printf.printf "  rms distance  : %.4g\n" v.T.distance;
+    Printf.printf "  confidence    : %.2f%s\n" v.T.confidence
+      (if v.T.margin = infinity then " (only candidate)"
+       else Printf.sprintf " (margin to runner-up %.4g)" v.T.margin);
+    (if List.length v.T.ambiguous > 1 then
+       Printf.printf "  ambiguity set : %s\n"
+         (String.concat ", " (List.map (fun f -> f.Fault.id) v.T.ambiguous)));
+    let show = min 3 (List.length v.T.ranking) in
+    Printf.printf "  nearest %d     : %s\n" show
+      (String.concat "  "
+         (List.filteri (fun i _ -> i < show) v.T.ranking
+         |> List.map (fun (f, d) -> Printf.sprintf "%s=%.3g" f.Fault.id d)))
+  in
+  let run name source output criterion ppd fault_kind jobs gc_default tolerance
+      configs simulate simulate_all observe metrics trace =
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
-        let dict = Mcdft_core.Diagnosis.build t in
-        let groups = Mcdft_core.Diagnosis.ambiguity_groups dict in
-        Printf.printf "circuit: %s   measurements: %d configs x %d freqs
-"
-          b.Circuits.Benchmark.name
-          (List.length dict.Mcdft_core.Diagnosis.configs)
-          (Array.length dict.Mcdft_core.Diagnosis.freqs_hz);
-        Printf.printf "diagnostic resolution: %.1f%%
-
-"
-          (100.0 *. Mcdft_core.Diagnosis.resolution dict);
-        Printf.printf "ambiguity groups:
-";
-        List.iteri
-          (fun i group ->
-            Printf.printf "  %d. %s
-" (i + 1)
-              (String.concat ", " (List.map (fun f -> f.Fault.id) group)))
-          groups)
+        let traj = T.of_pipeline ?tolerance ?configs t in
+        Printf.printf "circuit: %s   measurements: %d points (%d faults)\n"
+          b.Circuits.Benchmark.name (T.n_measurements traj) (List.length faults);
+        let fault_of_arg s =
+          match List.find_opt (fun f -> f.Fault.id = s) faults with
+          | Some f -> f
+          | None -> (
+              match List.find_opt (fun f -> f.Fault.element = s) faults with
+              | Some f -> f
+              | None -> Fault.deviation ~element:s 1.2)
+        in
+        match (simulate, simulate_all, observe) with
+        | Some _, true, _ | Some _, _, Some _ | _, true, Some _ ->
+            die 1 "--simulate, --simulate-all and --observe are mutually exclusive"
+        | Some fid, false, None ->
+            let f = fault_of_arg fid in
+            let v = T.classify ?tolerance traj (T.simulate traj f) in
+            Printf.printf "\nsimulated fault %s:\n" f.Fault.id;
+            print_verdict v;
+            let hit =
+              v.T.fault.Fault.id = f.Fault.id
+              || List.exists (fun g -> g.Fault.id = f.Fault.id) v.T.ambiguous
+            in
+            if not hit then
+              die 1 "self-test failed: %s was classified as %s (not in ambiguity set)"
+                f.Fault.id v.T.fault.Fault.id
+        | None, true, None ->
+            let exact = ref 0 and via_set = ref 0 and missed = ref [] in
+            List.iter
+              (fun f ->
+                let v = T.classify ?tolerance traj (T.simulate traj f) in
+                if v.T.fault.Fault.id = f.Fault.id then incr exact
+                else if List.exists (fun g -> g.Fault.id = f.Fault.id) v.T.ambiguous
+                then begin
+                  incr via_set;
+                  Printf.printf "  %-12s -> ambiguity set {%s}\n" f.Fault.id
+                    (String.concat ", " (List.map (fun g -> g.Fault.id) v.T.ambiguous))
+                end
+                else begin
+                  missed := f.Fault.id :: !missed;
+                  Printf.printf "  %-12s -> MISS (classified %s, distance %.3g)\n"
+                    f.Fault.id v.T.fault.Fault.id v.T.distance
+                end)
+              faults;
+            Printf.printf
+              "\nself-test: %d/%d located exactly, %d via ambiguity set, %d missed\n"
+              !exact (List.length faults) !via_set (List.length !missed);
+            if !missed <> [] then
+              die 1 "diagnosis self-test missed: %s"
+                (String.concat ", " (List.rev !missed))
+        | None, false, Some file ->
+            let mags = read_magnitudes file in
+            let obs =
+              try T.deviations_of_magnitudes traj mags
+              with Invalid_argument _ ->
+                die 1 "observation file %s has %d values; this measurement set needs %d"
+                  file (Array.length mags) (T.n_measurements traj)
+            in
+            let v = T.classify ?tolerance traj obs in
+            Printf.printf "\nobserved response (%s):\n" file;
+            print_verdict v
+        | None, false, None ->
+            let sets = T.ambiguity_sets ?tolerance traj in
+            Printf.printf "trajectory resolution: %.1f%%   (dictionary: %.1f%%)\n\n"
+              (100.0 *. T.resolution ?tolerance traj)
+              (100.0 *. Diagnosis.Dictionary.resolution (Diagnosis.Dictionary.build t));
+            Printf.printf "ambiguity sets:\n";
+            List.iteri
+              (fun i group ->
+                Printf.printf "  %d. %s\n" (i + 1)
+                  (String.concat ", " (List.map (fun f -> f.Fault.id) group)))
+              sets)
+  in
+  let tolerance_opt =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tolerance" ] ~docv:"RMS"
+          ~doc:
+            "RMS deviation envelope within which two fault trajectories are \
+             considered indistinguishable (default 0.02).")
+  in
+  let configs_opt =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "configs" ] ~docv:"I,J,.."
+          ~doc:
+            "Restrict the measurement set to these configuration indices (e.g. an \
+             optimized cover); default: all test configurations.")
+  in
+  let simulate_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "simulate" ] ~docv:"FAULT"
+          ~doc:
+            "Self-test: simulate this fault (by id such as R1+20%, or element name \
+             for a +20% deviation) and classify its response.")
+  in
+  let simulate_all_flag =
+    Arg.(
+      value & flag
+      & info [ "simulate-all" ]
+          ~doc:
+            "Self-test every fault in the universe; exits non-zero if any fault is \
+             classified outside its ambiguity set.")
+  in
+  let observe_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "observe" ] ~docv:"FILE"
+          ~doc:
+            "Classify measured response magnitudes |H| read from FILE \
+             (whitespace/comma separated, configuration-major then frequency, one \
+             value per measurement point; # comments to end of line).")
   in
   Cmd.v
     (Cmd.info "diagnose"
-       ~doc:"Fault dictionary: ambiguity groups and diagnostic resolution")
+       ~doc:
+         "Fault location by nearest response trajectory: ambiguity sets, \
+          self-tests, and classification of observed responses")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ metrics_opt $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ tolerance_opt $ configs_opt
+          $ simulate_opt $ simulate_all_flag $ observe_opt $ metrics_opt $ trace_opt)
 
 let blocks_cmd =
   let run name source output criterion ppd jobs gc_default metrics trace =

@@ -348,21 +348,159 @@ let cover_minimality (s : Gen.subject) =
         let brute = Cover.Solver.brute_force clause in
         let greedy = Cover.Solver.greedy clause in
         let cost = Cover.Solver.cost_of in
-        if not (Cover.Clause.is_cover clause exact) then
-          Fail "exact returned a non-cover"
-        else if not (Cover.Clause.is_cover clause brute) then
-          Fail "brute_force returned a non-cover"
-        else if not (Cover.Clause.is_cover clause greedy) then
-          Fail "greedy returned a non-cover"
-        else if cost exact <> cost brute then
-          Fail
-            (Printf.sprintf "exact cost %g <> brute-force optimum %g" (cost exact)
-               (cost brute))
-        else if cost greedy < cost brute then
-          Fail
-            (Printf.sprintf "greedy cost %g beats the exhaustive optimum %g"
-               (cost greedy) (cost brute))
-        else Pass
+        (match (exact, brute, greedy) with
+        | Cover exact, Cover brute, Cover greedy ->
+            if not (Cover.Clause.is_cover clause exact) then
+              Fail "exact returned a non-cover"
+            else if not (Cover.Clause.is_cover clause brute) then
+              Fail "brute_force returned a non-cover"
+            else if not (Cover.Clause.is_cover clause greedy) then
+              Fail "greedy returned a non-cover"
+            else if cost exact <> cost brute then
+              Fail
+                (Printf.sprintf "exact cost %g <> brute-force optimum %g" (cost exact)
+                   (cost brute))
+            else if cost greedy < cost brute then
+              Fail
+                (Printf.sprintf "greedy cost %g beats the exhaustive optimum %g"
+                   (cost greedy) (cost brute))
+            else Pass
+        | _ ->
+            (* of_matrix skips empty columns, so the system is feasible
+               by construction — any Infeasible here is a solver bug *)
+            Fail "a solver reported an of_matrix system infeasible")
+
+(* --- n-detect: multiplicity covers vs exhaustive enumeration ------ *)
+
+(* The n = 2 instance exercises every multiplicity-specific code path:
+   capped needs, residual decrements in the branch-and-bound, and the
+   short-fault accounting. Feasibility verdicts on the strict instance
+   are checked against the detect-matrix column counts directly, not
+   against the solvers' own precheck. *)
+let n_detect (s : Gen.subject) =
+  match campaign ~jobs:1 s with
+  | exception Mna.Ac.Singular_circuit msg -> Skip ("a view is singular: " ^ msg)
+  | m ->
+      let capped = Cover.Clause.of_matrix ~n:2 m.Matrix.detect in
+      let n_candidates = Cover.Clause.IntSet.cardinal (Cover.Clause.candidates capped) in
+      if n_candidates = 0 then Skip "no fault is detectable in any view"
+      else if n_candidates > 20 then
+        Skip (Printf.sprintf "%d candidates exceed brute-force range" n_candidates)
+      else
+        let cost = Cover.Solver.cost_of in
+        (match
+           ( Cover.Solver.exact capped,
+             Cover.Solver.brute_force capped,
+             Cover.Solver.greedy capped,
+             Cover.Solver.greedy (Cover.Clause.of_matrix ~n:1 m.Matrix.detect),
+             Cover.Solver.greedy (Cover.Clause.of_matrix m.Matrix.detect) )
+         with
+        | Cover exact, Cover brute, Cover greedy, Cover greedy_n1, Cover greedy_legacy
+          ->
+            if not (Cover.Clause.is_cover capped exact) then
+              Fail "exact violates a multiplicity clause"
+            else if not (Cover.Clause.is_cover capped brute) then
+              Fail "brute_force violates a multiplicity clause"
+            else if not (Cover.Clause.is_cover capped greedy) then
+              Fail "greedy violates a multiplicity clause"
+            else if cost exact <> cost brute then
+              Fail
+                (Printf.sprintf "n=2 exact cost %g <> brute-force optimum %g"
+                   (cost exact) (cost brute))
+            else if cost greedy < cost brute then
+              Fail
+                (Printf.sprintf "n=2 greedy cost %g beats the exhaustive optimum %g"
+                   (cost greedy) (cost brute))
+            else if not (Cover.Clause.IntSet.equal greedy_n1 greedy_legacy) then
+              Fail "greedy at n=1 differs bitwise from the default covering"
+            else
+              (* strict instance: every solver must call infeasibility
+                 exactly when some column holds fewer than 2 views *)
+              let strict = Cover.Clause.of_matrix_exact ~n:2 m.Matrix.detect in
+              let expected =
+                List.sort_uniq Int.compare
+                  (Cover.Clause.uncoverable_faults m.Matrix.detect
+                  @ List.map fst (Cover.Clause.short_faults ~n:2 m.Matrix.detect))
+              in
+              let verdict solver =
+                match solver strict with
+                | Cover.Solver.Cover _ -> None
+                | Cover.Solver.Infeasible tags ->
+                    Some (List.sort_uniq Int.compare tags)
+              in
+              let expected = if expected = [] then None else Some expected in
+              if verdict (fun t -> Cover.Solver.greedy t) <> expected then
+                Fail "greedy feasibility verdict contradicts the column counts"
+              else if verdict (fun t -> Cover.Solver.exact t) <> expected then
+                Fail "exact feasibility verdict contradicts the column counts"
+              else if verdict (fun t -> Cover.Solver.brute_force t) <> expected then
+                Fail "brute_force feasibility verdict contradicts the column counts"
+              else Pass
+        | _ -> Fail "a solver reported the capped of_matrix system infeasible")
+
+(* --- diagnosis: trajectory self-test round-trip -------------------- *)
+
+(* For every fault in the universe, the trajectory its own simulator
+   produces must classify back to that fault — or land in an ambiguity
+   set containing it, when another fault's trajectory collides within
+   the tolerance envelope. *)
+let diagnosis (s : Gen.subject) =
+  let faults = Fault.both_deviations s.netlist in
+  if faults = [] then Skip "no deviation faults to diagnose"
+  else
+    let traj =
+      if Netlist.opamps s.netlist <> [] then
+        let b =
+          {
+            Circuits.Benchmark.name = s.label;
+            description = "conformance fuzz subject";
+            netlist = s.netlist;
+            source = s.source;
+            output = s.output;
+            center_hz = 1_000.0;
+          }
+        in
+        match Mcdft_core.Pipeline.run ~points_per_decade:3 ~faults ~jobs:1 b with
+        | t -> Ok (Diagnosis.Trajectory.of_pipeline t)
+        | exception Mna.Ac.Singular_circuit msg -> Error msg
+      else
+        let views =
+          List.map
+            (fun node ->
+              {
+                Matrix.label = "probe:" ^ node;
+                netlist = s.netlist;
+                probe = { Detect.source = s.source; output = node };
+              })
+            (Netlist.internal_nodes s.netlist)
+        in
+        if views = [] then Error "no probe views"
+        else
+          match Diagnosis.Trajectory.build grid views faults with
+          | t -> Ok t
+          | exception Mna.Ac.Singular_circuit msg -> Error msg
+    in
+    match traj with
+    | Error msg -> Skip ("cannot build a trajectory dictionary: " ^ msg)
+    | Ok traj ->
+        let module T = Diagnosis.Trajectory in
+        let failure = ref None in
+        List.iter
+          (fun (f : Fault.t) ->
+            if !failure = None then
+              let v = T.classify traj (T.simulate traj f) in
+              let hit =
+                v.T.fault.Fault.id = f.Fault.id
+                || List.exists (fun g -> g.Fault.id = f.Fault.id) v.T.ambiguous
+              in
+              if not hit then
+                failure :=
+                  Some
+                    (Printf.sprintf
+                       "%s classified as %s (distance %g) outside its ambiguity set"
+                       f.Fault.id v.T.fault.Fault.id v.T.distance))
+          faults;
+        (match !failure with Some m -> Fail m | None -> Pass)
 
 let all =
   [
@@ -395,6 +533,16 @@ let all =
       name = "cover-minimality";
       doc = "exact/greedy covers validated against exhaustive enumeration";
       check = cover_minimality;
+    };
+    {
+      name = "n-detect";
+      doc = "multiplicity (n=2) covers optimal, feasibility matching column counts";
+      check = n_detect;
+    };
+    {
+      name = "diagnosis";
+      doc = "trajectory self-test: every simulated fault classifies back to itself";
+      check = diagnosis;
     };
   ]
 

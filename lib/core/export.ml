@@ -27,6 +27,14 @@ let criterion_to_json (c : Testability.Detect.criterion) =
   in
   go c
 
+let detection_stats_to_json (d : Optimizer.detection_stats) =
+  J.Object
+    [
+      ("worst", J.int d.Optimizer.worst);
+      ("average", J.Number d.Optimizer.average);
+      ("per_fault", J.List (Array.to_list (Array.map J.int d.Optimizer.per_fault)));
+    ]
+
 let report_to_json ?faults (r : Optimizer.report) =
   let fault_labels =
     match faults with
@@ -46,6 +54,15 @@ let report_to_json ?faults (r : Optimizer.report) =
       ("functional_avg_omega", J.Number r.Optimizer.functional_avg_omega);
       ("brute_force_avg_omega", J.Number r.Optimizer.brute_force_avg_omega);
       ("uncoverable_faults", J.List (List.map J.int r.Optimizer.uncoverable));
+      ("n_detect", J.int r.Optimizer.n_detect);
+      ( "short_faults",
+        J.List
+          (List.map
+             (fun (fault, available) ->
+               J.Object [ ("fault", J.int fault); ("available", J.int available) ])
+             r.Optimizer.short_faults) );
+      ("detection_configs", detection_stats_to_json r.Optimizer.detection_a);
+      ("detection_opamps", detection_stats_to_json r.Optimizer.detection_b);
       ("essential_configs", J.List (List.map J.int r.Optimizer.essential));
       ("minimal_config_sets", J.List (List.map config_set r.Optimizer.min_config_sets));
       ( "choice_configs",

@@ -41,9 +41,17 @@ type opamp_choice = {
   avg_omega_reachable : float;
 }
 
+type detection_stats = {
+  worst : int;
+  average : float;
+  per_fault : int array;
+}
+
 type report = {
   input : input;
+  n_detect : int;
   uncoverable : int list;
+  short_faults : (int * int) list;
   max_coverage : float;
   functional_coverage : float;
   functional_avg_omega : float;
@@ -58,6 +66,8 @@ type report = {
   xi_star : IntSet.t list option;
   min_opamp_sets : IntSet.t list;
   choice_b : opamp_choice;
+  detection_a : detection_stats;
+  detection_b : detection_stats;
 }
 
 let n_faults input =
@@ -88,35 +98,34 @@ let coverage_of_rows input rows =
    reachable configurations still cover every coverable fault.  With
    n <= 20 opamps this is cheap. *)
 
-(* Which faults any configuration can cover at all. Computed once per
+(* Per-fault required detection counts: n capped at what the full
+   matrix can deliver (0 for uncoverable faults). Computed once per
    input: the exponential subset search below asks this per fault for
    every candidate subset, and an O(rows) rescan there multiplies into
    the 2ⁿ enumeration. *)
-let coverable_faults input =
+let required_hits input ~n =
   let rows = Array.length input.detect in
   let m = n_faults input in
   Array.init m (fun j ->
-      let rec probe i =
-        if i >= rows then false
-        else if input.detect.(i).(j) then true
-        else probe (i + 1)
-      in
-      probe 0)
+      let avail = ref 0 in
+      for i = 0 to rows - 1 do
+        if input.detect.(i).(j) then incr avail
+      done;
+      Int.min n !avail)
 
-let subset_covers input ~coverable ~mask =
+let subset_covers input ~needed ~mask =
   let rows = Array.length input.detect in
   let m = n_faults input in
-  let covered_by_any j =
-    let rec probe i =
-      if i >= rows then false
-      else if i land lnot mask = 0 && input.detect.(i).(j) then true
-      else probe (i + 1)
+  let hits j target =
+    let rec probe i acc =
+      if acc >= target || i >= rows then acc
+      else probe (i + 1) (if i land lnot mask = 0 && input.detect.(i).(j) then acc + 1 else acc)
     in
-    probe 0
+    probe 0 0
   in
   let rec check j =
     if j >= m then true
-    else if coverable.(j) && not (covered_by_any j) then false
+    else if hits j needed.(j) < needed.(j) then false
     else check (j + 1)
   in
   check 0
@@ -137,10 +146,10 @@ let combinations n k =
 
 let mask_of positions = List.fold_left (fun m k -> m lor (1 lsl k)) 0 positions
 
-let min_opamp_subsets input =
+let min_opamp_subsets ?(n_detect = 1) input =
   Obs.Trace.span "optimizer.min_opamp_subsets" @@ fun () ->
   let n = input.n_opamps in
-  let coverable = coverable_faults input in
+  let needed = required_hits input ~n:n_detect in
   let rec search k =
     if k > n then []
     else
@@ -148,12 +157,37 @@ let min_opamp_subsets input =
         List.filter
           (fun subset ->
             Obs.Metrics.incr "optimizer.subsets_tested";
-            subset_covers input ~coverable ~mask:(mask_of subset))
+            subset_covers input ~needed ~mask:(mask_of subset))
           (combinations n k)
       in
       if winners = [] then search (k + 1) else winners
   in
   List.map IntSet.of_list (search 0)
+
+(* Per-fault detection counts delivered by a configuration subset;
+   worst/average are taken over the detectable faults only (an
+   uncoverable fault would pin worst at 0 forever). *)
+let detection_stats input ~needed rows =
+  let m = n_faults input in
+  let counts =
+    Array.init m (fun j ->
+        List.fold_left (fun acc i -> if input.detect.(i).(j) then acc + 1 else acc) 0 rows)
+  in
+  let worst = ref max_int and sum = ref 0 and considered = ref 0 in
+  Array.iteri
+    (fun j c ->
+      if needed.(j) > 0 then begin
+        incr considered;
+        sum := !sum + c;
+        if c < !worst then worst := c
+      end)
+    counts;
+  {
+    worst = (if !considered = 0 then 0 else !worst);
+    average =
+      (if !considered = 0 then 0.0 else float_of_int !sum /. float_of_int !considered);
+    per_fault = counts;
+  }
 
 let reachable_test_configs input ~mask =
   let rows = Array.length input.detect in
@@ -161,9 +195,11 @@ let reachable_test_configs input ~mask =
 
 (* ---- the full ordered-requirements flow --------------------------- *)
 
-let optimize ?(petrick_limit = 5) input =
-  let xi = Clause.of_matrix input.detect in
+let optimize ?(petrick_limit = 5) ?(n_detect = 1) input =
+  if n_detect < 1 then invalid_arg "Optimizer.optimize: n_detect must be at least 1";
+  let xi = Clause.of_matrix ~n:n_detect input.detect in
   let uncoverable = Clause.uncoverable_faults input.detect in
+  let short_faults = Clause.short_faults ~n:n_detect input.detect in
   let essential = Clause.essentials xi in
   let xi_reduced = Clause.reduce xi ~chosen:essential in
   let use_petrick = input.n_opamps <= petrick_limit in
@@ -183,7 +219,9 @@ let optimize ?(petrick_limit = 5) input =
   let min_config_sets =
     match xi_terms_min with
     | Some terms -> Cover.Petrick.cheapest terms
-    | None -> [ Cover.Solver.exact xi ]
+    (* xi comes from of_matrix, which caps each clause's requirement at
+       its available candidates, so the system is feasible *)
+    | None -> [ Cover.Solver.cover_exn (Cover.Solver.exact xi) ]
   in
   let choice_a =
     let scored =
@@ -204,7 +242,7 @@ let optimize ?(petrick_limit = 5) input =
       (List.hd scored) (List.tl scored)
   in
   let xi_star = Option.map Cover.Mapping.xi_star xi_terms_raw in
-  let min_opamp_sets = min_opamp_subsets input in
+  let min_opamp_sets = min_opamp_subsets ~n_detect input in
   let choice_b =
     let scored =
       List.map
@@ -232,9 +270,14 @@ let optimize ?(petrick_limit = 5) input =
           first rest
   in
   let all_rows = List.init (Array.length input.detect) Fun.id in
+  let needed = required_hits input ~n:n_detect in
+  let detection_a = detection_stats input ~needed choice_a.configs in
+  let detection_b = detection_stats input ~needed choice_b.reachable_configs in
   {
     input;
+    n_detect;
     uncoverable;
+    short_faults;
     max_coverage = coverage_of_rows input all_rows;
     functional_coverage = coverage_of_rows input [ 0 ];
     functional_avg_omega = avg_omega_of input [ 0 ];
@@ -249,4 +292,6 @@ let optimize ?(petrick_limit = 5) input =
     xi_star;
     min_opamp_sets;
     choice_b;
+    detection_a;
+    detection_b;
   }

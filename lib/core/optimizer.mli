@@ -44,9 +44,20 @@ type opamp_choice = {
   avg_omega_reachable : float;
 }
 
+type detection_stats = {
+  worst : int;  (** Fewest detections any detectable fault receives. *)
+  average : float;  (** Mean detection count over detectable faults. *)
+  per_fault : int array;  (** Detection count per fault column. *)
+}
+
 type report = {
   input : input;
+  n_detect : int;  (** Requested per-fault detection multiplicity. *)
   uncoverable : int list;  (** Fault columns no configuration detects. *)
+  short_faults : (int * int) list;
+      (** [(fault, available)] for faults detectable in fewer than
+          [n_detect] configurations — their requirement was capped at
+          the achievable count. *)
   max_coverage : float;  (** The fundamental requirement's target. *)
   functional_coverage : float;  (** Coverage of C₀ alone. *)
   functional_avg_omega : float;
@@ -65,16 +76,28 @@ type report = {
   xi_star : IntSet.t list option;  (** Opamp-mapped SOP terms. *)
   min_opamp_sets : IntSet.t list;  (** 2nd-order-B ties. *)
   choice_b : opamp_choice;  (** After the 3rd-order tie-break. *)
+  detection_a : detection_stats;  (** Counts delivered by [choice_a.configs]. *)
+  detection_b : detection_stats;
+      (** Counts delivered by [choice_b.reachable_configs]. *)
 }
 
 val avg_omega_of : input -> int list -> float
 (** ⟨ω-det⟩ of a configuration subset: mean over every fault of the
     best ω among the subset's rows. *)
 
-val optimize : ?petrick_limit:int -> input -> report
+val optimize : ?petrick_limit:int -> ?n_detect:int -> input -> report
 (** Run the full flow. Petrick expansion (and the raw SOP listing) is
     only attempted when the number of opamps is at most
     [petrick_limit] (default 5); beyond that the exact
     branch-and-bound solver provides the minimum-cardinality set and
     opamp subsets are found by direct subset enumeration (which is
-    exact at any size). *)
+    exact at any size).
+
+    [n_detect] (default 1) asks that every fault be detected in at
+    least that many chosen configurations (n-detection covering,
+    Pomeranz & Reddy). Requirements are capped at each fault's
+    achievable count — the capped faults are listed in
+    [short_faults] — so the flow always succeeds; both the
+    configuration covers (objective A) and the opamp subsets
+    (objective B) honor the multiplicity. Raises [Invalid_argument]
+    when [n_detect < 1]. *)

@@ -53,9 +53,9 @@ let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
   in
   { benchmark; dft; grid; criterion; faults; matrix; input }
 
-let optimize ?petrick_limit t =
+let optimize ?petrick_limit ?n_detect t =
   Obs.Trace.span "pipeline.optimize" @@ fun () ->
-  Optimizer.optimize ?petrick_limit t.input
+  Optimizer.optimize ?petrick_limit ?n_detect t.input
 
 let functional_results t =
   let probe =

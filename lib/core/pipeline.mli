@@ -40,7 +40,7 @@ val run :
     ones (see {!Multiconfig.Transform.emulate}); [jobs] parallelizes
     the campaign across domains (see {!Testability.Matrix.build}). *)
 
-val optimize : ?petrick_limit:int -> t -> Optimizer.report
+val optimize : ?petrick_limit:int -> ?n_detect:int -> t -> Optimizer.report
 
 val functional_results : t -> Testability.Detect.result list
 (** Per-fault results in the functional configuration C₀ alone —

@@ -80,12 +80,12 @@ let build_with ~distinguish ~configs (pipeline : Pipeline.t) =
     done
   end;
   let problem =
-    {
-      Cover.Clause.n_candidates = List.length configs * n_points;
-      clauses = List.rev !clauses;
-    }
+    Cover.Clause.of_sets
+      ~n_candidates:(List.length configs * n_points)
+      (List.rev !clauses)
   in
-  let chosen = Cover.Solver.exact problem in
+  (* feasible by construction: only non-empty candidate sets are queued *)
+  let chosen = Cover.Solver.cover_exn (Cover.Solver.exact problem) in
   let decode m =
     let c = m / n_points and k = m mod n_points in
     { config = List.nth configs c; freq_hz = freqs.(k) }

@@ -12,16 +12,29 @@ let dedup terms =
       end)
     terms
 
+(* All [need]-element subsets of a clause's literals, in element order
+   (so that need = 1 reproduces the paper's derivation order). An
+   unsatisfiable clause (|lits| < need) yields no subsets, so the whole
+   expansion collapses to [] — the POS expression is identically 0. *)
+let need_subsets (c : Clause.clause) =
+  let rec choose k xs =
+    if k = 0 then [ [] ]
+    else
+      match xs with
+      | [] -> []
+      | x :: rest -> List.map (fun s -> x :: s) (choose (k - 1) rest) @ choose k rest
+  in
+  List.map IntSet.of_list (choose c.Clause.need (IntSet.elements c.Clause.lits))
+
 (* One distribution step: multiply the running sum of products by a
-   clause (a sum of literals). *)
-let distribute products clause =
-  List.concat_map
-    (fun p -> List.map (fun c -> IntSet.add c p) (IntSet.elements clause))
-    products
+   clause — for multiplicity clauses, by the sum over its
+   [need]-subsets (any solution picks at least one full subset). *)
+let distribute products subsets =
+  List.concat_map (fun p -> List.map (fun s -> IntSet.union s p) subsets) products
 
 let expand_raw (t : Clause.t) =
   List.fold_left
-    (fun products clause -> dedup (distribute products clause))
+    (fun products clause -> dedup (distribute products (need_subsets clause)))
     [ IntSet.empty ] t.Clause.clauses
 
 let absorb terms =
@@ -46,7 +59,7 @@ let compare_terms a b =
 let expand (t : Clause.t) =
   let products =
     List.fold_left
-      (fun products clause -> absorb (distribute products clause))
+      (fun products clause -> absorb (distribute products (need_subsets clause)))
       [ IntSet.empty ] t.Clause.clauses
   in
   List.sort compare_terms products

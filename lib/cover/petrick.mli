@@ -2,6 +2,13 @@
     products. Every product term is a configuration set satisfying the
     fundamental requirement (maximum fault coverage).
 
+    Multiplicity clauses (need > 1) distribute over their
+    [need]-element literal subsets: any solution contains at least one
+    such subset in full. An unsatisfiable clause ([cardinal lits <
+    need]) has no subsets, so both expansions return [] — ξ ≡ 0;
+    feasibility should be checked up front via
+    {!Clause.infeasible_tags} where that matters.
+
     Two variants are exposed because the paper's worked example (§4.1)
     develops ξ applying idempotence but {e not} absorption — its five
     product terms include absorbable ones like C1·C2·C5 ⊃ C1·C2. *)

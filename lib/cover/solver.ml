@@ -1,82 +1,133 @@
 module IntSet = Clause.IntSet
 
+type outcome = Cover of IntSet.t | Infeasible of int list
+
+exception Infeasible_cover of int list
+
+let cover_exn = function
+  | Cover s -> s
+  | Infeasible tags -> raise (Infeasible_cover tags)
+
 let cost_of ?(cost = fun _ -> 1.0) set = IntSet.fold (fun c acc -> acc +. cost c) set 0.0
 
-let greedy ?(cost = fun _ -> 1.0) (t : Clause.t) =
-  let rec loop clauses chosen =
-    match clauses with
-    | [] -> chosen
-    | _ ->
-        let candidates =
-          List.fold_left IntSet.union IntSet.empty clauses |> IntSet.elements
-        in
-        let gain c =
-          let hits =
-            List.length (List.filter (fun clause -> IntSet.mem c clause) clauses)
-          in
-          float_of_int hits /. Float.max 1e-12 (cost c)
-        in
-        let best =
-          List.fold_left
-            (fun acc c ->
-              match acc with
-              | None -> Some (c, gain c)
-              | Some (_, g) -> if gain c > g then Some (c, gain c) else acc)
-            None candidates
-        in
-        let c = match best with Some (c, _) -> c | None -> assert false in
-        let remaining = List.filter (fun clause -> not (IntSet.mem c clause)) clauses in
-        loop remaining (IntSet.add c chosen)
-  in
-  loop t.Clause.clauses IntSet.empty
+(* Residual clause during a solve: the original requirement minus the
+   literals already chosen. The [need <= cardinal lits] invariant is
+   established by the feasibility precheck and preserved by every
+   reduction step (removing a chosen literal decrements both sides). *)
+let residuals (t : Clause.t) =
+  List.map (fun c -> (c.Clause.lits, c.Clause.need)) t.Clause.clauses
 
-(* Lower bound: greedily pick pairwise-disjoint clauses; any cover
-   needs one candidate per picked clause, each costing at least the
-   clause's cheapest literal. *)
+let reduce_by clauses c =
+  List.filter_map
+    (fun (lits, need) ->
+      if IntSet.mem c lits then
+        if need = 1 then None else Some (IntSet.remove c lits, need - 1)
+      else Some (lits, need))
+    clauses
+
+let greedy ?(cost = fun _ -> 1.0) (t : Clause.t) =
+  match Clause.infeasible_tags t with
+  | _ :: _ as tags -> Infeasible tags
+  | [] ->
+      let rec loop clauses chosen =
+        match clauses with
+        | [] -> Cover chosen
+        | _ ->
+            let candidates =
+              List.fold_left (fun acc (lits, _) -> IntSet.union acc lits) IntSet.empty
+                clauses
+              |> IntSet.elements
+            in
+            let gain c =
+              let hits =
+                List.length (List.filter (fun (lits, _) -> IntSet.mem c lits) clauses)
+              in
+              float_of_int hits /. Float.max 1e-12 (cost c)
+            in
+            Obs.Metrics.incr "cover.greedy_gain_evals" ~by:(List.length candidates);
+            (* one gain evaluation per candidate: the fold carries the
+               evaluated score instead of recomputing it on comparison *)
+            let best =
+              List.fold_left
+                (fun acc c ->
+                  let g = gain c in
+                  match acc with
+                  | None -> Some (c, g)
+                  | Some (_, gb) -> if g > gb then Some (c, g) else acc)
+                None candidates
+            in
+            (* candidates is non-empty: every live clause kept need <=
+               cardinal lits through the reductions, so an unsatisfied
+               clause still holds literals *)
+            let c = match best with Some (c, _) -> c | None -> assert false in
+            loop (reduce_by clauses c) (IntSet.add c chosen)
+      in
+      loop (residuals t) IntSet.empty
+
+(* Lower bound: greedily pick clauses with pairwise-disjoint literal
+   sets; any cover needs [need] distinct candidates per picked clause,
+   each block costing at least the clause's [need] cheapest literals. *)
+let cheapest_need_sum ~cost lits need =
+  let sorted = List.sort Float.compare (List.map cost (IntSet.elements lits)) in
+  let rec take k = function
+    | _ when k = 0 -> 0.0
+    | [] -> 0.0
+    | c :: rest -> c +. take (k - 1) rest
+  in
+  take need sorted
+
 let lower_bound ~cost clauses =
   let rec loop clauses acc =
     match clauses with
     | [] -> acc
-    | clause :: rest ->
-        let min_cost =
-          IntSet.fold (fun c m -> Float.min m (cost c)) clause infinity
-        in
+    | (lits, need) :: rest ->
         let disjoint =
-          List.filter (fun c -> IntSet.is_empty (IntSet.inter c clause)) rest
+          List.filter (fun (l, _) -> IntSet.is_empty (IntSet.inter l lits)) rest
         in
-        loop disjoint (acc +. min_cost)
+        loop disjoint (acc +. cheapest_need_sum ~cost lits need)
   in
   (* sorting small-first strengthens the bound *)
   let sorted =
-    List.sort (fun a b -> Int.compare (IntSet.cardinal a) (IntSet.cardinal b)) clauses
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare (IntSet.cardinal a) (IntSet.cardinal b))
+      clauses
   in
   loop sorted 0.0
 
 (* Essential literals and clause-dominance reductions, applied to a
-   fixed point. Returns the forced choices and the residual clauses. *)
+   fixed point. Returns the forced choices and the residual clauses. A
+   zero-slack clause (cardinal lits = need) forces all its literals;
+   clause i is dominated by j when lits_j ⊆ lits_i with need_j >=
+   need_i — any set hitting j often enough hits i often enough. *)
 let preprocess ~clauses =
   let rec loop clauses forced =
-    let singletons =
+    let zero_slack =
       List.fold_left
-        (fun acc c -> if IntSet.cardinal c = 1 then IntSet.union acc c else acc)
+        (fun acc (lits, need) ->
+          if IntSet.cardinal lits = need then IntSet.union acc lits else acc)
         IntSet.empty clauses
     in
-    if not (IntSet.is_empty singletons) then begin
-      Obs.Metrics.incr "cover.preprocess_forced" ~by:(IntSet.cardinal singletons);
+    if not (IntSet.is_empty zero_slack) then begin
+      Obs.Metrics.incr "cover.preprocess_forced" ~by:(IntSet.cardinal zero_slack);
       let remaining =
-        List.filter (fun c -> IntSet.is_empty (IntSet.inter c singletons)) clauses
+        List.filter_map
+          (fun (lits, need) ->
+            let hit = IntSet.cardinal (IntSet.inter lits zero_slack) in
+            if hit >= need then None
+            else Some (IntSet.diff lits zero_slack, need - hit))
+          clauses
       in
-      loop remaining (IntSet.union forced singletons)
+      loop remaining (IntSet.union forced zero_slack)
     end
     else begin
-      (* clause dominance: a superset clause is implied by its subset *)
       let arr = Array.of_list clauses in
       let n = Array.length arr in
       let keep = Array.make n true in
       for i = 0 to n - 1 do
         for j = 0 to n - 1 do
-          if i <> j && keep.(i) && keep.(j) && IntSet.subset arr.(j) arr.(i)
-             && (not (IntSet.equal arr.(i) arr.(j)) || j < i)
+          let il, ineed = arr.(i) and jl, jneed = arr.(j) in
+          if i <> j && keep.(i) && keep.(j) && IntSet.subset jl il && jneed >= ineed
+             && (not (IntSet.equal il jl && ineed = jneed) || j < i)
           then keep.(i) <- false
         done
       done;
@@ -88,77 +139,88 @@ let preprocess ~clauses =
   loop clauses IntSet.empty
 
 let brute_force ?(cost = fun _ -> 1.0) (t : Clause.t) =
-  let candidates = Array.of_list (IntSet.elements (Clause.candidates t)) in
-  let k = Array.length candidates in
-  if k > 20 then
-    invalid_arg
-      (Printf.sprintf "Solver.brute_force: %d candidates (limit 20; use exact)" k);
-  let best = ref IntSet.empty and best_cost = ref infinity and found = ref false in
-  for mask = 0 to (1 lsl k) - 1 do
-    let chosen = ref IntSet.empty in
-    for i = 0 to k - 1 do
-      if mask land (1 lsl i) <> 0 then chosen := IntSet.add candidates.(i) !chosen
-    done;
-    let chosen = !chosen in
-    if Clause.is_cover t chosen then begin
-      let c = cost_of ~cost chosen in
-      let better =
-        (not !found)
-        || c < !best_cost -. 1e-12
-        || (Float.abs (c -. !best_cost) <= 1e-12
-           && List.compare Int.compare (IntSet.elements chosen)
-                (IntSet.elements !best)
-              < 0)
-      in
-      if better then begin
-        found := true;
-        best := chosen;
-        best_cost := c
-      end
-    end
-  done;
-  !best
+  match Clause.infeasible_tags t with
+  | _ :: _ as tags -> Infeasible tags
+  | [] ->
+      let candidates = Array.of_list (IntSet.elements (Clause.candidates t)) in
+      let k = Array.length candidates in
+      if k > 20 then
+        invalid_arg
+          (Printf.sprintf "Solver.brute_force: %d candidates (limit 20; use exact)" k);
+      let best = ref IntSet.empty and best_cost = ref infinity and found = ref false in
+      for mask = 0 to (1 lsl k) - 1 do
+        let chosen = ref IntSet.empty in
+        for i = 0 to k - 1 do
+          if mask land (1 lsl i) <> 0 then chosen := IntSet.add candidates.(i) !chosen
+        done;
+        let chosen = !chosen in
+        if Clause.is_cover t chosen then begin
+          let c = cost_of ~cost chosen in
+          let better =
+            (not !found)
+            || c < !best_cost -. 1e-12
+            || (Float.abs (c -. !best_cost) <= 1e-12
+               && List.compare Int.compare (IntSet.elements chosen)
+                    (IntSet.elements !best)
+                  < 0)
+          in
+          if better then begin
+            found := true;
+            best := chosen;
+            best_cost := c
+          end
+        end
+      done;
+      (* a feasible system is always covered by the full candidate set *)
+      Cover !best
 
 let exact ?(cost = fun _ -> 1.0) (t : Clause.t) =
   Obs.Trace.span "cover.exact" @@ fun () ->
-  let best = ref None in
-  let best_cost = ref infinity in
-  let consider chosen =
-    let c = cost_of ~cost chosen in
-    let better =
-      c < !best_cost -. 1e-12
-      || (Float.abs (c -. !best_cost) <= 1e-12
-         && match !best with
-            | Some b -> List.compare Int.compare (IntSet.elements chosen) (IntSet.elements b) < 0
-            | None -> true)
-    in
-    if better then begin
-      best := Some chosen;
-      best_cost := c
-    end
-  in
-  let rec branch clauses chosen chosen_cost =
-    Obs.Metrics.incr "cover.bnb_nodes";
-    let forced, clauses = preprocess ~clauses in
-    let chosen = IntSet.union chosen forced in
-    let chosen_cost = chosen_cost +. cost_of ~cost forced in
-    match clauses with
-    | [] -> consider chosen
-    | _ when chosen_cost +. lower_bound ~cost clauses >= !best_cost -. 1e-12 -> ()
-    | clause :: _ ->
-        (* branch on the literals of a smallest clause *)
-        let smallest =
-          List.fold_left
-            (fun acc c -> if IntSet.cardinal c < IntSet.cardinal acc then c else acc)
-            clause clauses
+  match Clause.infeasible_tags t with
+  | _ :: _ as tags -> Infeasible tags
+  | [] -> (
+      let best = ref None in
+      let best_cost = ref infinity in
+      let consider chosen =
+        let c = cost_of ~cost chosen in
+        let better =
+          c < !best_cost -. 1e-12
+          || (Float.abs (c -. !best_cost) <= 1e-12
+             && match !best with
+                | Some b ->
+                    List.compare Int.compare (IntSet.elements chosen) (IntSet.elements b)
+                    < 0
+                | None -> true)
         in
-        IntSet.iter
-          (fun c ->
-            let remaining =
-              List.filter (fun cl -> not (IntSet.mem c cl)) clauses
+        if better then begin
+          best := Some chosen;
+          best_cost := c
+        end
+      in
+      let rec branch clauses chosen chosen_cost =
+        Obs.Metrics.incr "cover.bnb_nodes";
+        let forced, clauses = preprocess ~clauses in
+        let chosen = IntSet.union chosen forced in
+        let chosen_cost = chosen_cost +. cost_of ~cost forced in
+        match clauses with
+        | [] -> consider chosen
+        | _ when chosen_cost +. lower_bound ~cost clauses >= !best_cost -. 1e-12 -> ()
+        | clause :: _ ->
+            (* branch on the literals of a smallest clause: every
+               solution includes one of them, and the recursion on the
+               reduced residuals enumerates the rest of its quota *)
+            let smallest =
+              List.fold_left
+                (fun ((accl, _) as acc) ((l, _) as c) ->
+                  if IntSet.cardinal l < IntSet.cardinal accl then c else acc)
+                clause clauses
             in
-            branch remaining (IntSet.add c chosen) (chosen_cost +. cost c))
-          smallest
-  in
-  branch t.Clause.clauses IntSet.empty 0.0;
-  match !best with Some b -> b | None -> IntSet.empty
+            IntSet.iter
+              (fun c ->
+                branch (reduce_by clauses c) (IntSet.add c chosen)
+                  (chosen_cost +. cost c))
+              (fst smallest)
+      in
+      branch (residuals t) IntSet.empty 0.0;
+      (* a feasible system always yields at least one leaf solution *)
+      match !best with Some b -> Cover b | None -> Infeasible [])

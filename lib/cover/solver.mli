@@ -1,21 +1,41 @@
-(** Unate-covering solvers.
+(** Multiplicity-covering solvers.
 
-    {!exact} is a branch-and-bound search with essential/dominance
-    reductions and an independent-set lower bound — optimal, used for
-    the headline results. {!greedy} is the classical largest-gain
-    heuristic, kept as the baseline the benches compare against.
-    Both accept an additive candidate cost (default: cardinality). *)
+    {!exact} is a branch-and-bound search with zero-slack/dominance
+    reductions and a disjoint-clause lower bound summing each clause's
+    [need] cheapest literals — optimal, used for the headline results.
+    {!greedy} is the classical largest-gain heuristic, kept as the
+    baseline the benches compare against. Both accept an additive
+    candidate cost (default: cardinality).
 
-val greedy : ?cost:(int -> float) -> Clause.t -> Clause.IntSet.t
+    All solvers agree on feasibility: a system containing a clause with
+    fewer literals than its requirement (in particular an empty clause
+    from an undetectable fault) yields [Infeasible] naming the clause
+    tags, never a crash or a silent empty cover. *)
+
+type outcome =
+  | Cover of Clause.IntSet.t  (** A set satisfying every clause. *)
+  | Infeasible of int list
+      (** Tags of the unsatisfiable clauses ([cardinal lits < need]),
+          in clause order. *)
+
+exception Infeasible_cover of int list
+(** Carried tags as in {!Infeasible}. *)
+
+val cover_exn : outcome -> Clause.IntSet.t
+(** Unwrap a {!Cover}; raises {!Infeasible_cover} otherwise — for call
+    sites whose systems are feasible by construction. *)
+
+val greedy : ?cost:(int -> float) -> Clause.t -> outcome
 (** Repeatedly pick the candidate with the best
-    (covered clauses / cost) ratio. Always returns a valid cover of the
-    coverable clauses. *)
+    (residual clause hits / cost) ratio until every clause is hit
+    [need] times. Each candidate's gain is evaluated exactly once per
+    round (counted in the [cover.greedy_gain_evals] metric). *)
 
-val exact : ?cost:(int -> float) -> Clause.t -> Clause.IntSet.t
+val exact : ?cost:(int -> float) -> Clause.t -> outcome
 (** A minimum-cost cover. Ties are broken deterministically (prefer
     smaller candidate indices). *)
 
-val brute_force : ?cost:(int -> float) -> Clause.t -> Clause.IntSet.t
+val brute_force : ?cost:(int -> float) -> Clause.t -> outcome
 (** Exhaustive minimum-cost cover by subset enumeration over the
     candidates appearing in the clauses — the conformance fuzzer's
     reference implementation for {!exact}. Same deterministic

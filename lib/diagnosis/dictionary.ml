@@ -1,3 +1,5 @@
+module Pipeline = Mcdft_core.Pipeline
+
 type dictionary = {
   configs : int list;
   freqs_hz : float array;
@@ -99,7 +101,7 @@ let diagnose dict observed =
     List.length dict.configs * Array.length dict.freqs_hz
   in
   if Array.length observed <> expected_len then
-    invalid_arg "Diagnosis.diagnose: signature length mismatch";
+    invalid_arg "Diagnosis.Dictionary.diagnose: signature length mismatch";
   Array.to_list
     (Array.mapi (fun j signature -> (dict.faults.(j), hamming observed signature)) dict.signatures)
   |> List.sort (fun (_, a) (_, b) -> Int.compare a b)

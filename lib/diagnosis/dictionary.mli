@@ -19,7 +19,7 @@ type dictionary = {
           [configs x freqs] (configuration-major). *)
 }
 
-val build : ?configs:int list -> Pipeline.t -> dictionary
+val build : ?configs:int list -> Mcdft_core.Pipeline.t -> dictionary
 (** Build the dictionary over the given configurations (default: all
     test configurations of the pipeline). *)
 
@@ -38,7 +38,7 @@ val diagnose : dictionary -> bool array -> (Fault.t * int) list
     distance (distance 0 first — exact matches). Raises
     [Invalid_argument] on a signature length mismatch. *)
 
-val signature_of : Pipeline.t -> dictionary -> Fault.t -> bool array
+val signature_of : Mcdft_core.Pipeline.t -> dictionary -> Fault.t -> bool array
 (** Simulate the signature a given fault would produce under the
     dictionary's measurement set — the "tester side" for closed-loop
     experiments. *)

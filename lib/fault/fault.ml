@@ -5,6 +5,8 @@ type kind = Deviation of float | Open_circuit | Short_circuit
 
 type t = { id : string; element : string; kind : kind }
 
+exception Unknown_element of string
+
 let open_resistance = 1e9
 let short_resistance = 1e-3
 
@@ -42,7 +44,7 @@ let catastrophic_faults netlist =
    shape) is preserved. *)
 let replace_with_resistance netlist element r =
   match Netlist.find netlist element with
-  | None -> raise Not_found
+  | None -> raise (Unknown_element element)
   | Some e -> (
       match Element.nodes e with
       | [ n1; n2 ] ->
@@ -55,7 +57,10 @@ let replace_with_resistance netlist element r =
 
 let inject fault netlist =
   match fault.kind with
-  | Deviation factor -> Netlist.map_value ~name:fault.element ~f:(fun v -> v *. factor) netlist
+  | Deviation factor ->
+      if not (Netlist.mem netlist fault.element) then
+        raise (Unknown_element fault.element);
+      Netlist.map_value ~name:fault.element ~f:(fun v -> v *. factor) netlist
   | Open_circuit -> replace_with_resistance netlist fault.element open_resistance
   | Short_circuit -> replace_with_resistance netlist fault.element short_resistance
 

@@ -19,6 +19,10 @@ type t = { id : string; element : string; kind : kind }
 (** A single fault: [element] names the component affected, [id] is a
     stable human-readable identifier such as ["R1+20%"]. *)
 
+exception Unknown_element of string
+(** A fault names an element absent from the analyzed netlist. Carried
+    through to the CLI's typed error router (exit 4). *)
+
 val open_resistance : float
 val short_resistance : float
 
@@ -39,7 +43,7 @@ val inject : t -> Netlist.t -> Netlist.t
 (** Apply the fault to a netlist. Works on any netlist containing an
     element with the fault's name — in particular on every DFT
     configuration view, since the multi-configuration transform
-    preserves passive elements. Raises [Not_found] when the element is
-    absent. *)
+    preserves passive elements. Raises {!Unknown_element} when the
+    element is absent. *)
 
 val pp : Format.formatter -> t -> unit

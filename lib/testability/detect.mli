@@ -113,7 +113,8 @@ val view_dim : prepared_view -> int
 val plan_fault : prepared_view -> Fault.t -> Fastsim.plan
 (** Classify and prepare one fault against the view's engine
     ({!Fastsim.plan_of}); build each (view, fault) plan exactly once.
-    Raises [Not_found] when the fault's element is absent. *)
+    Raises {!Fault.Unknown_element} when the fault's element is
+    absent. *)
 
 val score_range :
   prepared_view ->

@@ -261,7 +261,7 @@ let rank1_if_sane r1 =
    deviations, non-finite deltas) takes the structural path. *)
 let classify t (fault : Fault.t) =
   match Netlist.find t.netlist fault.Fault.element with
-  | None -> raise Not_found
+  | None -> raise (Fault.Unknown_element fault.Fault.element)
   | Some e -> (
       let structural () = Structural (Fault.inject fault t.netlist) in
       let or_structural r1 =
@@ -396,7 +396,7 @@ let warm_cache t faults =
         match classify t fault with
         | Rank_one { u; _ } -> if List.mem u acc then acc else u :: acc
         | Unchanged | Structural _ -> acc
-        | exception Not_found -> acc)
+        | exception Fault.Unknown_element _ -> acc)
       [] faults
     |> List.rev
   in

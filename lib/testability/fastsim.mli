@@ -65,9 +65,10 @@ val warm_cache : t -> Fault.t list -> unit
 val response : t -> Fault.t -> Complex.t option array
 (** The faulty transfer at every grid frequency; [None] where the
     faulty system is singular (the naive path's
-    [Singular_circuit]-per-point outcome). Raises [Not_found] when the
-    fault's element is absent from the netlist, like {!Fault.inject}.
-    Equivalent to {!plan_of} + a full-range {!response_range_into}. *)
+    [Singular_circuit]-per-point outcome). Raises
+    {!Fault.Unknown_element} when the fault's element is absent from
+    the netlist, like {!Fault.inject}. Equivalent to {!plan_of} + a
+    full-range {!response_range_into}. *)
 
 val dim : t -> int
 (** The MNA system dimension — for callers sizing work estimates. *)
@@ -86,7 +87,7 @@ val plan_of : t -> Fault.t -> plan
 (** Classify and prepare one fault. Structural faults book their
     [fastsim.structural_faults] increment (and their assembly) here,
     once per plan — so build each (engine, fault) plan once. Raises
-    [Not_found] like {!response}. *)
+    {!Fault.Unknown_element} like {!response}. *)
 
 val response_range_into :
   t ->

@@ -259,9 +259,9 @@ let qcheck_brute_matches_exact =
       let clause = Cover.Clause.of_matrix m in
       let weighted = Random.State.bool rng in
       let cost = if weighted then Some (fun i -> 1.0 +. (0.3 *. float_of_int i)) else None in
-      let exact = Cover.Solver.exact ?cost clause in
-      let brute = Cover.Solver.brute_force ?cost clause in
-      let greedy = Cover.Solver.greedy ?cost clause in
+      let exact = Cover.Solver.(cover_exn (exact ?cost clause)) in
+      let brute = Cover.Solver.(cover_exn (brute_force ?cost clause)) in
+      let greedy = Cover.Solver.(cover_exn (greedy ?cost clause)) in
       (* the two searches may return *different* minimal covers whose
          float costs differ in the last ulp (the 0.3·i weights are
          inexact and the summation orders differ), so the optimality
@@ -276,10 +276,8 @@ let qcheck_brute_matches_exact =
 
 let test_brute_force_candidate_limit () =
   let clauses =
-    {
-      Cover.Clause.n_candidates = 24;
-      clauses = [ Cover.Clause.IntSet.of_list (List.init 24 Fun.id) ];
-    }
+    Cover.Clause.of_sets ~n_candidates:24
+      [ Cover.Clause.IntSet.of_list (List.init 24 Fun.id) ]
   in
   match Cover.Solver.brute_force clauses with
   | _ -> Alcotest.fail "expected Invalid_argument beyond 20 candidates"
@@ -289,7 +287,7 @@ let test_brute_force_candidate_limit () =
 
 let test_oracle_registry () =
   let names = List.map (fun o -> o.Oracle.name) Oracle.all in
-  Alcotest.(check int) "six oracles" 6 (List.length names);
+  Alcotest.(check int) "eight oracles" 8 (List.length names);
   Alcotest.(check bool) "names unique" true
     (List.length (List.sort_uniq compare names) = List.length names);
   List.iter

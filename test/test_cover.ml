@@ -2,6 +2,9 @@ module Clause = Cover.Clause
 module IntSet = Clause.IntSet
 
 let set = IntSet.of_list
+let exact_exn p = Cover.Solver.(cover_exn (exact p))
+let greedy_exn p = Cover.Solver.(cover_exn (greedy p))
+let brute_exn p = Cover.Solver.(cover_exn (brute_force p))
 
 let matrix_3x4 =
   (* candidates 0..2, faults 0..3; fault 3 uncoverable *)
@@ -44,7 +47,7 @@ let test_pp () =
 
 let paper_reduced =
   (* xi_compl of the paper: (C1+C4+C5).(C1+C5) *)
-  { Clause.n_candidates = 7; clauses = [ set [ 1; 4; 5 ]; set [ 1; 5 ] ] }
+  Clause.of_sets ~n_candidates:7 [ set [ 1; 4; 5 ]; set [ 1; 5 ] ]
 
 let test_expand_raw_paper () =
   (* the paper's development keeps absorbable terms:
@@ -62,7 +65,7 @@ let test_expand_absorbs () =
   Alcotest.(check (list (list int))) "minimal covers" [ [ 1 ]; [ 5 ] ] printable
 
 let test_expand_empty_problem () =
-  let p = { Clause.n_candidates = 3; clauses = [] } in
+  let p = Clause.of_sets ~n_candidates:3 [] in
   Alcotest.(check int) "single empty product" 1 (List.length (Cover.Petrick.expand p));
   Alcotest.(check bool) "which is empty" true
     (IntSet.is_empty (List.hd (Cover.Petrick.expand p)))
@@ -80,23 +83,25 @@ let test_cheapest () =
 
 let test_greedy_covers () =
   let p = Clause.of_matrix matrix_3x4 in
-  Alcotest.(check bool) "valid cover" true (Clause.is_cover p (Cover.Solver.greedy p))
+  Alcotest.(check bool) "valid cover" true (Clause.is_cover p (greedy_exn p))
 
 let test_exact_paper_instance () =
   let p =
     Clause.of_matrix
       (Array.map (Array.map Fun.id) Mcdft_core.Paper_data.detectability_matrix)
   in
-  let s = Cover.Solver.exact p in
+  let s = exact_exn p in
   Alcotest.(check bool) "covers" true (Clause.is_cover p s);
   Alcotest.(check int) "two configurations suffice" 2 (IntSet.cardinal s)
 
 let test_exact_weighted () =
   (* candidate 0 covers everything but is expensive *)
   let p = Clause.of_matrix [| [| true; true |]; [| true; false |]; [| false; true |] |] in
-  let cheap = Cover.Solver.exact p in
+  let cheap = exact_exn p in
   Alcotest.(check (list int)) "cardinality optimum" [ 0 ] (IntSet.elements cheap);
-  let weighted = Cover.Solver.exact ~cost:(fun c -> if c = 0 then 5.0 else 1.0) p in
+  let weighted =
+    Cover.Solver.(cover_exn (exact ~cost:(fun c -> if c = 0 then 5.0 else 1.0) p))
+  in
   Alcotest.(check (list int)) "weighted optimum avoids 0" [ 1; 2 ] (IntSet.elements weighted)
 
 let random_problem rng =
@@ -134,7 +139,7 @@ let qcheck_exact_is_minimum =
     (fun seed ->
       let rng = Random.State.make [| seed |] in
       let p = random_problem rng in
-      let s = Cover.Solver.exact p in
+      let s = exact_exn p in
       Clause.is_cover p s && IntSet.cardinal s = brute_force_minimum p)
 
 let brute_force_min_cost ~cost p =
@@ -166,7 +171,7 @@ let qcheck_exact_weighted_is_min_cost =
             float_of_int (1 + QCheck.Gen.int_bound 4 rng))
       in
       let cost c = weights.(c) in
-      let s = Cover.Solver.exact ~cost p in
+      let s = Cover.Solver.(cover_exn (exact ~cost p)) in
       let cost_of s = IntSet.fold (fun c acc -> acc +. cost c) s 0.0 in
       Clause.is_cover p s && cost_of s = brute_force_min_cost ~cost p)
 
@@ -176,8 +181,8 @@ let qcheck_greedy_valid_and_bounded =
     (fun seed ->
       let rng = Random.State.make [| seed |] in
       let p = random_problem rng in
-      let g = Cover.Solver.greedy p in
-      let e = Cover.Solver.exact p in
+      let g = greedy_exn p in
+      let e = exact_exn p in
       Clause.is_cover p g && IntSet.cardinal g >= IntSet.cardinal e)
 
 let qcheck_petrick_matches_exact =
@@ -188,7 +193,7 @@ let qcheck_petrick_matches_exact =
       let p = random_problem rng in
       let terms = Cover.Petrick.expand p in
       let best = Cover.Petrick.cheapest terms in
-      let e = Cover.Solver.exact p in
+      let e = exact_exn p in
       (* every petrick term is a cover; the cheapest have exact cardinality *)
       List.for_all (Clause.is_cover p) terms
       && List.for_all (fun t -> IntSet.cardinal t = IntSet.cardinal e) best)
@@ -264,9 +269,181 @@ let qcheck_essentials_in_every_minimal_cover =
         (fun t -> IntSet.subset essentials t)
         (Cover.Petrick.expand p))
 
+(* --- multiplicity (n-detection) covering and infeasibility --- *)
+
+let test_infeasible_empty_clause () =
+  (* an undetectable fault yields an empty clause: every solver must
+     report it, never crash or return an empty cover *)
+  let p = Clause.of_sets ~n_candidates:3 [ set [ 0 ]; IntSet.empty ] in
+  let check_solver name solve =
+    match solve p with
+    | Cover.Solver.Infeasible tags ->
+        Alcotest.(check (list int)) (name ^ " names the empty clause") [ 1 ] tags
+    | Cover.Solver.Cover _ -> Alcotest.failf "%s returned a cover on infeasible input" name
+  in
+  check_solver "greedy" Cover.Solver.greedy;
+  check_solver "exact" Cover.Solver.exact;
+  check_solver "brute_force" Cover.Solver.brute_force;
+  Alcotest.check_raises "cover_exn raises typed exception"
+    (Cover.Solver.Infeasible_cover [ 1 ])
+    (fun () -> ignore (Cover.Solver.(cover_exn (exact p))))
+
+let test_of_matrix_exact_infeasible () =
+  (* fault 3 of matrix_3x4 is undetectable: requiring 2 detections
+     without capping is infeasible, and the tag names the fault *)
+  let p = Clause.of_matrix_exact ~n:2 matrix_3x4 in
+  (match Cover.Solver.exact p with
+  | Cover.Solver.Infeasible tags -> Alcotest.(check (list int)) "tags" [ 3 ] tags
+  | Cover.Solver.Cover _ -> Alcotest.fail "expected Infeasible");
+  (* the capped builder stays feasible and reports nothing short at n=2
+     (every coverable fault has 2 candidates) *)
+  let capped = Clause.of_matrix ~n:2 matrix_3x4 in
+  Alcotest.(check (list int)) "no infeasible clause" [] (Clause.infeasible_tags capped);
+  Alcotest.(check int) "max_need" 2 (Clause.max_need capped);
+  Alcotest.(check (list (pair int int)))
+    "short at n=3: all coverable faults have only 2 candidates"
+    [ (0, 2); (1, 2); (2, 2) ]
+    (Clause.short_faults ~n:3 matrix_3x4)
+
+let test_pp_multiplicity () =
+  let p = Clause.of_matrix ~n:2 [| [| true |]; [| true |]; [| false |] |] in
+  Alcotest.(check string) "need suffix" "(C0+C1)>=2" (Format.asprintf "%a" Clause.pp p)
+
+(* the pre-multiplicity greedy, kept verbatim as the n=1 reference: the
+   new solver must reproduce its picks bitwise *)
+let legacy_greedy sets =
+  let rec loop clauses chosen =
+    match clauses with
+    | [] -> chosen
+    | _ ->
+        let candidates =
+          List.fold_left IntSet.union IntSet.empty clauses |> IntSet.elements
+        in
+        let gain c = List.length (List.filter (IntSet.mem c) clauses) in
+        let best =
+          List.fold_left
+            (fun acc c ->
+              match acc with
+              | None -> Some c
+              | Some b -> if gain c > gain b then Some c else acc)
+            None candidates
+        in
+        let c = Option.get best in
+        loop (List.filter (fun l -> not (IntSet.mem c l)) clauses) (IntSet.add c chosen)
+  in
+  loop sets IntSet.empty
+
+let qcheck_n1_greedy_bitwise_legacy =
+  QCheck.Test.make ~name:"n=1 greedy reduces to the legacy set-cover greedy bitwise"
+    ~count:200
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let p = random_problem rng in
+      let legacy = legacy_greedy (List.map (fun c -> c.Clause.lits) p.Clause.clauses) in
+      IntSet.equal legacy (greedy_exn p))
+
+let random_multiplicity_system rng =
+  (* clauses may be empty or need more literals than they hold *)
+  let n = 1 + QCheck.Gen.int_bound 5 rng in
+  let m = 1 + QCheck.Gen.int_bound 4 rng in
+  let clauses =
+    List.init m (fun j ->
+        let lits =
+          IntSet.of_list
+            (List.filter (fun _ -> QCheck.Gen.bool rng) (List.init n Fun.id))
+        in
+        Clause.clause ~need:(1 + QCheck.Gen.int_bound 2 rng) ~tag:j lits)
+  in
+  { Clause.n_candidates = n; clauses }
+
+let qcheck_solvers_agree_on_feasibility =
+  QCheck.Test.make
+    ~name:"greedy/exact/brute_force agree on feasibility for random clause systems"
+    ~count:300
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let p = random_multiplicity_system rng in
+      let verdict = function
+        | Cover.Solver.Cover s ->
+            if Clause.is_cover p s then None else Some [ -1 ] (* invalid cover *)
+        | Cover.Solver.Infeasible tags -> Some tags
+      in
+      let g = verdict (Cover.Solver.greedy p) in
+      let e = verdict (Cover.Solver.exact p) in
+      let b = verdict (Cover.Solver.brute_force p) in
+      g = e && e = b)
+
+let qcheck_ndetect_hits_every_clause =
+  QCheck.Test.make ~name:"n-detection covers hit every clause at least need times"
+    ~count:200
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 2 + QCheck.Gen.int_bound 4 rng in
+      let m = 1 + QCheck.Gen.int_bound 5 rng in
+      let d = Array.init n (fun _ -> Array.init m (fun _ -> QCheck.Gen.bool rng)) in
+      let nd = 1 + QCheck.Gen.int_bound 2 rng in
+      let p = Clause.of_matrix ~n:nd d in
+      let hits cover j =
+        let count = ref 0 in
+        for i = 0 to n - 1 do
+          if d.(i).(j) && IntSet.mem i cover then incr count
+        done;
+        !count
+      in
+      let need j =
+        let avail = ref 0 in
+        for i = 0 to n - 1 do
+          if d.(i).(j) then incr avail
+        done;
+        Int.min nd !avail
+      in
+      let valid cover =
+        Clause.is_cover p cover
+        && List.for_all (fun j -> hits cover j >= need j) (List.init m Fun.id)
+      in
+      let g = greedy_exn p and e = exact_exn p and b = brute_exn p in
+      valid g && valid e && valid b && IntSet.cardinal e = IntSet.cardinal b)
+
+let qcheck_ndetect_exact_strict_infeasible =
+  QCheck.Test.make
+    ~name:"of_matrix_exact infeasible exactly when some fault has < n detecting configs"
+    ~count:200
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 2 + QCheck.Gen.int_bound 4 rng in
+      let m = 1 + QCheck.Gen.int_bound 5 rng in
+      let d = Array.init n (fun _ -> Array.init m (fun _ -> QCheck.Gen.bool rng)) in
+      let nd = 1 + QCheck.Gen.int_bound 2 rng in
+      let p = Clause.of_matrix_exact ~n:nd d in
+      let short =
+        List.filter
+          (fun j ->
+            let avail = ref 0 in
+            for i = 0 to n - 1 do
+              if d.(i).(j) then incr avail
+            done;
+            !avail < nd)
+          (List.init m Fun.id)
+      in
+      match Cover.Solver.exact p with
+      | Cover.Solver.Infeasible tags -> tags = short && short <> []
+      | Cover.Solver.Cover _ -> short = [])
+
 let suite =
   suite
   @ [
       QCheck_alcotest.to_alcotest qcheck_expand_is_antichain;
       QCheck_alcotest.to_alcotest qcheck_essentials_in_every_minimal_cover;
+      Alcotest.test_case "infeasible empty clause" `Quick test_infeasible_empty_clause;
+      Alcotest.test_case "of_matrix_exact infeasible" `Quick
+        test_of_matrix_exact_infeasible;
+      Alcotest.test_case "pp multiplicity" `Quick test_pp_multiplicity;
+      QCheck_alcotest.to_alcotest qcheck_n1_greedy_bitwise_legacy;
+      QCheck_alcotest.to_alcotest qcheck_solvers_agree_on_feasibility;
+      QCheck_alcotest.to_alcotest qcheck_ndetect_hits_every_clause;
+      QCheck_alcotest.to_alcotest qcheck_ndetect_exact_strict_infeasible;
     ]

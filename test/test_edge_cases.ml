@@ -116,11 +116,11 @@ let test_transient_isource_waveform () =
 (* --- cover --- *)
 
 let test_solver_empty_problem () =
-  let p = { Cover.Clause.n_candidates = 5; clauses = [] } in
+  let p = Cover.Clause.of_sets ~n_candidates:5 [] in
   Alcotest.(check bool) "exact empty" true
-    (Cover.Clause.IntSet.is_empty (Cover.Solver.exact p));
+    (Cover.Clause.IntSet.is_empty (Cover.Solver.(cover_exn (exact p))));
   Alcotest.(check bool) "greedy empty" true
-    (Cover.Clause.IntSet.is_empty (Cover.Solver.greedy p));
+    (Cover.Clause.IntSet.is_empty (Cover.Solver.(cover_exn (greedy p))));
   Alcotest.(check (float 0.0)) "zero cost" 0.0
     (Cover.Solver.cost_of Cover.Clause.IntSet.empty)
 

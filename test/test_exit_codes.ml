@@ -30,6 +30,23 @@ let table =
     ( "unknown fault element",
       "analyze tow-thomas --fault-element RZZZ --points-per-decade 2",
       4 );
+    ( "unknown element in a diagnose self-test",
+      "diagnose tow-thomas --simulate RZZZ --points-per-decade 2",
+      4 );
+    ( "diagnose self-test locates the fault",
+      "diagnose tow-thomas --simulate R1+20% --points-per-decade 3",
+      0 );
+    ( "optimize accepts an n-detect target",
+      "optimize tow-thomas --n-detect 2 --points-per-decade 3",
+      0 );
+    (* flag-value validation happens in cmdliner's conv layer, which
+       owns exit 124 for CLI errors (same as --points-per-decade 0) *)
+    ( "n-detect must be positive",
+      "optimize tow-thomas --n-detect 0",
+      124 );
+    ( "missing diagnose observation file is an i/o error",
+      "diagnose tow-thomas --observe no/such/log.txt --points-per-decade 2",
+      5 );
     (* a path that exists but cannot be read as a netlist file; a
        *missing* .cir path falls through to benchmark lookup (exit 1) *)
     ("unreadable netlist path", "tf fixtures", 5);

@@ -297,29 +297,29 @@ let test_diagnostic_plan_separates_pairs () =
     plan.Mcdft_core.Test_plan.total_coverable plan.Mcdft_core.Test_plan.covered;
   (* the schedule must separate every pair the full space separates:
      check via the diagnosis dictionary restricted to plan measurements *)
-  let dict = Mcdft_core.Diagnosis.build t in
-  let n_points = Array.length dict.Mcdft_core.Diagnosis.freqs_hz in
+  let dict = Diagnosis.Dictionary.build t in
+  let n_points = Array.length dict.Diagnosis.Dictionary.freqs_hz in
   let col_of m =
     let rec config_pos i = function
       | [] -> assert false
       | c :: rest ->
           if c = m.Mcdft_core.Test_plan.config then i else config_pos (i + 1) rest
     in
-    let c = config_pos 0 dict.Mcdft_core.Diagnosis.configs in
+    let c = config_pos 0 dict.Diagnosis.Dictionary.configs in
     let k = ref 0 in
     Array.iteri
       (fun idx f ->
         if Float.abs (f -. m.Mcdft_core.Test_plan.freq_hz) < 1e-9 *. f then k := idx)
-      dict.Mcdft_core.Diagnosis.freqs_hz;
+      dict.Diagnosis.Dictionary.freqs_hz;
     (c * n_points) + !k
   in
   let cols = List.map col_of plan.Mcdft_core.Test_plan.measurements in
-  let restricted j = List.map (fun c -> dict.Mcdft_core.Diagnosis.signatures.(j).(c)) cols in
-  let n_faults = Array.length dict.Mcdft_core.Diagnosis.faults in
+  let restricted j = List.map (fun c -> dict.Diagnosis.Dictionary.signatures.(j).(c)) cols in
+  let n_faults = Array.length dict.Diagnosis.Dictionary.faults in
   for j1 = 0 to n_faults - 1 do
     for j2 = j1 + 1 to n_faults - 1 do
       let full_separable =
-        dict.Mcdft_core.Diagnosis.signatures.(j1) <> dict.Mcdft_core.Diagnosis.signatures.(j2)
+        dict.Diagnosis.Dictionary.signatures.(j1) <> dict.Diagnosis.Dictionary.signatures.(j2)
       in
       if full_separable then
         Alcotest.(check bool)

@@ -61,7 +61,7 @@ let test_inject_short_changes_response () =
   Alcotest.(check (float 1e-3)) "follows input" 1.0 (Complex.norm h)
 
 let test_inject_missing () =
-  Alcotest.check_raises "unknown element" Not_found (fun () ->
+  Alcotest.check_raises "unknown element" (Fault.Unknown_element "R9") (fun () ->
       ignore (Fault.inject (Fault.deviation ~element:"R9" 1.2) (rc ())))
 
 let test_inject_preserved_across_dft_views () =

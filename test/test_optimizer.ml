@@ -139,6 +139,46 @@ let qcheck_choice_always_covers =
       Cover.Clause.is_cover p (IntSet.of_list r.O.choice_a.O.configs)
       && Cover.Clause.is_cover p (IntSet.of_list r.O.choice_b.O.reachable_configs))
 
+let test_n_detect_on_paper_matrix () =
+  let input =
+    O.input_of_matrices ~n_opamps:PD.n_opamps PD.detectability_matrix PD.omega_table
+  in
+  let r = O.optimize ~n_detect:2 input in
+  Alcotest.(check int) "report records the target" 2 r.O.n_detect;
+  (* every fault must be hit by min(2, available) chosen configurations *)
+  let available j =
+    Array.fold_left
+      (fun acc row -> if row.(j) then acc + 1 else acc)
+      0 PD.detectability_matrix
+  in
+  let hits configs j =
+    List.fold_left
+      (fun acc i -> if PD.detectability_matrix.(i).(j) then acc + 1 else acc)
+      0 configs
+  in
+  let m = Array.length PD.detectability_matrix.(0) in
+  for j = 0 to m - 1 do
+    let needed = Int.min 2 (available j) in
+    Alcotest.(check bool)
+      (Printf.sprintf "fault %d hit >= %d times by choice A" j needed)
+      true
+      (hits r.O.choice_a.O.configs j >= needed)
+  done;
+  Alcotest.(check bool) "worst over detectable faults >= 1" true
+    (r.O.detection_a.O.worst >= 1);
+  Alcotest.(check bool) "average >= worst" true
+    (r.O.detection_a.O.average >= float_of_int r.O.detection_a.O.worst);
+  (* the n=1 report is unchanged by the new machinery *)
+  let r1 = O.optimize ~n_detect:1 input in
+  let r0 = Lazy.force paper_report in
+  Alcotest.(check (list int)) "n=1 choice A unchanged" r0.O.choice_a.O.configs
+    r1.O.choice_a.O.configs;
+  Alcotest.(check (list int)) "n=1 short faults empty" []
+    (List.map fst r1.O.short_faults);
+  Alcotest.check_raises "n_detect >= 1 enforced"
+    (Invalid_argument "Optimizer.optimize: n_detect must be at least 1") (fun () ->
+      ignore (O.optimize ~n_detect:0 input))
+
 let suite =
   [
     Alcotest.test_case "coverages" `Quick test_coverages;
@@ -153,6 +193,8 @@ let suite =
     Alcotest.test_case "choices cover" `Quick test_choice_sets_satisfy_fundamental_requirement;
     Alcotest.test_case "input validation" `Quick test_input_validation;
     Alcotest.test_case "bnb path" `Quick test_bnb_path_matches_petrick;
+    Alcotest.test_case "n-detect on the paper matrix" `Quick
+      test_n_detect_on_paper_matrix;
     QCheck_alcotest.to_alcotest qcheck_choice_always_covers;
   ]
 
