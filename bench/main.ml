@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- campaign   - end-to-end campaign timings only
 
      dune exec bench/main.exe -- diag       - diagnosis/cover structural numbers only
+     dune exec bench/main.exe -- sparse     - dense/sparse crossover + bigladder campaign
 
    Add --smoke to shrink the campaign workload (CI). Any run that
    produces timings also writes them to BENCH_<yyyy-mm-dd>.json in the
@@ -31,64 +32,89 @@ let today () =
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday
 
-let write_json ~kernels ~campaign ~diag =
-  if kernels <> [] || campaign <> [] || diag <> [] then begin
+let write_json ~kernels ~campaign ~diag ~sparse =
+  let num_obj rows =
+    Report.Json.Object (List.map (fun (k, v) -> (k, Report.Json.Number v)) rows)
+  in
+  (* Only targets that actually ran contribute sections; sections
+     already in today's file from an earlier run of another target are
+     preserved, so `bench all` followed by `bench sparse` accumulates
+     one complete BENCH_<date>.json instead of overwriting it. *)
+  let sections =
+    (if kernels <> [] then [ ("kernels_ns_per_run", num_obj kernels) ] else [])
+    @ (if campaign <> [] then
+         [
+           ( "campaign_seconds",
+             num_obj
+               (List.map (fun r -> (r.Campaign.label, r.Campaign.seconds)) campaign)
+           );
+           ( "campaign_seconds_metrics_on",
+             num_obj
+               (List.map
+                  (fun r -> (r.Campaign.label, r.Campaign.seconds_metrics_on))
+                  campaign) );
+           ( "campaign_parallel_efficiency",
+             num_obj
+               (List.filter_map
+                  (fun r ->
+                    Option.map
+                      (fun e -> (r.Campaign.label, e))
+                      (Campaign.efficiency campaign r))
+                  campaign) );
+           ( "campaign_counters",
+             Report.Json.Object
+               (List.map
+                  (fun r ->
+                    ( r.Campaign.label,
+                      Report.Json.Object
+                        (List.map
+                           (fun (k, v) -> (k, Report.Json.int v))
+                           r.Campaign.counters) ))
+                  campaign) );
+         ]
+       else [])
+    @ (if diag <> [] then
+         [
+           ( "diagnosis",
+             Report.Json.Object
+               (List.map
+                  (fun r ->
+                    ( r.Diag.label,
+                      Report.Json.Object
+                        [
+                          ("resolution", Report.Json.Number r.Diag.resolution);
+                          ( "ambiguity_group_sizes",
+                            Report.Json.List
+                              (List.map Report.Json.int r.Diag.group_sizes) );
+                          ( "counters",
+                            Report.Json.Object
+                              (List.map
+                                 (fun (k, v) -> (k, Report.Json.int v))
+                                 r.Diag.counters) );
+                        ] ))
+                  diag) );
+         ]
+       else [])
+    @ match sparse with Some s -> Sparse.to_json s | None -> []
+  in
+  if sections <> [] then begin
     let date = today () in
-    let num_obj rows =
-      Report.Json.Object (List.map (fun (k, v) -> (k, Report.Json.Number v)) rows)
+    let path = Printf.sprintf "BENCH_%s.json" date in
+    let preserved =
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error _ -> []
+      | content -> (
+          match Report.Json.of_string content with
+          | Ok (Report.Json.Object old) ->
+              List.filter
+                (fun (k, _) -> k <> "date" && not (List.mem_assoc k sections))
+                old
+          | _ -> [])
     in
     let doc =
       Report.Json.Object
-        [
-          ("date", Report.Json.String date);
-          ("kernels_ns_per_run", num_obj kernels);
-          ( "campaign_seconds",
-            num_obj (List.map (fun r -> (r.Campaign.label, r.Campaign.seconds)) campaign)
-          );
-          ( "campaign_seconds_metrics_on",
-            num_obj
-              (List.map
-                 (fun r -> (r.Campaign.label, r.Campaign.seconds_metrics_on))
-                 campaign) );
-          ( "campaign_parallel_efficiency",
-            num_obj
-              (List.filter_map
-                 (fun r ->
-                   Option.map
-                     (fun e -> (r.Campaign.label, e))
-                     (Campaign.efficiency campaign r))
-                 campaign) );
-          ( "campaign_counters",
-            Report.Json.Object
-              (List.map
-                 (fun r ->
-                   ( r.Campaign.label,
-                     Report.Json.Object
-                       (List.map
-                          (fun (k, v) -> (k, Report.Json.int v))
-                          r.Campaign.counters) ))
-                 campaign) );
-          ( "diagnosis",
-            Report.Json.Object
-              (List.map
-                 (fun r ->
-                   ( r.Diag.label,
-                     Report.Json.Object
-                       [
-                         ("resolution", Report.Json.Number r.Diag.resolution);
-                         ( "ambiguity_group_sizes",
-                           Report.Json.List
-                             (List.map Report.Json.int r.Diag.group_sizes) );
-                         ( "counters",
-                           Report.Json.Object
-                             (List.map
-                                (fun (k, v) -> (k, Report.Json.int v))
-                                r.Diag.counters) );
-                       ] ))
-                 diag) );
-        ]
+        ((("date", Report.Json.String date) :: preserved) @ sections)
     in
-    let path = Printf.sprintf "BENCH_%s.json" date in
     let oc = open_out path in
     output_string oc (Report.Json.to_string ~indent:2 doc);
     output_char oc '\n';
@@ -224,11 +250,13 @@ let () =
         exit 2
   in
   let kernels = ref [] and campaign = ref [] and diag = ref [] in
+  let sparse = ref None in
   (match what with
   | "repro" -> Repro.all ()
   | "perf" -> kernels := Perf.all ()
   | "campaign" -> campaign := Campaign.all ~smoke ()
   | "diag" -> diag := Diag.all ~smoke ()
+  | "sparse" -> sparse := Some (Sparse.all ~smoke ())
   | "all" ->
       (* campaigns first: the wall-clock timings are the headline
          numbers and should not inherit allocator state from the
@@ -239,9 +267,9 @@ let () =
       diag := Diag.all ~smoke ()
   | other ->
       Printf.eprintf
-        "unknown target %S (expected: repro | perf | campaign | diag | all)\n"
+        "unknown target %S (expected: repro | perf | campaign | diag | sparse | all)\n"
         other;
       exit 2);
-  write_json ~kernels:!kernels ~campaign:!campaign ~diag:!diag;
+  write_json ~kernels:!kernels ~campaign:!campaign ~diag:!diag ~sparse:!sparse;
   Option.iter (fun path -> check_baseline path !campaign) baseline;
   print_newline ()

@@ -209,6 +209,29 @@ let fault_kind_opt =
        & info [ "faults" ] ~docv:"KIND"
            ~doc:"Fault universe: deviation (+20%), both (±20%) or catastrophic.")
 
+let backend_opt =
+  Arg.(value
+       & opt
+           (enum
+              [
+                ("dense", Testability.Fastsim.Dense);
+                ("sparse", Testability.Fastsim.Sparse);
+                ("auto", Testability.Fastsim.Auto);
+              ])
+           Testability.Fastsim.Auto
+       & info [ "backend" ] ~docv:"KIND"
+           ~doc:"MNA factorization backend: dense (planar LU), sparse \
+                 (Markowitz-ordered CSC LU) or auto (sparse once the system is \
+                 large and sparse enough; default).")
+
+let no_prune_flag =
+  Arg.(value & flag
+       & info [ "no-prune" ]
+           ~doc:"Simulate every test configuration even when several assemble \
+                 to value-identical MNA systems; by default one representative \
+                 per equivalence class is solved and its verdict rows are \
+                 replicated.")
+
 let faults_of kind netlist =
   match kind with
   | `Deviation -> Fault.deviation_faults netlist
@@ -451,7 +474,7 @@ let tf_cmd =
     Term.(const run $ circuit_arg $ source_opt $ output_opt)
 
 let analyze_cmd =
-  let run name source output criterion ppd fault_kind fault_element =
+  let run name source output criterion ppd fault_kind fault_element backend =
     with_circuit name source output (fun b ->
         let faults =
           match fault_element with
@@ -469,8 +492,8 @@ let analyze_cmd =
           }
         in
         let results =
-          Testability.Detect.analyze ~criterion probe grid b.Circuits.Benchmark.netlist
-            faults
+          Testability.Detect.analyze ~backend ~criterion probe grid
+            b.Circuits.Benchmark.netlist faults
         in
         Printf.printf "circuit: %s   criterion: %s\n" b.Circuits.Benchmark.name
           (criterion_str criterion);
@@ -497,22 +520,25 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Testability of the functional configuration (paper Sec. 2)")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ fault_element_opt)
+          $ fault_kind_opt $ fault_element_opt $ backend_opt)
 
 let matrix_cmd =
-  let run name source output criterion ppd fault_kind jobs gc_default prefilter metrics
-      trace =
+  let run name source output criterion ppd fault_kind jobs gc_default prefilter backend
+      no_prune metrics trace =
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
-        let m, plan =
+        let m, plan, pruning =
           if prefilter then
             let plan, m = PF.run ~criterion ~points_per_decade:ppd ~faults b in
-            (m, Some plan)
+            (m, Some plan, None)
           else
-            let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
-            (t.P.matrix, None)
+            let t =
+              P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend
+                ~prune:(not no_prune) b
+            in
+            (t.P.matrix, None, Some (t.P.equivalence_groups, t.P.pruned_configs))
         in
         let fault_ids = Array.map (fun f -> f.Fault.id) m.Testability.Matrix.faults in
         let header = "" :: Array.to_list fault_ids in
@@ -539,6 +565,16 @@ let matrix_cmd =
         Printf.printf "\nmax fault coverage: %.1f%%\n"
           (100.0 *. Testability.Matrix.max_fault_coverage m);
         Option.iter
+          (fun (groups, pruned) ->
+            Printf.printf
+              "campaign pruning: %d equivalence group%s, %d configuration row%s \
+               replicated\n"
+              groups
+              (if groups = 1 then "" else "s")
+              pruned
+              (if pruned = 1 then "" else "s"))
+          pruning;
+        Option.iter
           (fun (plan : PF.t) ->
             Printf.printf
               "structural prefilter: skipped %d of %d (configuration, fault) sweeps\n"
@@ -554,17 +590,20 @@ let matrix_cmd =
   Cmd.v
     (Cmd.info "matrix" ~doc:"Fault detectability matrix over all test configurations")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ prefilter_flag $ metrics_opt
-          $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ prefilter_flag $ backend_opt
+          $ no_prune_flag $ metrics_opt $ trace_opt)
 
 let optimize_cmd =
-  let run name source output criterion ppd fault_kind jobs gc_default n_detect json
-      metrics trace =
+  let run name source output criterion ppd fault_kind jobs gc_default n_detect backend
+      no_prune json metrics trace =
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
-        let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
+        let t =
+          P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend
+            ~prune:(not no_prune) b
+        in
         let r = P.optimize ~n_detect t in
         if json then
           let snap =
@@ -585,6 +624,11 @@ let optimize_cmd =
         in
         Printf.printf "circuit: %s   criterion: %s   faults: %d\n"
           b.Circuits.Benchmark.name (criterion_str criterion) (List.length faults);
+        if t.P.pruned_configs > 0 then
+          Printf.printf
+            "campaign pruning: %d equivalence groups, %d configuration rows \
+             replicated\n"
+            t.P.equivalence_groups t.P.pruned_configs;
         Printf.printf "\nfundamental requirement:\n";
         Printf.printf "  functional coverage : %.1f%%\n" (100.0 *. r.O.functional_coverage);
         Printf.printf "  maximum coverage    : %.1f%%\n" (100.0 *. r.O.max_coverage);
@@ -652,16 +696,20 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Ordered-requirements optimization of the multi-configuration DFT (Sec. 4)")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ n_detect_opt $ json_flag
-          $ metrics_opt $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ n_detect_opt $ backend_opt
+          $ no_prune_flag $ json_flag $ metrics_opt $ trace_opt)
 
 let testplan_cmd =
-  let run name source output criterion ppd fault_kind jobs gc_default metrics trace =
+  let run name source output criterion ppd fault_kind jobs gc_default backend no_prune
+      metrics trace =
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
-        let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
+        let t =
+          P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend
+            ~prune:(not no_prune) b
+        in
         let plan = Mcdft_core.Test_plan.build t in
         print_string (Mcdft_core.Test_plan.to_string plan))
   in
@@ -669,7 +717,8 @@ let testplan_cmd =
     (Cmd.info "testplan"
        ~doc:"Minimal (configuration, frequency) measurement schedule")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ metrics_opt $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ backend_opt $ no_prune_flag
+          $ metrics_opt $ trace_opt)
 
 let sweep_cmd =
   let run name source output ppd csv =
@@ -754,13 +803,13 @@ let diagnose_cmd =
          (List.filteri (fun i _ -> i < show) v.T.ranking
          |> List.map (fun (f, d) -> Printf.sprintf "%s=%.3g" f.Fault.id d)))
   in
-  let run name source output criterion ppd fault_kind jobs gc_default tolerance
+  let run name source output criterion ppd fault_kind jobs gc_default backend tolerance
       configs simulate simulate_all observe metrics trace =
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
-        let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs b in
+        let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend b in
         let traj = T.of_pipeline ?tolerance ?configs t in
         Printf.printf "circuit: %s   measurements: %d points (%d faults)\n"
           b.Circuits.Benchmark.name (T.n_measurements traj) (List.length faults);
@@ -885,15 +934,16 @@ let diagnose_cmd =
          "Fault location by nearest response trajectory: ambiguity sets, \
           self-tests, and classification of observed responses")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ tolerance_opt $ configs_opt
-          $ simulate_opt $ simulate_all_flag $ observe_opt $ metrics_opt $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ backend_opt $ tolerance_opt
+          $ configs_opt $ simulate_opt $ simulate_all_flag $ observe_opt $ metrics_opt
+          $ trace_opt)
 
 let blocks_cmd =
-  let run name source output criterion ppd jobs gc_default metrics trace =
+  let run name source output criterion ppd jobs gc_default backend metrics trace =
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
         with_observability ~metrics ~trace @@ fun () ->
-        let t = P.run ~criterion ~points_per_decade:ppd ~jobs b in
+        let t = P.run ~criterion ~points_per_decade:ppd ~jobs ~backend b in
         let rows =
           List.map
             (fun (r : Mcdft_core.Block_access.report) ->
@@ -918,7 +968,7 @@ let blocks_cmd =
     (Cmd.info "blocks"
        ~doc:"Embedded-block access: per-opamp coverage via the transparency mechanism")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ jobs_opt $ gc_default_opt $ metrics_opt $ trace_opt)
+          $ jobs_opt $ gc_default_opt $ backend_opt $ metrics_opt $ trace_opt)
 
 let fuzz_cmd =
   (* "45", "45s" or "3m" *)
@@ -971,7 +1021,8 @@ let fuzz_cmd =
               (`Msg
                 (Printf.sprintf "unknown family in %S (known: %s)" s
                    (String.concat ", "
-                      (List.map Conformance.Gen.family_name Conformance.Gen.families))))
+                      (List.map Conformance.Gen.family_name
+                         Conformance.Gen.all_families))))
           else Ok (List.filter_map Fun.id parsed)),
         fun ppf fams ->
           Format.fprintf ppf "%s"
@@ -981,7 +1032,7 @@ let fuzz_cmd =
     Arg.(value & opt families_conv Conformance.Gen.families
          & info [ "families" ] ~docv:"LIST"
              ~doc:"Comma-separated topology families to rotate over (default: \
-                   all).")
+                   the quick rotation; bigladder is opt-in).")
   in
   let oracles_conv =
     Arg.conv

@@ -50,36 +50,113 @@ let netlist_findings ?src netlist =
 
 module A = Mna.Assemble.Make (Mna.Field.Polynomial)
 
-(* The MNA occurrence pattern of a configuration view: which (row,
-   column) entries are nonzero, and at which polynomial degrees. Two
-   configurations with the same signature solve structurally identical
-   systems — the index layout is name-driven, hence stable across
-   views of one circuit. *)
-let pattern_signature view =
+(* The value-exact signature of a configuration view's MNA system,
+   canonicalized up to per-row sign. Two views with equal signatures
+   assemble — entry for entry, coefficient for coefficient — the same
+   A(s)x = b(s) after multiplying some equations by −1, so every
+   derived response is identical and a campaign needs to simulate only
+   one of them. (The index layout is name-driven, hence stable across
+   views of one circuit.)
+
+   Row flips are canonicalized because emulation produces them: an
+   ideal opamp's test-mode nullor row [v(inp) − v(out) = 0] is the
+   exact negation of the follower Vcvs row [v(out) − v(cpos) = 0] when
+   they connect the same nodes. A flipped equation changes nothing
+   about the solution — scaling row i of both A and b by σᵢ = ±1
+   leaves x bitwise-identical under IEEE arithmetic (negation is
+   exact, and the LU pivot choice sees identical magnitudes).
+
+   The canonicalization must NOT cross fault injection, though: a
+   Sherman–Morrison rank-1 update α·uvᵀ added to a σ-flipped row would
+   no longer commute with the flip. [locked_elements] therefore names
+   the elements a campaign will perturb; every row any of them stamps
+   into (matrix or excitation, per {!Mna.Assemble.Make.row_occupancy})
+   keeps σ = +1 and is marked in the signature, so views only group
+   together when their fault-reachable equations agree without any
+   flip — faulty responses then coincide too, for rank-1 updates and
+   for structural re-assemblies alike.
+
+   Coefficients are rendered in hex (%h) — bit-exact, no rounding
+   collisions. [sources] must match the mode the campaign assembles
+   with (the signature of the driven system, not just the nominal
+   one). *)
+let value_signature ?(sources = Mna.Assemble.Nominal) ?(locked_elements = []) view =
   let index = Mna.Index.build view in
   let n = Mna.Index.size index in
-  let { A.matrix; rhs } = A.assemble index view in
-  let buf = Buffer.create (16 * n) in
-  let add_poly p =
+  let { A.matrix; rhs } = A.assemble ~sources index view in
+  let locked = Array.make n false in
+  if locked_elements <> [] then
+    List.iter
+      (fun (name, rows) ->
+        if List.mem name locked_elements then
+          List.iter (fun i -> locked.(i) <- true) rows)
+      (A.row_occupancy ~sources index view);
+  let lowest_nonzero p =
+    let rec go k =
+      if k > Poly.degree p then 0.0
+      else
+        let c = Poly.coeff p k in
+        if c <> 0.0 then c else go (k + 1)
+    in
+    go 0
+  in
+  let row_sign i =
+    if locked.(i) then 1.0
+    else begin
+      let rec first j =
+        if j >= n then lowest_nonzero rhs.(i)
+        else
+          let c = lowest_nonzero matrix.(i).(j) in
+          if c <> 0.0 then c else first (j + 1)
+      in
+      let c = first 0 in
+      if c < 0.0 then -1.0 else 1.0
+    end
+  in
+  let buf = Buffer.create (32 * n) in
+  let add_poly sigma p =
     for k = 0 to Poly.degree p do
-      if Poly.coeff p k <> 0.0 then Buffer.add_string buf (string_of_int k)
+      let c = Poly.coeff p k in
+      if c <> 0.0 then Buffer.add_string buf (Printf.sprintf "%d=%h," k (sigma *. c))
     done
   in
   for i = 0 to n - 1 do
+    let sigma = row_sign i in
+    if locked.(i) then Buffer.add_char buf 'L';
     for j = 0 to n - 1 do
       if not (Poly.is_zero matrix.(i).(j)) then begin
         Buffer.add_string buf (Printf.sprintf "%d,%d:" i j);
-        add_poly matrix.(i).(j);
+        add_poly sigma matrix.(i).(j);
         Buffer.add_char buf ';'
       end
     done;
     if not (Poly.is_zero rhs.(i)) then begin
       Buffer.add_string buf (Printf.sprintf "r%d:" i);
-      add_poly rhs.(i);
+      add_poly sigma rhs.(i);
       Buffer.add_char buf ';'
     end
   done;
   Buffer.contents buf
+
+(* Group the index list [0 .. len-1] of [keys] by equal key,
+   order-preserving: each group lists its member indices ascending,
+   groups ordered by first member. *)
+let group_by_key keys =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iteri
+    (fun i key ->
+      match Hashtbl.find_opt tbl key with
+      | Some members -> members := i :: !members
+      | None ->
+          let members = ref [ i ] in
+          Hashtbl.add tbl key members;
+          order := members :: !order)
+    keys;
+  List.rev_map (fun members -> List.rev !members) !order
+
+let equivalence_groups ?sources ?locked_elements views =
+  group_by_key (List.map (value_signature ?sources ?locked_elements) views)
 
 let anchor config = "configuration " ^ Configuration.label config
 
@@ -174,11 +251,13 @@ let configuration_findings ?src ?follower_model ?(max_opamps = 10) dft =
                 (List.length broken) (List.length test)
                 (String.concat ", " shown)
                 ellipsis dft.Transform.input_node dft.Transform.output)));
-    (* structurally equivalent configurations *)
+    (* equivalent configurations: identical assembled systems up to
+       row sign (value-exact) — the same grouping the campaign pruner
+       uses, minus its fault-row locking (lint has no fault list) *)
     let groups = Hashtbl.create 16 in
     List.iter
       (fun (config, view) ->
-        let key = pattern_signature view in
+        let key = value_signature view in
         let existing = Option.value ~default:[] (Hashtbl.find_opt groups key) in
         Hashtbl.replace groups key (config :: existing))
       views;
@@ -189,8 +268,8 @@ let configuration_findings ?src ?follower_model ?(max_opamps = 10) dft =
             push
               (Finding.make ~config:(anchor first) ~code:"C004" ~severity:Finding.Info
                  (Printf.sprintf
-                    "configurations %s assemble to identical MNA occurrence patterns \
-                     — candidates for campaign deduplication"
+                    "configurations %s assemble to identical MNA systems (up to row \
+                     sign) — candidates for campaign deduplication"
                     (String.concat ", " (List.map Configuration.label group))))
         | _ -> ())
       groups;

@@ -29,6 +29,39 @@ val loc_of : src option -> string -> Finding.loc option
 val netlist_findings : ?src:src -> Circuit.Netlist.t -> Finding.t list
 (** Validation plus structural-rank findings on one netlist. *)
 
+val value_signature :
+  ?sources:Mna.Assemble.source_mode ->
+  ?locked_elements:string list ->
+  Circuit.Netlist.t ->
+  string
+(** A value-exact signature of the netlist's assembled MNA system,
+    canonical up to per-row sign: two netlists with equal signatures
+    assemble the same A(s)x = b(s) after negating some equations, so
+    every response derived from either is identical — negating an
+    equation (both matrix row and excitation entry) is exact in IEEE
+    arithmetic and does not move the solution.
+
+    [locked_elements] names elements whose equations must match
+    {e without} any sign flip — rows they stamp into
+    ({!Mna.Assemble.Make.row_occupancy}) keep their assembled sign and
+    are marked in the signature. A campaign pruner passes its fault
+    universe here: with those rows locked, equal signatures imply
+    equal {e faulty} responses too (a rank-1 perturbation or a
+    structural re-assembly lands in sign-identical equations).
+    [sources] (default [Nominal]) must match the assembly mode of the
+    consumer. Coefficients are rendered bit-exactly (hex floats). *)
+
+val equivalence_groups :
+  ?sources:Mna.Assemble.source_mode ->
+  ?locked_elements:string list ->
+  Circuit.Netlist.t list ->
+  int list list
+(** Partition views (by position) into classes of equal
+    {!value_signature}: each group lists member indices ascending,
+    groups ordered by first member. Simulating one representative per
+    group and replicating its verdicts is exact under the conditions
+    above. *)
+
 val configuration_findings :
   ?src:src ->
   ?follower_model:Circuit.Element.opamp_model ->

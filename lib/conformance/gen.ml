@@ -1,20 +1,25 @@
 module Netlist = Circuit.Netlist
 
-type family = Ladder | Soup | Active_chain | Near_singular
+type family = Ladder | Soup | Active_chain | Near_singular | Bigladder
 
+(* the default fuzzing rotation: [Bigladder] is opt-in (hundreds of
+   nodes per subject — a scale stressor, not a per-seed quick check) *)
 let families = [ Ladder; Soup; Active_chain; Near_singular ]
+let all_families = families @ [ Bigladder ]
 
 let family_name = function
   | Ladder -> "ladder"
   | Soup -> "soup"
   | Active_chain -> "active"
   | Near_singular -> "near-singular"
+  | Bigladder -> "bigladder"
 
 let family_of_string = function
   | "ladder" -> Some Ladder
   | "soup" -> Some Soup
   | "active" -> Some Active_chain
   | "near-singular" -> Some Near_singular
+  | "bigladder" -> Some Bigladder
   | _ -> None
 
 type subject = {
@@ -152,6 +157,61 @@ let active_chain rng =
   | 1 -> integrator_cascade rng
   | _ -> tow_thomas rng
 
+(* Two long RC ladders bridged by a three-buffer chain — hundreds of
+   MNA unknowns, a handful of nonzeros per row: the sparse back-end's
+   scale stressor. The buffer chain also showcases campaign pruning:
+   U2 and U3 buffer the previous opamp's output, which is exactly the
+   chained test input {!Multiconfig.Transform.test_input} gives them,
+   so their follower-mode Vcvs row is the sign-flip of their
+   functional nullor row and every test view agrees on those equations
+   value-exactly; only U1 (buffering the far end of ladder A, not the
+   circuit input) genuinely switches. The 7 test views fall into 2
+   equivalence classes. *)
+let bigladder ?stages rng =
+  let stages =
+    match stages with Some s -> Int.max 2 s | None -> 100 + (50 * int_bound 7 rng)
+  in
+  let ka = stages / 2 in
+  let kb = stages - ka in
+  let r_draw rng = mag ~decades:1.0 1_000.0 rng in
+  let c_draw rng = mag ~decades:1.0 1e-9 rng in
+  let netlist =
+    ref
+      (Netlist.empty ~title:"big RC double ladder" ()
+      |> Netlist.vsource ~name:"V1" "n0" "0" 1.0)
+  in
+  (* a [count]-stage RC section from [first]: series R into each new
+     node, alternating shunt C / shunt R to ground (every node keeps a
+     DC path through the series chain); returns the section's end node *)
+  let section prefix first count =
+    let nd k = if k = 0 then first else Printf.sprintf "%s%d" prefix k in
+    for k = 1 to count do
+      netlist :=
+        Netlist.resistor
+          ~name:(Printf.sprintf "R%s%d" prefix k)
+          (nd (k - 1)) (nd k) (r_draw rng) !netlist;
+      netlist :=
+        (if k land 1 = 0 then
+           Netlist.resistor
+             ~name:(Printf.sprintf "RG%s%d" prefix k)
+             (nd k) "0"
+             (10.0 *. r_draw rng)
+         else
+           Netlist.capacitor ~name:(Printf.sprintf "C%s%d" prefix k) (nd k) "0"
+             (c_draw rng))
+          !netlist
+    done;
+    nd count
+  in
+  let a_end = section "a" "n0" ka in
+  netlist :=
+    !netlist
+    |> Netlist.opamp ~name:"U1" ~inp:a_end ~inn:"b0" ~out:"b0"
+    |> Netlist.opamp ~name:"U2" ~inp:"b0" ~inn:"c0" ~out:"c0"
+    |> Netlist.opamp ~name:"U3" ~inp:"c0" ~inn:"d0" ~out:"d0";
+  let out = section "e" "d0" kb in
+  (!netlist, out)
+
 let source_of netlist =
   match
     List.find_opt
@@ -168,6 +228,7 @@ let generate family ~seed =
     | Soup -> 1
     | Active_chain -> 2
     | Near_singular -> 3
+    | Bigladder -> 4
   in
   (* the constant keys the stream so [generate] never collides with a
      test that seeds Random.State.make [| seed |] directly *)
@@ -178,6 +239,9 @@ let generate family ~seed =
     | Soup -> soup rng
     | Active_chain -> active_chain rng
     | Near_singular -> near_singular rng
+    | Bigladder ->
+        (* seed-parameterized size: 100–450 ladder stages *)
+        bigladder ~stages:(100 + (50 * (seed mod 8))) rng
   in
   {
     label = Printf.sprintf "%s#%d" (family_name family) seed;

@@ -26,9 +26,18 @@ type family =
       (** Ladders with pathological value spreads (up to ~12 decades
           between neighbouring impedances) — the LU-threshold and
           refinement stressor. *)
+  | Bigladder
+      (** Two long RC ladders (hundreds of stages, seed-parameterized)
+          bridged by a three-buffer opamp chain — the sparse back-end
+          scale stressor and the campaign-pruning showcase. Not in the
+          default rotation; request it explicitly. *)
 
 val families : family list
-(** All families, in fuzzing rotation order. *)
+(** The default fuzzing rotation ({!Bigladder} excluded — it is
+    opt-in). *)
+
+val all_families : family list
+(** Every family, including the opt-in ones. *)
 
 val family_name : family -> string
 val family_of_string : string -> family option
@@ -57,6 +66,11 @@ val active_chain : Random.State.t -> Netlist.t * string
 val near_singular : Random.State.t -> Netlist.t * string
 (** A ladder with extreme value spreads; solvable in exact arithmetic
     but hostile to fixed pivot/residual thresholds. *)
+
+val bigladder : ?stages:int -> Random.State.t -> Netlist.t * string
+(** Two RC ladder sections of [stages] total stages (default: drawn in
+    100–450) bridged by a three-buffer opamp chain; always solvable,
+    hundreds of MNA unknowns with a handful of nonzeros per row. *)
 
 val generate : family -> seed:int -> subject
 (** Deterministic: the same [(family, seed)] pair always yields the

@@ -157,6 +157,95 @@ let rank1_updates (s : Gen.subject) =
       | Some m -> Fail m
       | None -> Pass)
 
+(* --- sparse-vs-dense: the two fault-free factorizations ----------- *)
+
+(* Forcing the two {!Fastsim} back-ends onto one subject checks the
+   whole sparse stack end-to-end — sparse stamps, Markowitz analysis,
+   per-frequency refactorization, back-solves, and the
+   Sherman–Morrison machinery running over sparse factors — against
+   the dense planar path, nominal and per-fault, cell by cell within
+   the family's tolerance envelope. Unlike [ac-reference] this also
+   covers the faulty solves, where the backends share the residual
+   gate but nothing below it. *)
+
+(* big subjects would pay |faults| ∝ stages; a spread sample keeps the
+   oracle O(1)-ish per subject while still touching both ladders *)
+let sample_faults limit faults =
+  let n = List.length faults in
+  if n <= limit then faults
+  else
+    let step = ((n + limit - 1) / limit) + 1 in
+    List.filteri (fun i _ -> i mod step = 0) faults
+
+let sparse_vs_dense (s : Gen.subject) =
+  let mk backend =
+    Fastsim.create ~backend ~source:s.source ~output:s.output ~freqs_hz s.netlist
+  in
+  match mk Fastsim.Dense with
+  | exception Mna.Ac.Singular_circuit msg -> Skip ("nominal singular: " ^ msg)
+  | dense -> (
+      match mk Fastsim.Sparse with
+      | exception Mna.Ac.Singular_circuit msg ->
+          if is_near_singular s then
+            (* the two pivot strategies may legitimately disagree at
+               the singularity threshold on this family *)
+            Skip ("sparse pivoting declares singular: " ^ msg)
+          else Fail ("sparse backend singular where dense solves: " ^ msg)
+      | sparse ->
+          let nd = Fastsim.nominal dense and ns = Fastsim.nominal sparse in
+          let failure = ref None in
+          let tol = nominal_tol s in
+          Array.iteri
+            (fun i a ->
+              if !failure = None && not (close ~tol a ns.(i)) then
+                failure :=
+                  Some
+                    (Printf.sprintf "nominal at %g Hz: dense %s, sparse %s"
+                       freqs_hz.(i) (pp_complex a) (pp_complex ns.(i))))
+            nd;
+          let lenient = is_near_singular s in
+          let check_fault failure (fault : Fault.t) =
+            if failure <> None then failure
+            else
+              let rd = Fastsim.response dense fault in
+              let rs = Fastsim.response sparse fault in
+              let tol = fault_tol s fault in
+              let f = ref None in
+              Array.iteri
+                (fun i d ->
+                  if !f = None then
+                    match (d, rs.(i)) with
+                    | None, None -> ()
+                    | Some a, Some b ->
+                        if not (close ~tol a b) then
+                          f :=
+                            Some
+                              (Printf.sprintf "%s at %g Hz: dense %s, sparse %s"
+                                 fault.Fault.id freqs_hz.(i) (pp_complex a)
+                                 (pp_complex b))
+                    | Some _, None ->
+                        if not lenient then
+                          f :=
+                            Some
+                              (Printf.sprintf
+                                 "%s at %g Hz: dense solvable, sparse singular"
+                                 fault.Fault.id freqs_hz.(i))
+                    | None, Some _ ->
+                        if not lenient then
+                          f :=
+                            Some
+                              (Printf.sprintf
+                                 "%s at %g Hz: dense singular, sparse solvable"
+                                 fault.Fault.id freqs_hz.(i)))
+                rd;
+              !f
+          in
+          (match
+             List.fold_left check_fault !failure (sample_faults 24 (faults_for s))
+           with
+          | Some m -> Fail m
+          | None -> Pass))
+
 (* --- jobs-invariance: parallel campaign = sequential campaign ----- *)
 
 (* Every subject gets a multi-view campaign: opamp circuits through
@@ -544,14 +633,28 @@ let all =
       doc = "trajectory self-test: every simulated fault classifies back to itself";
       check = diagnosis;
     };
+    {
+      name = "sparse-vs-dense";
+      doc = "forced-Sparse Fastsim nominal + faulty responses vs forced-Dense";
+      check = sparse_vs_dense;
+    };
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all
+
+(* bigladder subjects carry hundreds of unknowns: running the campaign
+   or cover oracles on them costs minutes each without exercising
+   anything the small families don't. Only the direct sweep checks are
+   worth the scale. *)
+let bigladder_oracles = [ "ac-reference"; "sparse-vs-dense" ]
 
 let run o (s : Gen.subject) =
   if not (Netlist.mem s.netlist s.source) then Skip "source element absent"
   else if not (List.mem s.output (Netlist.nodes s.netlist)) then
     Skip "output node absent"
+  else if
+    family_of s = Some Gen.Bigladder && not (List.mem o.name bigladder_oracles)
+  then Skip "bigladder subjects check the sweep/differential oracles only"
   else
     match o.check s with
     | v -> v

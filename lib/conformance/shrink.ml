@@ -59,12 +59,21 @@ let minimize ~oracle subject =
 
 type repro = {
   label : string;
+  family : string;
   oracle : string;
   message : string;
   source : string;
   output : string;
   netlist : Netlist.t;
 }
+
+(* the label's family prefix ("bigladder#3" → "bigladder") — kept as a
+   first-class field so replay tooling can branch on family (e.g. the
+   bigladder oracle guard) without re-parsing labels *)
+let family_of_label label =
+  match String.index_opt label '#' with
+  | Some i -> String.sub label 0 i
+  | None -> label
 
 let slug_of label oracle_name =
   let sanitize s =
@@ -87,6 +96,7 @@ let save ~dir ~oracle ~message (subject : Gen.subject) =
     Report.Json.Object
       [
         ("label", Report.Json.String subject.label);
+        ("family", Report.Json.String (family_of_label subject.label));
         ("cir", Report.Json.String (slug ^ ".cir"));
         ("oracle", Report.Json.String oracle.Oracle.name);
         ("verdict", Report.Json.String "fail");
@@ -120,6 +130,10 @@ let load ~expected =
       in
       let ( let* ) = Result.bind in
       let* label = str "label" in
+      (* fixtures predating the field fall back to the label prefix *)
+      let family =
+        match str "family" with Ok f -> f | Error _ -> family_of_label label
+      in
       let* cir = str "cir" in
       let* oracle = str "oracle" in
       let* message = str "message" in
@@ -129,7 +143,7 @@ let load ~expected =
       match Spice.Parser.parse_file cir_path with
       | Error e ->
           Error (Printf.sprintf "%s: %s" cir_path (Spice.Parser.error_to_string e))
-      | Ok netlist -> Ok { label; oracle; message; source; output; netlist })
+      | Ok netlist -> Ok { label; family; oracle; message; source; output; netlist })
 
 let replay (r : repro) =
   match Oracle.find r.oracle with

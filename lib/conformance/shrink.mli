@@ -15,6 +15,11 @@ val minimize : oracle:Oracle.t -> Gen.subject -> Gen.subject
 
 type repro = {
   label : string;
+  family : string;
+      (** The generator family tag ("ladder", "bigladder", …) —
+          persisted in the fixture so replay tooling need not re-parse
+          the label; derived from the label prefix when loading
+          fixtures written before the field existed. *)
   oracle : string;  (** Name in the {!Oracle.all} registry. *)
   message : string;  (** The failure message at save time. *)
   source : string;

@@ -137,6 +137,12 @@ let pipeline_to_json ?metrics (t : Pipeline.t) r =
        ("center_hz", J.Number b.Circuits.Benchmark.center_hz);
        ("criterion", criterion_to_json t.Pipeline.criterion);
        ("grid_points", J.int (Testability.Grid.n_points t.Pipeline.grid));
+       ( "campaign",
+         J.Object
+           [
+             ("equivalence_groups", J.int t.Pipeline.equivalence_groups);
+             ("pruned_configs", J.int t.Pipeline.pruned_configs);
+           ] );
        ("report", report_to_json ~faults:t.Pipeline.faults r);
      ]
     @ match metrics with None -> [] | Some s -> [ ("metrics", metrics_to_json s) ])

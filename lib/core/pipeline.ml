@@ -6,13 +6,15 @@ type t = {
   faults : Fault.t list;
   matrix : Testability.Matrix.t;
   input : Optimizer.input;
+  equivalence_groups : int;
+  pruned_configs : int;
 }
 
 let default_criterion =
   Testability.Detect.Process_envelope { component_tol = 0.04; floor = 0.02 }
 
 let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
-    ?follower_model ?jobs (benchmark : Circuits.Benchmark.t) =
+    ?follower_model ?jobs ?backend ?(prune = true) (benchmark : Circuits.Benchmark.t) =
   Obs.Trace.span "pipeline.run" @@ fun () ->
   let netlist = benchmark.Circuits.Benchmark.netlist in
   Circuit.Validate.check_exn netlist;
@@ -43,7 +45,59 @@ let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
         })
       (Multiconfig.Transform.test_configurations dft)
   in
-  let matrix = Testability.Matrix.build ~criterion ?jobs grid views faults in
+  let n_views = List.length views in
+  (* Equivalence pruning: views whose assembled systems agree
+     value-exactly (up to row sign, with every fault-touched row
+     locked — see {!Analysis.Lint.value_signature}) produce identical
+     verdict rows, so the campaign simulates one representative per
+     group and replicates its row. The grouping locks the rows of
+     every faulted element under the campaign's own source mode, which
+     is what makes the replication exact rather than heuristic. *)
+  let groups =
+    Obs.Trace.span "pipeline.prune" @@ fun () ->
+    if not prune then List.init n_views (fun i -> [ i ])
+    else
+      let locked_elements =
+        List.sort_uniq String.compare
+          (List.map (fun f -> f.Fault.element) faults)
+      in
+      Analysis.Lint.equivalence_groups
+        ~sources:(Mna.Assemble.Only probe.Testability.Detect.source)
+        ~locked_elements
+        (List.map (fun v -> v.Testability.Matrix.netlist) views)
+  in
+  let n_groups = List.length groups in
+  let pruned = n_views - n_groups in
+  Obs.Metrics.incr "campaign.equivalence_groups" ~by:n_groups;
+  if pruned > 0 then Obs.Metrics.incr "campaign.pruned_configs" ~by:pruned;
+  (* representative (first member) of each group, and each view's
+     position in the representative list *)
+  let rep_of = Array.make n_views 0 in
+  List.iteri
+    (fun g members -> List.iter (fun i -> rep_of.(i) <- g) members)
+    groups;
+  let views_arr = Array.of_list views in
+  let rep_views =
+    List.map (fun members -> views_arr.(List.hd members)) groups
+  in
+  let rep_matrix =
+    Testability.Matrix.build ?backend ~criterion ?jobs grid rep_views faults
+  in
+  (* Expand back to the full view list: row i is a copy of its
+     representative's row, so the matrix is indistinguishable from an
+     unpruned build. *)
+  let matrix =
+    {
+      Testability.Matrix.views = views_arr;
+      faults = rep_matrix.Testability.Matrix.faults;
+      detect =
+        Array.init n_views (fun i ->
+            Array.copy rep_matrix.Testability.Matrix.detect.(rep_of.(i)));
+      omega =
+        Array.init n_views (fun i ->
+            Array.copy rep_matrix.Testability.Matrix.omega.(rep_of.(i)));
+    }
+  in
   let omega_percent =
     Array.map (Array.map (fun v -> v *. 100.0)) matrix.Testability.Matrix.omega
   in
@@ -51,7 +105,17 @@ let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
     Optimizer.input_of_matrices ~n_opamps:(Multiconfig.Transform.n_opamps dft)
       matrix.Testability.Matrix.detect omega_percent
   in
-  { benchmark; dft; grid; criterion; faults; matrix; input }
+  {
+    benchmark;
+    dft;
+    grid;
+    criterion;
+    faults;
+    matrix;
+    input;
+    equivalence_groups = n_groups;
+    pruned_configs = pruned;
+  }
 
 let optimize ?petrick_limit ?n_detect t =
   Obs.Trace.span "pipeline.optimize" @@ fun () ->

@@ -13,8 +13,15 @@ type t = {
   faults : Fault.t list;
   matrix : Testability.Matrix.t;
       (** Rows are the test configurations C₀ … C_{2ⁿ-2} in index
-          order; ω values in [0, 1]. *)
+          order; ω values in [0, 1]. Always full-height: pruned rows
+          are replicated from their group representative. *)
   input : Optimizer.input;  (** Same data, ω in percent. *)
+  equivalence_groups : int;
+      (** Number of value-distinct configuration classes simulated. *)
+  pruned_configs : int;
+      (** Configurations whose rows were replicated instead of
+          simulated ([n_views − equivalence_groups]; 0 with
+          [~prune:false]). *)
 }
 
 val default_criterion : Testability.Detect.criterion
@@ -30,6 +37,8 @@ val run :
   ?faults:Fault.t list ->
   ?follower_model:Circuit.Element.opamp_model ->
   ?jobs:int ->
+  ?backend:Testability.Fastsim.backend ->
+  ?prune:bool ->
   Circuits.Benchmark.t ->
   t
 (** Defaults: {!default_criterion}, the paper's +20 % deviation fault
@@ -38,7 +47,19 @@ val run :
     (default 30) points per decade. [follower_model] emulates
     follower-mode opamps as finite-GBW unity buffers instead of ideal
     ones (see {!Multiconfig.Transform.emulate}); [jobs] parallelizes
-    the campaign across domains (see {!Testability.Matrix.build}). *)
+    the campaign across domains (see {!Testability.Matrix.build});
+    [backend] selects the per-view factorization
+    ({!Testability.Fastsim.backend}, default [Auto]).
+
+    [prune] (default [true]) simulates one representative per class of
+    configurations whose assembled systems are value-identical up to
+    row sign with every fault-touched row locked
+    ({!Analysis.Lint.equivalence_groups}) and replicates the
+    representative's verdict rows — the resulting matrix is exactly
+    the unpruned one. The skipped work is counted in
+    {!field:pruned_configs} and in the [campaign.pruned_configs]
+    metric; pass [~prune:false] to force every row through the
+    solver. *)
 
 val optimize : ?petrick_limit:int -> ?n_detect:int -> t -> Optimizer.report
 

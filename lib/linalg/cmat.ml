@@ -547,6 +547,8 @@ module Big = struct
 
   let rows m = m.nrows
   let cols m = m.ncols
+  let re_plane m = m.re
+  let im_plane m = m.im
 
   let check_bounds m i j =
     if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then

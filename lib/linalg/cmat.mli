@@ -166,6 +166,12 @@ module Big : sig
 
   val rows : t -> int
   val cols : t -> int
+
+  val re_plane : t -> plane
+  val im_plane : t -> plane
+  (** The raw row-major storage planes — for kernels outside this
+      module (the sparse back-end) that stream whole blocks. *)
+
   val get : t -> int -> int -> Complex.t
   val set : t -> int -> int -> Complex.t -> unit
 

@@ -1,0 +1,653 @@
+(* Sparse complex linear algebra on split re/im off-heap planes.
+
+   The storage discipline follows {!Cmat.Big}: every numeric payload is
+   a pair of [Bigarray.Array1] float64 planes the GC never scans or
+   moves, and the boxed [Complex.t] API survives only at the edges.
+
+   An MNA matrix A(jω) = G + jωC has one {e pattern} (the stamped
+   occupancy, fixed per netlist) and per-frequency {e values}, so the
+   factorization splits the classic SPICE way:
+
+   - {!analyze} runs once per pattern: a right-looking Markowitz-style
+     elimination with threshold partial pivoting on representative
+     values picks the (row, column) pivot order and records the filled
+     L/U patterns. Fill is simulated for real — the recorded pattern is
+     closed under the left-looking update rule by construction.
+   - {!refactor} runs once per frequency: a static-pivot left-looking
+     pass over the recorded pattern into reusable factor planes. No
+     searching, no allocation, O(flops(fill)).
+
+   The numeric conventions are the dense kernels' exactly: the same
+   {!Cmat.norm2} magnitudes, the same Smith division for every complex
+   quotient, and the same growth-aware singularity threshold
+   [1e-300 + scale_norm · n · 4 · ε] raising {!Cmat.Singular} — so a
+   matrix the dense path calls singular is rejected here by the same
+   yardstick (the pivot {e order} differs, so rounding and borderline
+   verdicts may differ within that envelope; the differential oracles
+   compare through a tolerance, not bitwise). *)
+
+module Big = Cmat.Big
+module Bvec = Big.Vec
+open Bigarray
+
+type plane = Big.plane
+
+let plane len : plane =
+  let p = Array1.create Float64 C_layout len in
+  Array1.fill p 0.0;
+  p
+
+(* ---- pattern ---- *)
+
+type pattern = {
+  n : int;
+  nnz : int;
+  colptr : int array;  (* length n+1 *)
+  rowind : int array;  (* length nnz; rows ascending within a column *)
+}
+
+let n p = p.n
+let nnz p = p.nnz
+
+let pattern ~n entries =
+  if n < 0 then invalid_arg "Csparse.pattern: negative dimension";
+  let entries = Array.copy entries in
+  Array.sort
+    (fun (r1, c1) (r2, c2) -> if c1 <> c2 then compare c1 c2 else compare r1 r2)
+    entries;
+  let nnz = Array.length entries in
+  let colptr = Array.make (n + 1) 0 in
+  let rowind = Array.make nnz 0 in
+  Array.iteri
+    (fun k (r, c) ->
+      if r < 0 || r >= n || c < 0 || c >= n then
+        invalid_arg "Csparse.pattern: entry out of bounds";
+      if k > 0 && entries.(k - 1) = (r, c) then
+        invalid_arg "Csparse.pattern: duplicate entry";
+      rowind.(k) <- r;
+      colptr.(c + 1) <- colptr.(c + 1) + 1)
+    entries;
+  for c = 1 to n do
+    colptr.(c) <- colptr.(c) + colptr.(c - 1)
+  done;
+  { n; nnz; colptr; rowind }
+
+let slot p ~row ~col =
+  if col < 0 || col >= p.n then invalid_arg "Csparse.slot: column out of bounds";
+  let lo = ref p.colptr.(col) and hi = ref (p.colptr.(col + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = p.rowind.(mid) in
+    if r = row then found := mid else if r < row then lo := mid + 1 else hi := mid - 1
+  done;
+  if !found < 0 then raise Not_found;
+  !found
+
+let values p = (plane p.nnz, plane p.nnz)
+
+(* ---- whole-matrix helpers on (pattern, value planes) ---- *)
+
+let check_values p (re : plane) (im : plane) =
+  if Array1.dim re <> p.nnz || Array1.dim im <> p.nnz then
+    invalid_arg "Csparse: value planes do not match the pattern"
+
+(* Same row-sum norm the dense [Cmat.Big.norm_inf] computes: absent
+   entries contribute the zero their dense counterparts would. *)
+let norm_inf p ~re ~im =
+  check_values p re im;
+  let sums = Array.make (Int.max p.n 1) 0.0 in
+  for c = 0 to p.n - 1 do
+    for k = p.colptr.(c) to p.colptr.(c + 1) - 1 do
+      let i = Array.unsafe_get p.rowind k in
+      Array.unsafe_set sums i
+        (Array.unsafe_get sums i
+        +. Cmat.norm2 (Array1.unsafe_get re k) (Array1.unsafe_get im k))
+    done
+  done;
+  Array.fold_left Float.max 0.0 sums
+
+(* y <- A x, column-wise: O(nnz), no allocation. *)
+let mul_vec_into p ~re ~im ~(x : Bvec.t) ~(y : Bvec.t) =
+  check_values p re im;
+  if Bvec.length x <> p.n || Bvec.length y <> p.n then
+    invalid_arg "Csparse.mul_vec_into: dimension mismatch";
+  Bvec.fill_zero y;
+  let xre = x.Bvec.re and xim = x.Bvec.im in
+  let yre = y.Bvec.re and yim = y.Bvec.im in
+  for c = 0 to p.n - 1 do
+    let vre = Array1.unsafe_get xre c and vim = Array1.unsafe_get xim c in
+    if vre <> 0.0 || vim <> 0.0 then
+      for k = p.colptr.(c) to p.colptr.(c + 1) - 1 do
+        let i = Array.unsafe_get p.rowind k in
+        let are = Array1.unsafe_get re k and aim = Array1.unsafe_get im k in
+        Array1.unsafe_set yre i
+          (Array1.unsafe_get yre i +. ((are *. vre) -. (aim *. vim)));
+        Array1.unsafe_set yim i
+          (Array1.unsafe_get yim i +. ((are *. vim) +. (aim *. vre)))
+      done
+  done
+
+(* Densify into an off-heap matrix — the bridge to the dense fallback
+   paths (full refactorization on a perturbed copy). *)
+let dense_into p ~re ~im (m : Big.t) =
+  check_values p re im;
+  if Big.rows m <> p.n || Big.cols m <> p.n then
+    invalid_arg "Csparse.dense_into: dimension mismatch";
+  let mre = Big.re_plane m and mim = Big.im_plane m in
+  Array1.fill mre 0.0;
+  Array1.fill mim 0.0;
+  let nc = p.n in
+  for c = 0 to p.n - 1 do
+    for k = p.colptr.(c) to p.colptr.(c + 1) - 1 do
+      let i = Array.unsafe_get p.rowind k in
+      Array1.unsafe_set mre ((i * nc) + c) (Array1.unsafe_get re k);
+      Array1.unsafe_set mim ((i * nc) + c) (Array1.unsafe_get im k)
+    done
+  done
+
+(* ---- symbolic analysis ---- *)
+
+type symbolic = {
+  pat : pattern;
+  roworder : int array;  (* roworder.(k) = original row pivoted at step k *)
+  colorder : int array;  (* colorder.(k) = original column eliminated at step k *)
+  rowpos : int array;  (* inverse of roworder *)
+  colpos : int array;  (* inverse of colorder *)
+  (* Filled factor patterns in permuted coordinates, CSC per permuted
+     column; L is strictly lower with implicit unit diagonal, U is
+     strictly upper (the diagonal lives in its own planes). Row indices
+     ascend within each column. *)
+  l_colptr : int array;
+  l_rowind : int array;
+  u_colptr : int array;
+  u_rowind : int array;
+  perm_sign : int;  (* sign(P)·sign(Q) *)
+}
+
+let symbolic_nnz s = s.pat.nnz
+let fill_nnz s = Array.length s.l_rowind + Array.length s.u_rowind + s.pat.n
+
+(* Parity of the permutation [k -> p.(k)] by cycle decomposition. *)
+let permutation_sign p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let sign = ref 1 in
+  for k = 0 to n - 1 do
+    if not seen.(k) then begin
+      let len = ref 0 and i = ref k in
+      while not seen.(!i) do
+        seen.(!i) <- true;
+        i := p.(!i);
+        incr len
+      done;
+      if !len land 1 = 0 then sign := - !sign
+    end
+  done;
+  !sign
+
+(* Markowitz threshold: a candidate pivot must be at least this
+   fraction of the largest magnitude in its column. The classic SPICE
+   default trades a little growth for a lot less fill. *)
+let pivot_threshold = 0.001
+
+let tiny_of ~n ~scale_norm =
+  1e-300 +. (scale_norm *. float_of_int n *. 4.0 *. epsilon_float)
+
+let analyze p ~re ~im =
+  check_values p re im;
+  let n = p.n in
+  if n = 0 then
+    {
+      pat = p;
+      roworder = [||];
+      colorder = [||];
+      rowpos = [||];
+      colpos = [||];
+      l_colptr = [| 0 |];
+      l_rowind = [||];
+      u_colptr = [| 0 |];
+      u_rowind = [||];
+      perm_sign = 1;
+    }
+  else begin
+    (* Working sparse matrix with dynamic fill: per-row and per-column
+       active-index sets plus a value table keyed by flat index. One-time
+       cost per netlist pattern, so hash overhead is acceptable. *)
+    let row_set = Array.init n (fun _ -> Hashtbl.create 8) in
+    let col_set = Array.init n (fun _ -> Hashtbl.create 8) in
+    let value : (int, float ref * float ref) Hashtbl.t =
+      Hashtbl.create (4 * p.nnz)
+    in
+    let scale_norm = ref 0.0 in
+    for c = 0 to n - 1 do
+      for k = p.colptr.(c) to p.colptr.(c + 1) - 1 do
+        let i = p.rowind.(k) in
+        Hashtbl.replace row_set.(i) c ();
+        Hashtbl.replace col_set.(c) i ();
+        Hashtbl.replace value ((i * n) + c) (ref (Array1.get re k), ref (Array1.get im k));
+        let m = Cmat.norm2 (Array1.get re k) (Array1.get im k) in
+        if m > !scale_norm then scale_norm := m
+      done
+    done;
+    let tiny = tiny_of ~n ~scale_norm:!scale_norm in
+    let mag i c =
+      match Hashtbl.find_opt value ((i * n) + c) with
+      | None -> 0.0
+      | Some (vr, vi) -> Cmat.norm2 !vr !vi
+    in
+    let row_active = Array.make n true and col_active = Array.make n true in
+    let roworder = Array.make n 0 and colorder = Array.make n 0 in
+    let lcols = Array.make n [] and urows = Array.make n [] in
+    for k = 0 to n - 1 do
+      (* Pivot search: among every acceptable entry (magnitude at least
+         [pivot_threshold] of its column's maximum, column maximum above
+         [tiny]) minimize the Markowitz count
+         (row_len − 1)·(col_len − 1); break ties toward the larger
+         magnitude, then the smaller (row, column) pair for
+         determinism. *)
+      let best_cost = ref max_int
+      and best_mag = ref 0.0
+      and best_r = ref (-1)
+      and best_c = ref (-1) in
+      for c = 0 to n - 1 do
+        if col_active.(c) then begin
+          let colmax = ref 0.0 in
+          Hashtbl.iter
+            (fun i () ->
+              let m = mag i c in
+              if m > !colmax then colmax := m)
+            col_set.(c);
+          if !colmax > tiny then begin
+            let acceptable = pivot_threshold *. !colmax in
+            let clen = Hashtbl.length col_set.(c) in
+            Hashtbl.iter
+              (fun i () ->
+                let m = mag i c in
+                if m >= acceptable && m > tiny then begin
+                  let cost = (Hashtbl.length row_set.(i) - 1) * (clen - 1) in
+                  if
+                    cost < !best_cost
+                    || (cost = !best_cost && m > !best_mag)
+                    || cost = !best_cost && m = !best_mag
+                       && (i < !best_r || (i = !best_r && c < !best_c))
+                  then begin
+                    best_cost := cost;
+                    best_mag := m;
+                    best_r := i;
+                    best_c := c
+                  end
+                end)
+              col_set.(c)
+          end
+        end
+      done;
+      if !best_r < 0 then raise Cmat.Singular;
+      let r = !best_r and c = !best_c in
+      roworder.(k) <- r;
+      colorder.(k) <- c;
+      row_active.(r) <- false;
+      col_active.(c) <- false;
+      (* Record the factor patterns before the update mutates the sets. *)
+      let lrows = Hashtbl.fold (fun i () acc -> if i <> r then i :: acc else acc) col_set.(c) [] in
+      let ucols = Hashtbl.fold (fun j () acc -> if j <> c then j :: acc else acc) row_set.(r) [] in
+      lcols.(k) <- lrows;
+      urows.(k) <- ucols;
+      (* Detach the pivot row and column from the active structure. *)
+      List.iter (fun j -> Hashtbl.remove col_set.(j) r) ucols;
+      List.iter (fun i -> Hashtbl.remove row_set.(i) c) lrows;
+      Hashtbl.remove col_set.(c) r;
+      Hashtbl.remove row_set.(r) c;
+      (* Numeric right-looking update, so later pivot choices see real
+         magnitudes (fill entries are created here — this is the fill
+         simulation the static pattern records). *)
+      let pr, pi =
+        match Hashtbl.find_opt value ((r * n) + c) with
+        | Some (vr, vi) -> (!vr, !vi)
+        | None -> (0.0, 0.0)
+      in
+      List.iter
+        (fun i ->
+          match Hashtbl.find_opt value ((i * n) + c) with
+          | None -> ()
+          | Some (ar, ai) ->
+              (* f = a_ic / pivot, Smith division. *)
+              let f_re, f_im =
+                if Float.abs pr >= Float.abs pi then begin
+                  let q = pi /. pr in
+                  let d = pr +. (q *. pi) in
+                  ((!ar +. (q *. !ai)) /. d, (!ai -. (q *. !ar)) /. d)
+                end
+                else begin
+                  let q = pr /. pi in
+                  let d = pi +. (q *. pr) in
+                  (((q *. !ar) +. !ai) /. d, ((q *. !ai) -. !ar) /. d)
+                end
+              in
+              List.iter
+                (fun j ->
+                  let rr, ri =
+                    match Hashtbl.find_opt value ((r * n) + j) with
+                    | Some (vr, vi) -> (!vr, !vi)
+                    | None -> (0.0, 0.0)
+                  in
+                  let key = (i * n) + j in
+                  match Hashtbl.find_opt value key with
+                  | Some (vr, vi) ->
+                      vr := !vr -. ((f_re *. rr) -. (f_im *. ri));
+                      vi := !vi -. ((f_re *. ri) +. (f_im *. rr))
+                  | None ->
+                      (* fill *)
+                      Hashtbl.replace value key
+                        (ref (-.((f_re *. rr) -. (f_im *. ri))),
+                         ref (-.((f_re *. ri) +. (f_im *. rr))));
+                      Hashtbl.replace row_set.(i) j ();
+                      Hashtbl.replace col_set.(j) i ())
+                ucols)
+        lrows
+    done;
+    let rowpos = Array.make n 0 and colpos = Array.make n 0 in
+    for k = 0 to n - 1 do
+      rowpos.(roworder.(k)) <- k;
+      colpos.(colorder.(k)) <- k
+    done;
+    (* L column k: eliminated rows in permuted coordinates, ascending. *)
+    let l_cols =
+      Array.map (fun rows -> List.map (fun i -> rowpos.(i)) rows |> List.sort compare) lcols
+    in
+    (* U is recorded by pivot row; regroup per permuted column. *)
+    let u_cols = Array.make n [] in
+    for k = n - 1 downto 0 do
+      List.iter (fun j -> u_cols.(colpos.(j)) <- k :: u_cols.(colpos.(j))) urows.(k)
+    done;
+    let u_cols = Array.map (List.sort compare) u_cols in
+    let compress cols =
+      let colptr = Array.make (n + 1) 0 in
+      Array.iteri (fun j l -> colptr.(j + 1) <- colptr.(j) + List.length l) cols;
+      let rowind = Array.make colptr.(n) 0 in
+      Array.iteri
+        (fun j l -> List.iteri (fun o i -> rowind.(colptr.(j) + o) <- i) l)
+        cols;
+      (colptr, rowind)
+    in
+    let l_colptr, l_rowind = compress l_cols in
+    let u_colptr, u_rowind = compress u_cols in
+    {
+      pat = p;
+      roworder;
+      colorder;
+      rowpos;
+      colpos;
+      l_colptr;
+      l_rowind;
+      u_colptr;
+      u_rowind;
+      perm_sign = permutation_sign roworder * permutation_sign colorder;
+    }
+  end
+
+(* ---- numeric refactorization ---- *)
+
+type numeric = {
+  sym : symbolic;
+  lre : plane;  (* aligned with sym.l_rowind *)
+  lim : plane;
+  ure : plane;  (* aligned with sym.u_rowind *)
+  uim : plane;
+  dre : plane;  (* U diagonal, length n *)
+  dim_ : plane;
+  wre : plane;  (* scatter workspace, length n, zero between columns *)
+  wim : plane;
+}
+
+let numeric sym =
+  {
+    sym;
+    lre = plane (Array.length sym.l_rowind);
+    lim = plane (Array.length sym.l_rowind);
+    ure = plane (Array.length sym.u_rowind);
+    uim = plane (Array.length sym.u_rowind);
+    dre = plane sym.pat.n;
+    dim_ = plane sym.pat.n;
+    wre = plane sym.pat.n;
+    wim = plane sym.pat.n;
+  }
+
+let numeric_dim num = num.sym.pat.n
+
+(* Left-looking refactorization over the static filled pattern. The
+   workspace planes are owned by the [numeric] value, so refactoring is
+   single-writer — concurrent {!solve_into}/{!solve_block_into} readers
+   are only safe once this returns (the engine factors per frequency at
+   construction time, before any parallel phase). *)
+let refactor num ~re ~im =
+  let s = num.sym in
+  let p = s.pat in
+  check_values p re im;
+  let n = p.n in
+  let scale_norm = ref 0.0 in
+  for k = 0 to p.nnz - 1 do
+    let m = Cmat.norm2 (Array1.unsafe_get re k) (Array1.unsafe_get im k) in
+    if m > !scale_norm then scale_norm := m
+  done;
+  let tiny = tiny_of ~n ~scale_norm:!scale_norm in
+  let wre = num.wre and wim = num.wim in
+  let lre = num.lre and lim = num.lim in
+  let ure = num.ure and uim = num.uim in
+  for j = 0 to n - 1 do
+    let c = s.colorder.(j) in
+    (* scatter A's column c into permuted positions *)
+    for k = p.colptr.(c) to p.colptr.(c + 1) - 1 do
+      let pi = Array.unsafe_get s.rowpos (Array.unsafe_get p.rowind k) in
+      Array1.unsafe_set wre pi (Array1.unsafe_get re k);
+      Array1.unsafe_set wim pi (Array1.unsafe_get im k)
+    done;
+    (* eliminate with the already-computed columns k < j *)
+    for uix = s.u_colptr.(j) to s.u_colptr.(j + 1) - 1 do
+      let k = Array.unsafe_get s.u_rowind uix in
+      let uk_re = Array1.unsafe_get wre k and uk_im = Array1.unsafe_get wim k in
+      Array1.unsafe_set ure uix uk_re;
+      Array1.unsafe_set uim uix uk_im;
+      if uk_re <> 0.0 || uk_im <> 0.0 then
+        for lix = s.l_colptr.(k) to s.l_colptr.(k + 1) - 1 do
+          let i = Array.unsafe_get s.l_rowind lix in
+          let l_re = Array1.unsafe_get lre lix and l_im = Array1.unsafe_get lim lix in
+          Array1.unsafe_set wre i
+            (Array1.unsafe_get wre i -. ((l_re *. uk_re) -. (l_im *. uk_im)));
+          Array1.unsafe_set wim i
+            (Array1.unsafe_get wim i -. ((l_re *. uk_im) +. (l_im *. uk_re)))
+        done
+    done;
+    let p_re = Array1.unsafe_get wre j and p_im = Array1.unsafe_get wim j in
+    let clear () =
+      for uix = s.u_colptr.(j) to s.u_colptr.(j + 1) - 1 do
+        let k = Array.unsafe_get s.u_rowind uix in
+        Array1.unsafe_set wre k 0.0;
+        Array1.unsafe_set wim k 0.0
+      done;
+      Array1.unsafe_set wre j 0.0;
+      Array1.unsafe_set wim j 0.0;
+      for lix = s.l_colptr.(j) to s.l_colptr.(j + 1) - 1 do
+        let i = Array.unsafe_get s.l_rowind lix in
+        Array1.unsafe_set wre i 0.0;
+        Array1.unsafe_set wim i 0.0
+      done
+    in
+    if Cmat.norm2 p_re p_im <= tiny then begin
+      (* leave the workspace clean for the next refactor attempt *)
+      clear ();
+      raise Cmat.Singular
+    end;
+    Array1.unsafe_set num.dre j p_re;
+    Array1.unsafe_set num.dim_ j p_im;
+    for lix = s.l_colptr.(j) to s.l_colptr.(j + 1) - 1 do
+      let i = Array.unsafe_get s.l_rowind lix in
+      let a_re = Array1.unsafe_get wre i and a_im = Array1.unsafe_get wim i in
+      if Float.abs p_re >= Float.abs p_im then begin
+        let r = p_im /. p_re in
+        let d = p_re +. (r *. p_im) in
+        Array1.unsafe_set lre lix ((a_re +. (r *. a_im)) /. d);
+        Array1.unsafe_set lim lix ((a_im -. (r *. a_re)) /. d)
+      end
+      else begin
+        let r = p_re /. p_im in
+        let d = p_im +. (r *. p_re) in
+        Array1.unsafe_set lre lix (((r *. a_re) +. a_im) /. d);
+        Array1.unsafe_set lim lix (((r *. a_im) -. a_re) /. d)
+      end
+    done;
+    clear ()
+  done
+
+let determinant num =
+  let n = num.sym.pat.n in
+  let acc_re = ref (if num.sym.perm_sign >= 0 then 1.0 else -1.0)
+  and acc_im = ref 0.0 in
+  for j = 0 to n - 1 do
+    let d_re = Array1.get num.dre j and d_im = Array1.get num.dim_ j in
+    let r = (!acc_re *. d_re) -. (!acc_im *. d_im) in
+    acc_im := (!acc_re *. d_im) +. (!acc_im *. d_re);
+    acc_re := r
+  done;
+  Complex.{ re = !acc_re; im = !acc_im }
+
+(* ---- triangular solves ----
+
+   Shared factors are read-only here, so concurrent solves from several
+   domains are safe; the permuted intermediate lives in per-domain
+   scratch (DLS), mirroring the engine-wide scratch discipline. *)
+
+type solve_scratch = { mutable len : int; mutable yre : plane; mutable yim : plane }
+
+let solve_key =
+  Domain.DLS.new_key (fun () -> { len = -1; yre = plane 0; yim = plane 0 })
+
+let solve_scratch_for n =
+  let s = Domain.DLS.get solve_key in
+  if s.len <> n then begin
+    s.len <- n;
+    s.yre <- plane n;
+    s.yim <- plane n
+  end;
+  s
+
+(* Forward/back substitution in permuted coordinates, column-oriented:
+   processing columns in order finalizes y.(k) before it is used. [k]
+   is the number of interleaved right-hand sides (stride). *)
+let substitute_stride s ~lre ~lim ~ure ~uim ~dre ~dim_ (yre : plane) (yim : plane) ~k =
+  let n = s.pat.n in
+  (* L y = Pb, unit diagonal *)
+  for kk = 0 to n - 1 do
+    let rk = kk * k in
+    for lix = s.l_colptr.(kk) to s.l_colptr.(kk + 1) - 1 do
+      let i = Array.unsafe_get s.l_rowind lix in
+      let l_re = Array1.unsafe_get lre lix and l_im = Array1.unsafe_get lim lix in
+      if l_re <> 0.0 || l_im <> 0.0 then begin
+        let ri = i * k in
+        for r = 0 to k - 1 do
+          let v_re = Array1.unsafe_get yre (rk + r)
+          and v_im = Array1.unsafe_get yim (rk + r) in
+          Array1.unsafe_set yre (ri + r)
+            (Array1.unsafe_get yre (ri + r) -. ((l_re *. v_re) -. (l_im *. v_im)));
+          Array1.unsafe_set yim (ri + r)
+            (Array1.unsafe_get yim (ri + r) -. ((l_re *. v_im) +. (l_im *. v_re)))
+        done
+      end
+    done
+  done;
+  (* U x = y; the diagonal divide lands first, then the column's
+     entries update the rows above. *)
+  for j = n - 1 downto 0 do
+    let rj = j * k in
+    let p_re = Array1.unsafe_get dre j and p_im = Array1.unsafe_get dim_ j in
+    if Float.abs p_re >= Float.abs p_im then begin
+      let r = p_im /. p_re in
+      let d = p_re +. (r *. p_im) in
+      for c = 0 to k - 1 do
+        let a_re = Array1.unsafe_get yre (rj + c)
+        and a_im = Array1.unsafe_get yim (rj + c) in
+        Array1.unsafe_set yre (rj + c) ((a_re +. (r *. a_im)) /. d);
+        Array1.unsafe_set yim (rj + c) ((a_im -. (r *. a_re)) /. d)
+      done
+    end
+    else begin
+      let r = p_re /. p_im in
+      let d = p_im +. (r *. p_re) in
+      for c = 0 to k - 1 do
+        let a_re = Array1.unsafe_get yre (rj + c)
+        and a_im = Array1.unsafe_get yim (rj + c) in
+        Array1.unsafe_set yre (rj + c) (((r *. a_re) +. a_im) /. d);
+        Array1.unsafe_set yim (rj + c) (((r *. a_im) -. a_re) /. d)
+      done
+    end;
+    for uix = s.u_colptr.(j) to s.u_colptr.(j + 1) - 1 do
+      let i = Array.unsafe_get s.u_rowind uix in
+      let u_re = Array1.unsafe_get ure uix and u_im = Array1.unsafe_get uim uix in
+      if u_re <> 0.0 || u_im <> 0.0 then begin
+        let ri = i * k in
+        for r = 0 to k - 1 do
+          let v_re = Array1.unsafe_get yre (rj + r)
+          and v_im = Array1.unsafe_get yim (rj + r) in
+          Array1.unsafe_set yre (ri + r)
+            (Array1.unsafe_get yre (ri + r) -. ((u_re *. v_re) -. (u_im *. v_im)));
+          Array1.unsafe_set yim (ri + r)
+            (Array1.unsafe_get yim (ri + r) -. ((u_re *. v_im) +. (u_im *. v_re)))
+        done
+      end
+    done
+  done
+
+let solve_into num ~(b : Bvec.t) ~(x : Bvec.t) =
+  let s = num.sym in
+  let n = s.pat.n in
+  if Bvec.length b <> n || Bvec.length x <> n then
+    invalid_arg "Csparse.solve_into: dimension mismatch";
+  let sc = solve_scratch_for n in
+  let yre = sc.yre and yim = sc.yim in
+  for kk = 0 to n - 1 do
+    let p = Array.unsafe_get s.roworder kk in
+    Array1.unsafe_set yre kk (Array1.unsafe_get b.Bvec.re p);
+    Array1.unsafe_set yim kk (Array1.unsafe_get b.Bvec.im p)
+  done;
+  substitute_stride s ~lre:num.lre ~lim:num.lim ~ure:num.ure ~uim:num.uim ~dre:num.dre
+    ~dim_:num.dim_ yre yim ~k:1;
+  for j = 0 to n - 1 do
+    let c = Array.unsafe_get s.colorder j in
+    Array1.unsafe_set x.Bvec.re c (Array1.unsafe_get yre j);
+    Array1.unsafe_set x.Bvec.im c (Array1.unsafe_get yim j)
+  done
+
+(* Multi-RHS back-solve mirroring {!Cmat.Big.lu_solve_block_into}: [b]
+   and [x] are n×k row-major blocks whose column r is the r-th
+   right-hand side / solution, and per column the operation sequence is
+   exactly {!solve_into}'s. Allocates its own permuted block — callers
+   use this at cache-warming time, not in the per-point hot loop. *)
+let solve_block_into num ~(b : Big.t) ~(x : Big.t) =
+  let s = num.sym in
+  let n = s.pat.n in
+  let k = Big.cols b in
+  if Big.rows b <> n || Big.rows x <> n || Big.cols x <> k then
+    invalid_arg "Csparse.solve_block_into: dimension mismatch";
+  if k > 0 then begin
+    let bre = Big.re_plane b and bim = Big.im_plane b in
+    let xre = Big.re_plane x and xim = Big.im_plane x in
+    let yre = plane (n * k) and yim = plane (n * k) in
+    for kk = 0 to n - 1 do
+      let p = Array.unsafe_get s.roworder kk in
+      let rk = kk * k and rp = p * k in
+      for r = 0 to k - 1 do
+        Array1.unsafe_set yre (rk + r) (Array1.unsafe_get bre (rp + r));
+        Array1.unsafe_set yim (rk + r) (Array1.unsafe_get bim (rp + r))
+      done
+    done;
+    substitute_stride s ~lre:num.lre ~lim:num.lim ~ure:num.ure ~uim:num.uim
+      ~dre:num.dre ~dim_:num.dim_ yre yim ~k;
+    for j = 0 to n - 1 do
+      let c = Array.unsafe_get s.colorder j in
+      let rj = j * k and rc = c * k in
+      for r = 0 to k - 1 do
+        Array1.unsafe_set xre (rc + r) (Array1.unsafe_get yre (rj + r));
+        Array1.unsafe_set xim (rc + r) (Array1.unsafe_get yim (rj + r))
+      done
+    done
+  end

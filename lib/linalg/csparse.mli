@@ -1,0 +1,109 @@
+(** Sparse complex linear algebra on split re/im off-heap planes.
+
+    Built for MNA sweeps: a netlist's occurrence {!pattern} is fixed
+    while the entry values change per frequency, so the factorization
+    follows the classic SPICE split — {!analyze} picks a
+    Markowitz-style (minimum fill-in, threshold-pivoted) elimination
+    order once per pattern, and {!refactor} re-runs the numeric
+    factorization over the recorded static fill pattern per frequency
+    into reusable workspaces, O(flops(fill)) with no searching and no
+    allocation.
+
+    Storage follows {!Cmat.Big}: every payload is a pair of
+    [Bigarray.Array1] float64 planes off the OCaml heap. Numeric
+    conventions are the dense kernels' exactly — {!Cmat.norm2}
+    magnitudes, Smith division for every complex quotient, and the
+    growth-aware [1e-300 + scale·n·4·ε] singularity threshold raising
+    {!Cmat.Singular}. Pivot {e order} differs from the dense partial
+    pivoting, so results agree to rounding (not bitwise). *)
+
+type plane = Cmat.Big.plane
+
+val plane : int -> plane
+(** Zero-filled off-heap plane of the given length. *)
+
+(** {1 Pattern} *)
+
+type pattern
+(** Immutable CSC occupancy: [n]×[n] with [nnz] stored positions, rows
+    ascending within each column. Value planes of length [nnz] are
+    owned by the caller and aligned with the pattern's slot order. *)
+
+val pattern : n:int -> (int * int) array -> pattern
+(** Build from [(row, col)] coordinates. Raises [Invalid_argument] on
+    out-of-bounds or duplicate entries. *)
+
+val n : pattern -> int
+val nnz : pattern -> int
+
+val slot : pattern -> row:int -> col:int -> int
+(** Index of [(row, col)] in the value planes; raises [Not_found] when
+    the position is not stored. *)
+
+val values : pattern -> plane * plane
+(** Freshly allocated zero [(re, im)] value planes of length [nnz]. *)
+
+val norm_inf : pattern -> re:plane -> im:plane -> float
+(** Row-sum infinity norm; equals {!Cmat.Big.norm_inf} of the
+    densified matrix. *)
+
+val mul_vec_into :
+  pattern -> re:plane -> im:plane -> x:Cmat.Big.Vec.t -> y:Cmat.Big.Vec.t -> unit
+(** [y <- A x], column-wise over the stored entries: O(nnz), no
+    allocation. *)
+
+val dense_into : pattern -> re:plane -> im:plane -> Cmat.Big.t -> unit
+(** Densify into an off-heap matrix (zeroing it first) — the bridge to
+    the dense fallback paths. *)
+
+(** {1 Symbolic analysis} *)
+
+type symbolic
+(** Elimination order plus the filled L/U patterns, computed once per
+    pattern and shared read-only across frequencies and solves. *)
+
+val analyze : pattern -> re:plane -> im:plane -> symbolic
+(** Right-looking elimination with Markowitz pivoting (minimize
+    [(row_count−1)·(col_count−1)]) under threshold partial pivoting
+    (candidates within 1e-3 of their column's maximum magnitude) on the
+    given representative values; records the pivot order and the filled
+    pattern for {!refactor}. Raises {!Cmat.Singular} when no acceptable
+    pivot above the dense singularity threshold exists (structural or
+    numeric singularity at the representative values). *)
+
+val symbolic_nnz : symbolic -> int
+(** Stored entries of the analyzed matrix. *)
+
+val fill_nnz : symbolic -> int
+(** Entries of the filled factors L + U (diagonal included). *)
+
+(** {1 Numeric factorization} *)
+
+type numeric
+(** Reusable factor workspace bound to one {!symbolic}. One [numeric]
+    per frequency; {!refactor} is single-writer, solves on a factored
+    workspace are read-only and safe from concurrent domains. *)
+
+val numeric : symbolic -> numeric
+val numeric_dim : numeric -> int
+
+val refactor : numeric -> re:plane -> im:plane -> unit
+(** Factor the values over the static pattern (left-looking, static
+    pivots). Raises {!Cmat.Singular} when a pivot falls below the
+    dense singularity threshold; the workspace is left clean for a
+    retry with different values. *)
+
+val solve_into : numeric -> b:Cmat.Big.Vec.t -> x:Cmat.Big.Vec.t -> unit
+(** [x <- A⁻¹ b] through the sparse factors. [b] and [x] must not
+    alias. Uses per-domain scratch for the permuted intermediate, so
+    concurrent solves from several domains are safe. *)
+
+val solve_block_into : numeric -> b:Cmat.Big.t -> x:Cmat.Big.t -> unit
+(** Multi-RHS variant mirroring {!Cmat.Big.lu_solve_block_into}: [b]
+    and [x] are n×k row-major blocks, column r the r-th right-hand
+    side/solution; per column the operation order is exactly
+    {!solve_into}'s. *)
+
+val determinant : numeric -> Complex.t
+(** Determinant of the last refactored matrix: permutation sign times
+    the product of the U diagonal. *)

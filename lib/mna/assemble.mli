@@ -24,4 +24,26 @@ module Make (F : Field.S) : sig
   (** Raises [Not_found] if a current-sensing element references a
       voltage source absent from the index (catch earlier with
       {!Validate.check}). *)
+
+  val stamp_into :
+    ?sources:source_mode ->
+    add_m:(int option -> int option -> F.t -> unit) ->
+    add_b:(int option -> F.t -> unit) ->
+    Index.t ->
+    Netlist.t ->
+    unit
+  (** The stamping rules behind {!assemble}, delivered through
+      callbacks: [add_m i j v] accumulates [v] at matrix position
+      [(i, j)] and [add_b i v] into the excitation row [i], with [None]
+      standing for ground (callers drop those). Stamps arrive in
+      netlist element order — exactly the accumulation order
+      {!assemble} produces — so any storage layout built through these
+      callbacks holds entry-for-entry identical sums. *)
+
+  val row_occupancy :
+    ?sources:source_mode -> Index.t -> Netlist.t -> (string * int list) list
+  (** For each element (by name, in netlist order) the sorted system
+      rows it stamps into — matrix rows and excitation rows alike,
+      value-independent. Used to mark rows that fault injection on an
+      element can perturb. *)
 end

@@ -83,3 +83,97 @@ let rhs_into_big t ~omega (b : Cmat.Big.Vec.t) =
     Bigarray.Array1.unsafe_set b.Cmat.Big.Vec.im i (omega *. t.rhs_c.(i))
   done;
   List.iter (fun (i, p) -> Cmat.Big.Vec.set b i (eval_at p omega)) t.rhs_extra
+
+(* ---- sparse stamps ----
+
+   The same one-pass polynomial assembly, accumulated per stamped
+   position instead of into an n² plane: the callback layer of
+   {!Assemble.Make} delivers stamps in element order, so each stored
+   entry holds the identical polynomial sum the dense build computes —
+   the sparse and dense A(jω) agree entry-for-entry (zeros elsewhere).
+   Splitting then mirrors {!build}: s⁰ → [sg], s¹ → [sc], anything
+   higher kept exactly in a per-slot overflow list. *)
+
+module Csparse = Linalg.Csparse
+
+type sparse = {
+  sp_n : int;
+  pattern : Csparse.pattern;
+  sg : float array;  (* per pattern slot, s^0 coefficients *)
+  sc : float array;  (* per pattern slot, s^1 coefficients *)
+  s_extra : (int * Poly.t) list;  (* slot -> full polynomial, degree >= 2 *)
+  srhs_g : float array;
+  srhs_c : float array;
+  srhs_extra : (int * Poly.t) list;
+}
+
+let build_sparse ?(sources = Assemble.Nominal) index netlist =
+  Obs.Metrics.time "mna.assemble_s" @@ fun () ->
+  let module A = Assemble.Make (Field.Polynomial) in
+  let n = Index.size index in
+  let tbl : (int, Poly.t) Hashtbl.t = Hashtbl.create 64 in
+  let rhs = Array.make n Poly.zero in
+  let add_m i j v =
+    match (i, j) with
+    | Some i, Some j ->
+        let key = (i * n) + j in
+        let prev = Option.value (Hashtbl.find_opt tbl key) ~default:Poly.zero in
+        Hashtbl.replace tbl key (Poly.add prev v)
+    | _ -> ()
+  in
+  let add_b i v =
+    match i with Some i -> rhs.(i) <- Poly.add rhs.(i) v | None -> ()
+  in
+  A.stamp_into ~sources ~add_m ~add_b index netlist;
+  let entries =
+    Hashtbl.fold (fun key _ acc -> (key / n, key mod n) :: acc) tbl []
+    |> Array.of_list
+  in
+  let pattern = Csparse.pattern ~n entries in
+  let nnz = Csparse.nnz pattern in
+  let sg = Array.make nnz 0.0 and sc = Array.make nnz 0.0 and extra = ref [] in
+  Hashtbl.iter
+    (fun key p ->
+      let k = Csparse.slot pattern ~row:(key / n) ~col:(key mod n) in
+      split_into ~g:sg ~c:sc ~extra k p)
+    tbl;
+  let srhs_g = Array.make n 0.0 and srhs_c = Array.make n 0.0 and srhs_extra = ref [] in
+  Array.iteri (fun i p -> split_into ~g:srhs_g ~c:srhs_c ~extra:srhs_extra i p) rhs;
+  {
+    sp_n = n;
+    pattern;
+    sg;
+    sc;
+    s_extra = !extra;
+    srhs_g;
+    srhs_c;
+    srhs_extra = !srhs_extra;
+  }
+
+let sparse_size t = t.sp_n
+let sparse_pattern t = t.pattern
+let sparse_nnz t = Csparse.nnz t.pattern
+
+let fill_sparse t ~omega ~(re : Csparse.plane) ~(im : Csparse.plane) =
+  if Bigarray.Array1.dim re <> Array.length t.sg || Bigarray.Array1.dim im <> Array.length t.sc
+  then invalid_arg "Stamps.fill_sparse: value plane length mismatch";
+  Obs.Metrics.incr "mna.fills";
+  for k = 0 to Array.length t.sg - 1 do
+    Bigarray.Array1.unsafe_set re k (Array.unsafe_get t.sg k);
+    Bigarray.Array1.unsafe_set im k (omega *. Array.unsafe_get t.sc k)
+  done;
+  List.iter
+    (fun (k, p) ->
+      let z = eval_at p omega in
+      Bigarray.Array1.set re k z.Complex.re;
+      Bigarray.Array1.set im k z.Complex.im)
+    t.s_extra
+
+let sparse_rhs_into_big t ~omega (b : Cmat.Big.Vec.t) =
+  if Cmat.Big.Vec.length b <> t.sp_n then
+    invalid_arg "Stamps.sparse_rhs_into_big: dimension mismatch";
+  for i = 0 to t.sp_n - 1 do
+    Bigarray.Array1.unsafe_set b.Cmat.Big.Vec.re i t.srhs_g.(i);
+    Bigarray.Array1.unsafe_set b.Cmat.Big.Vec.im i (omega *. t.srhs_c.(i))
+  done;
+  List.iter (fun (i, p) -> Cmat.Big.Vec.set b i (eval_at p omega)) t.srhs_extra

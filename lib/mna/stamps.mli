@@ -52,3 +52,39 @@ val fill_big : t -> omega:float -> Linalg.Cmat.Big.t -> unit
 
 val rhs_into_big : t -> omega:float -> Linalg.Cmat.Big.Vec.t -> unit
 (** {!rhs_into} onto an off-heap vector. *)
+
+(** {1 Sparse stamps}
+
+    The same split-coefficient assembly delivered straight into a CSC
+    pattern over only the stamped positions. Because the callback layer
+    of {!Assemble.Make} accumulates in netlist element order, each
+    sparse entry holds the {e identical} polynomial the dense build
+    computes for that position — the two layouts produce the same
+    A(jω) entry-for-entry, with the sparse one simply omitting the
+    structural zeros. *)
+
+type sparse
+
+val build_sparse :
+  ?sources:Assemble.source_mode -> Index.t -> Netlist.t -> sparse
+(** {!build} into sparse storage. Same source-mode semantics and
+    exceptions, same ["mna.assemble_s"] timer. *)
+
+val sparse_size : sparse -> int
+(** The MNA system dimension. *)
+
+val sparse_pattern : sparse -> Linalg.Csparse.pattern
+(** The CSC sparsity pattern of A — fixed per netlist; value planes
+    indexed by its slot order. *)
+
+val sparse_nnz : sparse -> int
+
+val fill_sparse :
+  sparse -> omega:float -> re:Linalg.Csparse.plane -> im:Linalg.Csparse.plane -> unit
+(** Overwrite caller-owned value planes (length {!sparse_nnz}, slot
+    order of {!sparse_pattern}) with A(jω). Entry values match
+    {!fill} bit-for-bit — same split, same ω scaling, same overflow
+    evaluation — and the same ["mna.fills"] counter increment. *)
+
+val sparse_rhs_into_big : sparse -> omega:float -> Linalg.Cmat.Big.Vec.t -> unit
+(** {!rhs_into_big} from the sparse build; identical values. *)

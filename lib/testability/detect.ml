@@ -46,8 +46,8 @@ let nominal_response probe grid netlist =
   Mna.Ac.sweep ~source:probe.source ~output:probe.output netlist
     ~freqs_hz:(Grid.freqs_hz grid)
 
-let make_sim probe grid netlist =
-  Fastsim.create ~source:probe.source ~output:probe.output
+let make_sim ?backend probe grid netlist =
+  Fastsim.create ?backend ~source:probe.source ~output:probe.output
     ~freqs_hz:(Grid.freqs_hz grid) netlist
 
 (* One instantiated sub-criterion: which deviation to measure and the
@@ -112,9 +112,9 @@ let rec prepare_with ~respond criterion grid netlist ~nominal =
   | Any_of criteria ->
       List.concat_map (fun c -> prepare_with ~respond c grid netlist ~nominal) criteria
 
-let prepare criterion probe grid netlist ~nominal =
+let prepare ?backend criterion probe grid netlist ~nominal =
   (* Lazy: criteria without an envelope never pay for the engine. *)
-  let sim = lazy (make_sim probe grid netlist) in
+  let sim = lazy (make_sim ?backend probe grid netlist) in
   let respond fault = Fastsim.response (Lazy.force sim) fault in
   prepare_with ~respond criterion grid netlist ~nominal
 
@@ -134,9 +134,9 @@ let result_of ~nominal ~prepared grid fault faulty =
   let omega_det = measure /. Grid.log_measure grid in
   { fault; detectable = not (Util.Interval.Set.is_empty regions); omega_det; regions }
 
-let analyze_fault ?(criterion = default_criterion) ?nominal ?prepared probe grid netlist
-    fault =
-  let sim = lazy (make_sim probe grid netlist) in
+let analyze_fault ?backend ?(criterion = default_criterion) ?nominal ?prepared probe
+    grid netlist fault =
+  let sim = lazy (make_sim ?backend probe grid netlist) in
   let respond f = Fastsim.response (Lazy.force sim) f in
   let nominal =
     match nominal with Some n -> n | None -> Fastsim.nominal (Lazy.force sim)
@@ -159,11 +159,12 @@ type prepared_view = {
   prepared : prepared;
 }
 
-let prepare_view ?(criterion = default_criterion) ?(warm = []) probe grid netlist =
-  (* One engine for the whole view: the fault-free LU is factorized
+let prepare_view ?backend ?(criterion = default_criterion) ?(warm = []) probe grid
+    netlist =
+  (* One engine for the whole view: the fault-free factors are built
      once per frequency and shared by the envelope preparation and by
      every fault's rank-1 solve. *)
-  let sim = make_sim probe grid netlist in
+  let sim = make_sim ?backend probe grid netlist in
   let respond f = Fastsim.response sim f in
   let nominal = Fastsim.nominal sim in
   let prepared = prepare_with ~respond criterion grid netlist ~nominal in
@@ -186,6 +187,7 @@ let analyze_prepared pv grid fault =
    never box per-point responses. *)
 
 let view_dim pv = Fastsim.dim pv.sim
+let view_uses_sparse pv = Fastsim.uses_sparse pv.sim
 let plan_fault pv fault = Fastsim.plan_of pv.sim fault
 
 let score_range pv plan ~lo ~hi ~re ~im ~ok =
@@ -208,15 +210,15 @@ let result_of_rows pv grid fault ~re ~im ~ok =
   let omega_det = measure /. Grid.log_measure grid in
   { fault; detectable = not (Util.Interval.Set.is_empty regions); omega_det; regions }
 
-let analyze ?criterion probe grid netlist faults =
-  let pv = prepare_view ?criterion probe grid netlist in
+let analyze ?backend ?criterion probe grid netlist faults =
+  let pv = prepare_view ?backend ?criterion probe grid netlist in
   List.map (fun fault -> analyze_prepared pv grid fault) faults
 
-let minimal_detectable_deviation ?(criterion = default_criterion) ?(max_factor = 10.0)
-    probe grid netlist ~element =
+let minimal_detectable_deviation ?backend ?(criterion = default_criterion)
+    ?(max_factor = 10.0) probe grid netlist ~element =
   if max_factor <= 1.0 then
     invalid_arg "Detect.minimal_detectable_deviation: max_factor must exceed 1";
-  let sim = make_sim probe grid netlist in
+  let sim = make_sim ?backend probe grid netlist in
   let respond f = Fastsim.response sim f in
   let nominal = Fastsim.nominal sim in
   let prepared = prepare_with ~respond criterion grid netlist ~nominal in

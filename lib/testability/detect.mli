@@ -74,9 +74,12 @@ type prepared
     thresholds (envelope criteria cost one sweep per passive
     component), reusable across the whole fault list of that view. *)
 
-val prepare : criterion -> probe -> Grid.t -> Netlist.t -> nominal:Complex.t array -> prepared
+val prepare :
+  ?backend:Fastsim.backend ->
+  criterion -> probe -> Grid.t -> Netlist.t -> nominal:Complex.t array -> prepared
 
 val analyze_fault :
+  ?backend:Fastsim.backend ->
   ?criterion:criterion ->
   ?nominal:Complex.t array ->
   ?prepared:prepared ->
@@ -92,6 +95,7 @@ type prepared_view
     engine, its nominal response and the instantiated thresholds. *)
 
 val prepare_view :
+  ?backend:Fastsim.backend ->
   ?criterion:criterion ->
   ?warm:Fault.t list ->
   probe -> Grid.t -> Netlist.t -> prepared_view
@@ -109,6 +113,10 @@ val analyze_prepared : prepared_view -> Grid.t -> Fault.t -> result
 val view_dim : prepared_view -> int
 (** The view engine's MNA dimension ({!Fastsim.dim}) — for sizing
     campaign work estimates. *)
+
+val view_uses_sparse : prepared_view -> bool
+(** Whether the view's engine factored through the sparse back-end
+    ({!Fastsim.uses_sparse}). *)
 
 val plan_fault : prepared_view -> Fault.t -> Fastsim.plan
 (** Classify and prepare one fault against the view's engine
@@ -143,11 +151,13 @@ val result_of_rows :
     response). *)
 
 val analyze :
+  ?backend:Fastsim.backend ->
   ?criterion:criterion -> probe -> Grid.t -> Netlist.t -> Fault.t list -> result list
 (** Analyze a fault list against one circuit, sharing the nominal sweep
     and prepared thresholds ([prepare_view] + [analyze_prepared]). *)
 
 val minimal_detectable_deviation :
+  ?backend:Fastsim.backend ->
   ?criterion:criterion -> ?max_factor:float ->
   probe -> Grid.t -> Netlist.t -> element:string -> float option
 (** The smallest multiplicative deviation factor above 1 whose fault on

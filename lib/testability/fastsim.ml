@@ -3,6 +3,17 @@ module Element = Circuit.Element
 module Cmat = Linalg.Cmat
 module Big = Cmat.Big
 module Bvec = Big.Vec
+module Csparse = Linalg.Csparse
+
+(* Which factorization serves the fault-free system. [Auto] measures
+   the view: below the crossover dimension the dense planar kernels
+   win on locality and the sparse ordering overhead cannot pay for
+   itself, so small circuits keep the dense path (and its bitwise
+   behaviour) unconditionally. *)
+type backend = Dense | Sparse | Auto
+
+let auto_crossover_n = 64
+let auto_pick ~n ~nnz = n >= auto_crossover_n && 8 * nnz <= n * n
 
 (* A sparse ±1 stamp pattern: the nonzero rows (columns) of the rank-1
    factor u (v), as (index, sign) pairs. *)
@@ -25,17 +36,57 @@ type cls =
    counter totals are schedule-invariant. *)
 type wentry = { w : Bvec.t; fresh : bool Atomic.t }
 
+(* The factored fault-free system at one frequency. The dense arm
+   keeps the assembled A(jω) for residuals and perturbed-copy
+   fallbacks; the sparse arm keeps only the nnz value planes plus the
+   sparse factors — O(nnz + fill) per frequency instead of O(n²) —
+   and densifies on demand for the rare full fallback. *)
+type solver =
+  | Dense_solver of { da : Big.t; dlu : Big.lu }
+  | Sparse_solver of {
+      spat : Csparse.pattern;
+      sre : Csparse.plane;  (* A(jω) values, slot order of [spat] *)
+      sim_ : Csparse.plane;
+      num : Csparse.numeric;  (* factored; shared symbolic analysis *)
+    }
+
 type freq_state = {
   omega : float;
   f_hz : float;
-  a : Big.t;  (* fault-free A(jω), kept for residual checks and fallbacks *)
+  solver : solver;
   anorm : float;
-  lu : Big.lu;
   b : Bvec.t;
   bnorm : float;
   x0 : Bvec.t;
   wcache : (pat, wentry) Hashtbl.t;  (* u-pattern -> A⁻¹u this frequency *)
 }
+
+(* Backend dispatch for the four operations the solve paths need. The
+   residual gate downstream makes the two arms interchangeable: both
+   produce solutions the gate re-verifies against the same A(jω). *)
+
+let solver_solve_into fs ~b ~x =
+  match fs.solver with
+  | Dense_solver { dlu; _ } -> Big.lu_solve_into dlu ~b ~x
+  | Sparse_solver { num; _ } -> Csparse.solve_into num ~b ~x
+
+let solver_solve_block_into fs ~b ~x =
+  match fs.solver with
+  | Dense_solver { dlu; _ } -> Big.lu_solve_block_into dlu ~b ~x
+  | Sparse_solver { num; _ } -> Csparse.solve_block_into num ~b ~x
+
+let solver_mul_vec_into fs ~x ~y =
+  match fs.solver with
+  | Dense_solver { da; _ } -> Big.mul_vec_into da ~x ~y
+  | Sparse_solver { spat; sre; sim_; _ } ->
+      Csparse.mul_vec_into spat ~re:sre ~im:sim_ ~x ~y
+
+(* Materialize A(jω) into a dense workspace (the full-refactorization
+   fallback's starting point). *)
+let solver_dense_into fs dst =
+  match fs.solver with
+  | Dense_solver { da; _ } -> Big.blit ~src:da ~dst
+  | Sparse_solver { spat; sre; sim_; _ } -> Csparse.dense_into spat ~re:sre ~im:sim_ dst
 
 type t = {
   netlist : Netlist.t;
@@ -176,41 +227,105 @@ let fallback_ws s n =
   end;
   s
 
-let create ~source ~output ~freqs_hz netlist =
+let create ?(backend = Auto) ~source ~output ~freqs_hz netlist =
   Obs.Trace.span "fastsim.create" @@ fun () ->
   let index = Mna.Index.build netlist in
-  let stamps = Mna.Stamps.build ~sources:(Mna.Assemble.Only source) index netlist in
-  let n = Mna.Stamps.size stamps in
+  let n = Mna.Index.size index in
   let out_idx = Mna.Index.node index output in
+  let singular_at f_hz =
+    raise
+      (Mna.Ac.Singular_circuit
+         (Printf.sprintf "MNA matrix singular at f = %g Hz for %S" f_hz
+            (Netlist.title netlist)))
+  in
+  (* [Auto] never pays the sparse build below the dimension crossover;
+     above it the decision needs nnz, which the build provides. *)
+  let sparse_stamps =
+    match backend with
+    | Dense -> None
+    | Auto when n < auto_crossover_n || Array.length freqs_hz = 0 -> None
+    | Sparse | Auto -> (
+        let sp =
+          Mna.Stamps.build_sparse ~sources:(Mna.Assemble.Only source) index netlist
+        in
+        match backend with
+        | Sparse -> Some sp
+        | _ -> if auto_pick ~n ~nnz:(Mna.Stamps.sparse_nnz sp) then Some sp else None)
+  in
   let freqs =
-    Array.map
-      (fun f_hz ->
-        let omega = 2.0 *. Float.pi *. f_hz in
-        let a = Big.create n n in
-        Mna.Stamps.fill_big stamps ~omega a;
-        let b = Bvec.create n in
-        Mna.Stamps.rhs_into_big stamps ~omega b;
-        match Obs.Metrics.time "mna.factor_s" (fun () -> Big.lu_factor a) with
-        | exception Cmat.Singular ->
-            raise
-              (Mna.Ac.Singular_circuit
-                 (Printf.sprintf "MNA matrix singular at f = %g Hz for %S" f_hz
-                    (Netlist.title netlist)))
-        | lu ->
+    match sparse_stamps with
+    | None ->
+        let stamps =
+          Mna.Stamps.build ~sources:(Mna.Assemble.Only source) index netlist
+        in
+        Array.map
+          (fun f_hz ->
+            let omega = 2.0 *. Float.pi *. f_hz in
+            let a = Big.create n n in
+            Mna.Stamps.fill_big stamps ~omega a;
+            let b = Bvec.create n in
+            Mna.Stamps.rhs_into_big stamps ~omega b;
+            match Obs.Metrics.time "mna.factor_s" (fun () -> Big.lu_factor a) with
+            | exception Cmat.Singular -> singular_at f_hz
+            | lu ->
+                let x0 = Bvec.create n in
+                Big.lu_solve_into lu ~b ~x:x0;
+                {
+                  omega;
+                  f_hz;
+                  solver = Dense_solver { da = a; dlu = lu };
+                  anorm = Big.norm_inf a;
+                  b;
+                  bnorm = Bvec.norm_inf b;
+                  x0;
+                  wcache = Hashtbl.create 16;
+                })
+          freqs_hz
+    | Some sp ->
+        let spat = Mna.Stamps.sparse_pattern sp in
+        let nnz = Mna.Stamps.sparse_nnz sp in
+        (* One symbolic Markowitz analysis per netlist, on the values
+           at the grid's middle frequency (the pattern is fixed and
+           entry magnitudes vary smoothly in ω, so one pivot order
+           serves the whole sweep); per-frequency work is then a
+           numeric refactorization in that fixed pattern. *)
+        let sym =
+          let mid_hz = freqs_hz.(Array.length freqs_hz / 2) in
+          let re = Csparse.plane nnz and im = Csparse.plane nnz in
+          Mna.Stamps.fill_sparse sp ~omega:(2.0 *. Float.pi *. mid_hz) ~re ~im;
+          match
+            Obs.Metrics.time "mna.analyze_s" (fun () -> Csparse.analyze spat ~re ~im)
+          with
+          | exception Cmat.Singular -> singular_at mid_hz
+          | sym -> sym
+        in
+        Array.map
+          (fun f_hz ->
+            let omega = 2.0 *. Float.pi *. f_hz in
+            let sre = Csparse.plane nnz and sim_ = Csparse.plane nnz in
+            Mna.Stamps.fill_sparse sp ~omega ~re:sre ~im:sim_;
+            let b = Bvec.create n in
+            Mna.Stamps.sparse_rhs_into_big sp ~omega b;
+            let num = Csparse.numeric sym in
+            (match
+               Obs.Metrics.time "mna.factor_s" (fun () ->
+                   Csparse.refactor num ~re:sre ~im:sim_)
+             with
+            | exception Cmat.Singular -> singular_at f_hz
+            | () -> ());
             let x0 = Bvec.create n in
-            Big.lu_solve_into lu ~b ~x:x0;
+            Csparse.solve_into num ~b ~x:x0;
             {
               omega;
               f_hz;
-              a;
-              anorm = Big.norm_inf a;
-              lu;
+              solver = Sparse_solver { spat; sre; sim_; num };
+              anorm = Csparse.norm_inf spat ~re:sre ~im:sim_;
               b;
               bnorm = Bvec.norm_inf b;
               x0;
               wcache = Hashtbl.create 16;
             })
-      freqs_hz
+          freqs_hz
   in
   let nominal =
     Array.map
@@ -236,6 +351,11 @@ let nominal t = t.nominal
 let stats t = (Atomic.get t.smw_solves, Atomic.get t.full_solves)
 let dim t = t.n
 let n_freqs t = Array.length t.freqs
+
+let uses_sparse t =
+  Array.length t.freqs > 0
+  &&
+  match t.freqs.(0).solver with Sparse_solver _ -> true | Dense_solver _ -> false
 
 (* ---- fault classification ---- *)
 
@@ -358,7 +478,7 @@ let solve_pattern fs (u : pat) (w : Bvec.t) =
   let s = scratch_for (Bvec.length fs.x0) in
   let uvec = s.uvec in
   List.iter (fun (i, sg) -> Bigarray.Array1.set uvec.Bvec.re i sg) u;
-  Big.lu_solve_into fs.lu ~b:uvec ~x:w;
+  solver_solve_into fs ~b:uvec ~x:w;
   List.iter (fun (i, _) -> Bigarray.Array1.set uvec.Bvec.re i 0.0) u
 
 (* Cache lookup. The on-demand insertion path mutates the Hashtbl and
@@ -413,7 +533,7 @@ let warm_cache t faults =
                 (fun (i, sg) -> Big.set b i r Complex.{ re = sg; im = 0.0 })
                 u)
             missing;
-          Big.lu_solve_block_into fs.lu ~b ~x;
+          solver_solve_block_into fs ~b ~x;
           List.iteri
             (fun r u ->
               let w = Bvec.create t.n in
@@ -447,7 +567,7 @@ let full_point_solve t fs ~al_re ~al_im ~u ~v ~re ~im ~ok ~ix =
   let p = pend_for t s in
   p.p_full <- p.p_full + 1;
   let s = fallback_ws s t.n in
-  Big.blit ~src:fs.a ~dst:s.sm;
+  solver_dense_into fs s.sm;
   List.iter
     (fun (i, si) ->
       List.iter
@@ -525,7 +645,7 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) ~re ~im ~ok ~ix =
         let vxf_re = dot_pat v xf_re and vxf_im = dot_pat v xf_im in
         let av_re = (al_re *. vxf_re) -. (al_im *. vxf_im)
         and av_im = (al_re *. vxf_im) +. (al_im *. vxf_re) in
-        Big.mul_vec_into fs.a ~x:xf ~y:resid;
+        solver_mul_vec_into fs ~x:xf ~y:resid;
         let rre = resid.Bvec.re and rim = resid.Bvec.im in
         let bre = fs.b.Bvec.re and bim = fs.b.Bvec.im in
         for i = 0 to n - 1 do
@@ -547,7 +667,7 @@ let smw_point_solve t fs ({ u; v; alpha_g; alpha_c } : rank1) ~re ~im ~ok ~ix =
          skips the extra back-solve. *)
       let refine () =
         let d0 = s.d0 in
-        Big.lu_solve_into fs.lu ~b:resid ~x:d0;
+        solver_solve_into fs ~b:resid ~x:d0;
         let d0re = d0.Bvec.re and d0im = d0.Bvec.im in
         let vd_re = dot_pat v d0re and vd_im = dot_pat v d0im in
         let dc_re, dc_im =

@@ -40,12 +40,35 @@ module Netlist := Circuit.Netlist
 
 type t
 
+type backend = Dense | Sparse | Auto
+(** Which factorization serves the fault-free system. [Dense]: the
+    planar off-heap LU ({!Linalg.Cmat.Big}) — O(n²) state and O(n³)
+    factorization per frequency. [Sparse]: Markowitz-ordered sparse LU
+    ({!Linalg.Csparse}) — one symbolic analysis per netlist, a numeric
+    refactorization per frequency, state proportional to the stamped
+    entries plus fill. [Auto] (the default) picks sparse only when the
+    dimension reaches the crossover (n ≥ 64) {e and} the stamped
+    density stays below n²/8 — in particular every circuit below the
+    crossover keeps the dense path and its exact bitwise behaviour.
+    Either way results agree to solver rounding: the Sherman–Morrison
+    update, its residual gate and the full-refactorization fallback
+    are backend-independent. *)
+
 val create :
-  source:string -> output:string -> freqs_hz:float array -> Netlist.t -> t
-(** Build the engine for one view: index, split stamps, and one LU +
-    nominal solve per frequency. Raises {!Mna.Ac.Singular_circuit} if
-    the fault-free system is singular at some grid frequency, like
-    {!Mna.Ac.sweep}. *)
+  ?backend:backend ->
+  source:string ->
+  output:string ->
+  freqs_hz:float array ->
+  Netlist.t ->
+  t
+(** Build the engine for one view: index, split stamps, and one
+    factorization + nominal solve per frequency. Raises
+    {!Mna.Ac.Singular_circuit} if the fault-free system is singular at
+    some grid frequency, like {!Mna.Ac.sweep}. *)
+
+val uses_sparse : t -> bool
+(** Whether the engine factored through the sparse back-end (resolves
+    [Auto]); for benches, metrics and tests. *)
 
 val nominal : t -> Complex.t array
 (** The fault-free transfer at every grid frequency (equal to

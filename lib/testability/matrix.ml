@@ -21,7 +21,7 @@ let freq_block = 16
    sequential cutoff, so only the order of magnitude matters. *)
 let point_ns dim = (3.0 *. float_of_int (dim * dim)) +. 250.0
 
-let build ?criterion ?(jobs = 1) grid views faults =
+let build ?backend ?criterion ?(jobs = 1) grid views faults =
   Obs.Trace.span "matrix.build" @@ fun () ->
   let views = Array.of_list views in
   let faults = Array.of_list faults in
@@ -48,7 +48,8 @@ let build ?criterion ?(jobs = 1) grid views faults =
         let view = views.(i) in
         Obs.Trace.span ("matrix.prepare " ^ view.label) @@ fun () ->
         let pv =
-          Detect.prepare_view ?criterion ~warm:fault_list view.probe grid view.netlist
+          Detect.prepare_view ?backend ?criterion ~warm:fault_list view.probe grid
+            view.netlist
         in
         let plans = Array.map (fun fault -> Detect.plan_fault pv fault) faults in
         (pv, plans))

@@ -20,11 +20,14 @@ type t = {
 }
 
 val build :
+  ?backend:Fastsim.backend ->
   ?criterion:Detect.criterion -> ?jobs:int -> Grid.t -> view list -> Fault.t list -> t
 (** Run the full fault simulation campaign: one nominal sweep plus one
     faulty sweep per (view, fault) pair. [jobs] > 1 distributes the
     views across that many domains (the per-view analyses are
-    independent); results are identical to a sequential run. *)
+    independent); results are identical to a sequential run. [backend]
+    selects the per-view factorization ({!Fastsim.backend}, default
+    [Auto]). *)
 
 val n_views : t -> int
 val n_faults : t -> int

@@ -17,6 +17,27 @@ let effective_jobs jobs =
    domain finishes faster alone. *)
 let sequential_cutoff_ns = 5e6
 
+(* Owner chunk hand-out targets about this much work per claim: big
+   enough that the CAS and the thieves' range scans disappear next to
+   the work itself, small enough that uneven per-index cost still
+   migrates to idle workers. *)
+let target_chunk_ns = 1e6
+
+(* Without a cost estimate, fall back to the fixed 8-chunks-per-worker
+   split; with one, size chunks by [target_chunk_ns] but never so
+   coarse that a worker's initial slice is fewer than 4 chunks —
+   stealing needs a divisible back half to take. Cheap indexes on
+   small ranges (a few hundred sub-millisecond rows at jobs=4) used to
+   get grain 1 here, and the per-index CAS plus steal-scan churn cost
+   more than the rows themselves. *)
+let grain_for ~jobs ?est_ns n =
+  let balance_cap = Int.max 1 (n / (jobs * 4)) in
+  match est_ns with
+  | Some total when total > 0.0 ->
+      let per_index = Float.max 1.0 (total /. float_of_int n) in
+      Int.max 1 (Int.min balance_cap (int_of_float (target_chunk_ns /. per_index)))
+  | _ -> Int.max 1 (n / (jobs * 8))
+
 (* A worker's pending index range [lo, hi) packed into one immediate
    int — lo in the upper 31 bits, hi in the lower 31 — so both bounds
    move under a single CAS with no allocation. The owner pops small
@@ -40,7 +61,7 @@ let for_ ?(jobs = 1) ?est_ns n f =
        keeps the hand-out dynamic — uneven per-index work migrates to
        idle workers — without funnelling every claim through one shared
        cursor. *)
-    let grain = Int.max 1 (n / (jobs * 8)) in
+    let grain = grain_for ~jobs ?est_ns n in
     let ranges =
       Array.init jobs (fun k -> Atomic.make (pack (k * n / jobs) ((k + 1) * n / jobs)))
     in

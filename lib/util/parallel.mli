@@ -38,8 +38,12 @@ val for_ : ?jobs:int -> ?est_ns:float -> int -> (int -> unit) -> unit
     [est_ns] is the caller's estimate of the {e total} work in the
     loop, in nanoseconds. When it is below {!sequential_cutoff_ns} the
     loop runs inline — sequentially, in index order — regardless of
-    [jobs]. Callers that can size their work should pass it; omitting
-    it preserves the old always-spawn behavior.
+    [jobs]. It also sizes the owner chunk: chunks target ~1 ms of
+    estimated work each (clamped so every worker's initial slice still
+    splits into at least 4 chunks for thieves), so cheap indexes are
+    claimed in bulk instead of one CAS each. Callers that can size
+    their work should pass it; omitting it preserves the old
+    always-spawn, 8-chunks-per-worker behavior.
 
     If [f] raises — in the calling domain or in a helper — every range
     is drained (workers stop claiming new chunks; chunks and stolen

@@ -1,0 +1,370 @@
+(* Csparse vs the dense planar kernels: same systems, solutions equal
+   to rounding (pivot orders differ, so not bitwise), same singular
+   verdicts on clear-cut inputs, and the sparse block back-solve
+   bitwise-equal to the sparse scalar solve (same per-column op
+   order). Circuit-level sparse-vs-dense equivalence (Fastsim backends
+   on Conformance.Gen subjects) lives further down. *)
+
+module Cmat = Linalg.Cmat
+module Big = Cmat.Big
+module Bvec = Big.Vec
+module Csparse = Linalg.Csparse
+
+let complex = Alcotest.testable Fmt.(Dump.pair float float |> using Complex.(fun z -> (z.re, z.im))) ( = )
+
+let _ = complex
+
+(* ---- random sparse test systems ---- *)
+
+type sys = { n : int; entries : (int * int) array; vals : Complex.t array }
+
+let sys_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 14 in
+    let* extra = int_range 0 (2 * n) in
+    let* offdiag =
+      list_repeat extra (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    in
+    let value =
+      let* re = float_range (-3.0) 3.0 and* im = float_range (-3.0) 3.0 in
+      return Complex.{ re; im }
+    in
+    (* every diagonal present (dominant-ish so most draws are regular) *)
+    let diag = List.init n (fun i -> (i, i)) in
+    let entries =
+      List.sort_uniq compare (diag @ offdiag) |> Array.of_list
+    in
+    let* vals =
+      array_repeat (Array.length entries)
+        (let* v = value in
+         return v)
+    in
+    let vals =
+      Array.mapi
+        (fun k ((i, j) : int * int) ->
+          if i = j then Complex.add vals.(k) { re = 4.0; im = 1.0 } else vals.(k))
+        entries
+    in
+    return { n; entries; vals })
+
+let dense_of { n; entries; vals } =
+  let m = Big.create n n in
+  Array.iteri (fun k (i, j) -> Big.set m i j vals.(k)) entries;
+  m
+
+let sparse_of { n; entries; vals } =
+  let p = Csparse.pattern ~n entries in
+  let re, im = Csparse.values p in
+  Array.iteri
+    (fun k (i, j) ->
+      let s = Csparse.slot p ~row:i ~col:j in
+      Bigarray.Array1.set re s vals.(k).Complex.re;
+      Bigarray.Array1.set im s vals.(k).Complex.im)
+    entries;
+  (p, re, im)
+
+let factored sys =
+  let p, re, im = sparse_of sys in
+  let sym = Csparse.analyze p ~re ~im in
+  let num = Csparse.numeric sym in
+  Csparse.refactor num ~re ~im;
+  (p, re, im, num)
+
+let rand_rhs rng n =
+  let b = Bvec.create n in
+  for i = 0 to n - 1 do
+    Bvec.set b i
+      {
+        Complex.re = QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-2.0) 2.0);
+        im = QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-2.0) 2.0);
+      }
+  done;
+  b
+
+let close ?(tol = 1e-8) a b =
+  Cmat.norm2 (a.Complex.re -. b.Complex.re) (a.Complex.im -. b.Complex.im)
+  <= tol *. Float.max 1.0 (Float.max (Complex.norm a) (Complex.norm b))
+
+(* ---- properties ---- *)
+
+let prop_solve =
+  QCheck2.Test.make ~name:"sparse solve agrees with dense LU" ~count:300 sys_gen
+    (fun sys ->
+      let m = dense_of sys in
+      match Big.lu_factor m with
+      | exception Cmat.Singular -> QCheck2.assume_fail ()
+      | lu -> (
+          match factored sys with
+          | exception Cmat.Singular ->
+              (* near the dense threshold the two pivot strategies may
+                 disagree about singularity; that envelope is tested
+                 separately. Regular draws must factor on both sides. *)
+              QCheck2.assume_fail ()
+          | _, _, _, num ->
+              let rng = Random.State.make [| 77; sys.n |] in
+              let b = rand_rhs rng sys.n in
+              let xd = Bvec.create sys.n and xs = Bvec.create sys.n in
+              Big.lu_solve_into lu ~b ~x:xd;
+              Csparse.solve_into num ~b ~x:xs;
+              let ok = ref true in
+              for i = 0 to sys.n - 1 do
+                if not (close (Bvec.get xd i) (Bvec.get xs i)) then ok := false
+              done;
+              !ok))
+
+let prop_determinant =
+  QCheck2.Test.make ~name:"sparse determinant agrees with dense (incl. sign)"
+    ~count:300 sys_gen (fun sys ->
+      let m = dense_of sys in
+      match factored sys with
+      | exception Cmat.Singular -> QCheck2.assume_fail ()
+      | _, _, _, num ->
+          let dd = Big.determinant m in
+          let ds = Csparse.determinant num in
+          close ~tol:1e-7 dd ds)
+
+let prop_block_bitwise =
+  QCheck2.Test.make ~name:"sparse block back-solve bitwise-equals scalar solves"
+    ~count:150 sys_gen (fun sys ->
+      match factored sys with
+      | exception Cmat.Singular -> QCheck2.assume_fail ()
+      | _, _, _, num ->
+          let k = 3 in
+          let b = Big.create sys.n k and x = Big.create sys.n k in
+          let rng = Random.State.make [| 13; sys.n |] in
+          let cols = Array.init k (fun _ -> rand_rhs rng sys.n) in
+          Array.iteri
+            (fun c bc ->
+              for i = 0 to sys.n - 1 do
+                Big.set b i c (Bvec.get bc i)
+              done)
+            cols;
+          Csparse.solve_block_into num ~b ~x;
+          let ok = ref true in
+          Array.iteri
+            (fun c bc ->
+              let xs = Bvec.create sys.n in
+              Csparse.solve_into num ~b:bc ~x:xs;
+              for i = 0 to sys.n - 1 do
+                if Big.get x i c <> Bvec.get xs i then ok := false
+              done)
+            cols;
+          !ok)
+
+let prop_mul_vec =
+  QCheck2.Test.make ~name:"sparse mul_vec agrees with dense" ~count:200 sys_gen
+    (fun sys ->
+      let m = dense_of sys in
+      let p, re, im = sparse_of sys in
+      let rng = Random.State.make [| 5; sys.n |] in
+      let x = rand_rhs rng sys.n in
+      let yd = Bvec.create sys.n and ys = Bvec.create sys.n in
+      Big.mul_vec_into m ~x ~y:yd;
+      Csparse.mul_vec_into p ~re ~im ~x ~y:ys;
+      let ok = ref true in
+      for i = 0 to sys.n - 1 do
+        if not (close ~tol:1e-12 (Bvec.get yd i) (Bvec.get ys i)) then ok := false
+      done;
+      ok := !ok && Float.abs (Csparse.norm_inf p ~re ~im -. Big.norm_inf m) <= 1e-12 *. (1.0 +. Big.norm_inf m);
+      !ok)
+
+let prop_dense_into =
+  QCheck2.Test.make ~name:"dense_into reproduces the dense matrix" ~count:100 sys_gen
+    (fun sys ->
+      let m = dense_of sys in
+      let p, re, im = sparse_of sys in
+      let d = Big.create sys.n sys.n in
+      Csparse.dense_into p ~re ~im d;
+      let ok = ref true in
+      for i = 0 to sys.n - 1 do
+        for j = 0 to sys.n - 1 do
+          if Big.get m i j <> Big.get d i j then ok := false
+        done
+      done;
+      !ok)
+
+(* ---- unit cases ---- *)
+
+let test_singular_zero_column () =
+  (* column 1 entirely absent: structurally singular, both backends
+     must refuse. *)
+  let n = 3 in
+  let entries = [| (0, 0); (1, 0); (1, 2); (2, 0); (2, 2) |] in
+  let p = Csparse.pattern ~n entries in
+  let re, im = Csparse.values p in
+  Array.iteri
+    (fun k _ -> Bigarray.Array1.set re k (1.0 +. float_of_int k))
+    entries;
+  (match Csparse.analyze p ~re ~im with
+  | exception Cmat.Singular -> ()
+  | _ -> Alcotest.fail "sparse analyze accepted a structurally singular matrix");
+  let m = Big.create n n in
+  Array.iteri
+    (fun k (i, j) -> Big.set m i j { Complex.re = 1.0 +. float_of_int k; im = 0.0 })
+    entries;
+  match Big.lu_factor m with
+  | exception Cmat.Singular -> ()
+  | _ -> Alcotest.fail "dense LU accepted a structurally singular matrix"
+
+let test_refactor_reuse () =
+  (* One symbolic analysis serves many value sets (the per-frequency
+     refactorization path): scaling the matrix scales the solution. *)
+  let sys =
+    {
+      n = 4;
+      entries = [| (0, 0); (0, 1); (1, 0); (1, 1); (1, 2); (2, 2); (2, 3); (3, 3) |];
+      vals =
+        Array.map
+          (fun (re, im) -> Complex.{ re; im })
+          [| (5., 1.); (1., 0.); (-1., 0.5); (4., 0.); (2., 0.); (6., 2.); (1., 1.); (3., 0.) |];
+    }
+  in
+  let p, re, im = sparse_of sys in
+  let sym = Csparse.analyze p ~re ~im in
+  let num = Csparse.numeric sym in
+  Csparse.refactor num ~re ~im;
+  let b = Bvec.create sys.n in
+  Bvec.set b 0 Complex.one;
+  Bvec.set b 3 Complex.{ re = 0.0; im = 2.0 };
+  let x1 = Bvec.create sys.n in
+  Csparse.solve_into num ~b ~x:x1;
+  (* scale all values by 2: solution halves *)
+  for k = 0 to Csparse.nnz p - 1 do
+    Bigarray.Array1.set re k (2.0 *. Bigarray.Array1.get re k);
+    Bigarray.Array1.set im k (2.0 *. Bigarray.Array1.get im k)
+  done;
+  Csparse.refactor num ~re ~im;
+  let x2 = Bvec.create sys.n in
+  Csparse.solve_into num ~b ~x:x2;
+  for i = 0 to sys.n - 1 do
+    if not (close (Bvec.get x1 i) (Complex.mul { re = 2.0; im = 0.0 } (Bvec.get x2 i)))
+    then Alcotest.fail "refactor with scaled values did not halve the solution"
+  done
+
+let test_pattern_slot () =
+  let p = Csparse.pattern ~n:3 [| (2, 1); (0, 0); (1, 1); (2, 2) |] in
+  Alcotest.(check int) "nnz" 4 (Csparse.nnz p);
+  Alcotest.(check int) "n" 3 (Csparse.n p);
+  Alcotest.(check int) "slot (2,1) after (1,1)" 2 (Csparse.slot p ~row:2 ~col:1);
+  Alcotest.(check bool) "missing slot" true
+    (match Csparse.slot p ~row:0 ~col:2 with
+    | exception Not_found -> true
+    | _ -> false);
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Csparse.pattern ~n:2 [| (0, 0); (0, 0) |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- circuit level: Fastsim backends and campaign pruning ---- *)
+
+module F = Testability.Fastsim
+module P = Mcdft_core.Pipeline
+module Mx = Testability.Matrix
+
+(* The registered differential oracle already embodies the comparison
+   (nominal + per-fault responses within family tolerances, singular
+   leniency on near-singular draws); the property just drives it over
+   the quick generator families and rejects any Fail. *)
+let prop_backends_agree =
+  let oracle =
+    match Conformance.Oracle.find "sparse-vs-dense" with
+    | Some o -> o
+    | None -> Alcotest.fail "sparse-vs-dense oracle not registered"
+  in
+  QCheck2.Test.make ~name:"fastsim sparse backend agrees with dense on generated circuits"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 0 3) (int_range 0 300))
+    (fun (fi, seed) ->
+      let family = List.nth Conformance.Gen.families fi in
+      let s = Conformance.Gen.generate family ~seed in
+      match Conformance.Oracle.run oracle s with
+      | Conformance.Oracle.Fail msg ->
+          QCheck2.Test.fail_reportf "%s: %s" s.Conformance.Gen.label msg
+      | Conformance.Oracle.Pass | Conformance.Oracle.Skip _ -> true)
+
+let test_auto_crossover () =
+  let netlist, output =
+    Conformance.Gen.bigladder ~stages:60 (Random.State.make [| 99 |])
+  in
+  let freqs_hz = [| 1e3; 1e4 |] in
+  let big = F.create ~backend:F.Auto ~source:"V1" ~output ~freqs_hz netlist in
+  Alcotest.(check bool) "auto picks sparse on a bigladder" true (F.uses_sparse big);
+  let tt = Circuits.Tow_thomas.make () in
+  let small =
+    F.create ~backend:F.Auto ~source:tt.Circuits.Benchmark.source
+      ~output:tt.Circuits.Benchmark.output ~freqs_hz tt.Circuits.Benchmark.netlist
+  in
+  Alcotest.(check bool) "auto stays dense below the crossover" false
+    (F.uses_sparse small);
+  let forced =
+    F.create ~backend:F.Sparse ~source:tt.Circuits.Benchmark.source
+      ~output:tt.Circuits.Benchmark.output ~freqs_hz tt.Circuits.Benchmark.netlist
+  in
+  Alcotest.(check bool) "explicit Sparse overrides the heuristic" true
+    (F.uses_sparse forced)
+
+(* End-to-end: a sparse pruned campaign on a bigladder must match the
+   dense one verdict-for-verdict, and pruning must replicate rows
+   bitwise while reporting what it skipped (the three buffers give 7
+   test views in exactly 2 value-equivalence classes). *)
+let test_bigladder_campaign () =
+  let netlist, output =
+    Conformance.Gen.bigladder ~stages:60 (Random.State.make [| 7 |])
+  in
+  let b =
+    {
+      Circuits.Benchmark.name = "bigladder-60";
+      description = "sparse campaign smoke";
+      netlist;
+      source = "V1";
+      output;
+      center_hz = 10_000.0;
+    }
+  in
+  let faults =
+    List.filteri (fun i _ -> i mod 4 = 0) (Fault.deviation_faults netlist)
+  in
+  let run ~backend ~prune () =
+    P.run ~points_per_decade:3 ~faults ~jobs:1 ~backend ~prune b
+  in
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let sparse =
+    Fun.protect
+      ~finally:(fun () -> Obs.Metrics.set_enabled false)
+      (run ~backend:F.Sparse ~prune:true)
+  in
+  let snap = Obs.Metrics.snapshot () in
+  Obs.Metrics.reset ();
+  let dense = run ~backend:F.Dense ~prune:true () in
+  let noprune = run ~backend:F.Sparse ~prune:false () in
+  Alcotest.(check int) "equivalence groups" 2 sparse.P.equivalence_groups;
+  Alcotest.(check int) "pruned configs" 5 sparse.P.pruned_configs;
+  Alcotest.(check int) "campaign.equivalence_groups counter" 2
+    (Obs.Metrics.counter snap "campaign.equivalence_groups");
+  Alcotest.(check int) "campaign.pruned_configs counter" 5
+    (Obs.Metrics.counter snap "campaign.pruned_configs");
+  Alcotest.(check int) "no-prune simulates every view" 0 noprune.P.pruned_configs;
+  Alcotest.(check int) "no-prune group per view" 7 noprune.P.equivalence_groups;
+  Alcotest.(check bool) "sparse verdicts equal dense verdicts" true
+    (sparse.P.matrix.Mx.detect = dense.P.matrix.Mx.detect);
+  Alcotest.(check bool) "pruned detect bitwise-equals unpruned" true
+    (sparse.P.matrix.Mx.detect = noprune.P.matrix.Mx.detect);
+  Alcotest.(check bool) "pruned omega bitwise-equals unpruned" true
+    (sparse.P.matrix.Mx.omega = noprune.P.matrix.Mx.omega)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ("pattern-slot", `Quick, test_pattern_slot);
+    ("singular-zero-column", `Quick, test_singular_zero_column);
+    ("refactor-reuse", `Quick, test_refactor_reuse);
+    q prop_solve;
+    q prop_determinant;
+    q prop_block_bitwise;
+    q prop_mul_vec;
+    q prop_dense_into;
+    ("auto-crossover", `Quick, test_auto_crossover);
+    ("bigladder-campaign", `Slow, test_bigladder_campaign);
+    q prop_backends_agree;
+  ]
