@@ -7,6 +7,7 @@
 
      dune exec bench/main.exe -- diag       - diagnosis/cover structural numbers only
      dune exec bench/main.exe -- sparse     - dense/sparse crossover + bigladder campaign
+     dune exec bench/main.exe -- certify    - interval-certified campaign fractions/timings
 
    Add --smoke to shrink the campaign workload (CI). Any run that
    produces timings also writes them to BENCH_<yyyy-mm-dd>.json in the
@@ -32,7 +33,7 @@ let today () =
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday
 
-let write_json ~kernels ~campaign ~diag ~sparse =
+let write_json ~kernels ~campaign ~diag ~sparse ~certify =
   let num_obj rows =
     Report.Json.Object (List.map (fun (k, v) -> (k, Report.Json.Number v)) rows)
   in
@@ -95,7 +96,8 @@ let write_json ~kernels ~campaign ~diag ~sparse =
                   diag) );
          ]
        else [])
-    @ match sparse with Some s -> Sparse.to_json s | None -> []
+    @ (match sparse with Some s -> Sparse.to_json s | None -> [])
+    @ match certify with [] -> [] | rows -> Certify.to_json rows
   in
   if sections <> [] then begin
     let date = today () in
@@ -246,17 +248,19 @@ let () =
     | [ w ] -> w
     | _ ->
         prerr_endline
-          "usage: main.exe [repro|perf|campaign|all] [--smoke] [--baseline FILE]";
+          "usage: main.exe [repro|perf|campaign|diag|sparse|certify|all] [--smoke] \
+           [--baseline FILE]";
         exit 2
   in
   let kernels = ref [] and campaign = ref [] and diag = ref [] in
-  let sparse = ref None in
+  let sparse = ref None and certify = ref [] in
   (match what with
   | "repro" -> Repro.all ()
   | "perf" -> kernels := Perf.all ()
   | "campaign" -> campaign := Campaign.all ~smoke ()
   | "diag" -> diag := Diag.all ~smoke ()
   | "sparse" -> sparse := Some (Sparse.all ~smoke ())
+  | "certify" -> certify := Certify.all ~smoke ()
   | "all" ->
       (* campaigns first: the wall-clock timings are the headline
          numbers and should not inherit allocator state from the
@@ -267,9 +271,11 @@ let () =
       diag := Diag.all ~smoke ()
   | other ->
       Printf.eprintf
-        "unknown target %S (expected: repro | perf | campaign | diag | sparse | all)\n"
+        "unknown target %S (expected: repro | perf | campaign | diag | sparse | \
+         certify | all)\n"
         other;
       exit 2);
-  write_json ~kernels:!kernels ~campaign:!campaign ~diag:!diag ~sparse:!sparse;
+  write_json ~kernels:!kernels ~campaign:!campaign ~diag:!diag ~sparse:!sparse
+    ~certify:!certify;
   Option.iter (fun path -> check_baseline path !campaign) baseline;
   print_newline ()

@@ -6,6 +6,7 @@
      lint     CIRCUIT       static analysis: validation, structural rank,
                             configuration-space diagnostics
      tf       CIRCUIT       symbolic transfer function, poles and zeros
+     certify  CIRCUIT       interval-certified detectability verdicts
      analyze  CIRCUIT       functional-configuration testability (Graph 1)
      matrix   CIRCUIT       detectability matrices over all configurations
      optimize CIRCUIT       the full ordered-requirements optimization
@@ -232,6 +233,15 @@ let no_prune_flag =
                  per equivalence class is solved and its verdict rows are \
                  replicated.")
 
+let no_certify_flag =
+  Arg.(value & flag
+       & info [ "no-certify" ]
+           ~doc:"Skip the interval-certification pre-pass: simulate every \
+                 (configuration, fault, frequency) point numerically, even \
+                 where the static analysis proves its verdict. Only \
+                 meaningful under a fixed:EPS criterion — the matrices are \
+                 identical either way.")
+
 let faults_of kind netlist =
   match kind with
   | `Deviation -> Fault.deviation_faults netlist
@@ -389,7 +399,105 @@ let lint_cmd =
       | Some { Analysis.Finding.file; line } ->
           [ ("file", Report.Json.String file); ("line", Report.Json.int line) ])
   in
-  let run name source output json strict =
+  (* SARIF 2.1.0 export — the static-analysis interchange format GitHub
+     code scanning and most editors ingest. One run, one rule per
+     distinct finding code, one result per finding; findings without a
+     source location (benchmark lints) carry only the message. *)
+  let sarif_of_findings ~circuit findings =
+    let open Report.Json in
+    let level = function
+      | Analysis.Finding.Error -> "error"
+      | Analysis.Finding.Warning -> "warning"
+      | Analysis.Finding.Info -> "note"
+    in
+    let rules =
+      List.sort_uniq compare
+        (List.map (fun f -> f.Analysis.Finding.code) findings)
+    in
+    let result_of (f : Analysis.Finding.t) =
+      let anchors =
+        List.filter_map Fun.id
+          [
+            Option.map (fun e -> "element " ^ e) f.Analysis.Finding.element;
+            Option.map (fun n -> "node " ^ n) f.Analysis.Finding.node;
+            f.Analysis.Finding.config;
+          ]
+      in
+      let text =
+        match anchors with
+        | [] -> f.Analysis.Finding.message
+        | l -> f.Analysis.Finding.message ^ " (" ^ String.concat ", " l ^ ")"
+      in
+      Object
+        ([
+           ("ruleId", String f.Analysis.Finding.code);
+           ("level", String (level f.Analysis.Finding.severity));
+           ("message", Object [ ("text", String text) ]);
+         ]
+        @
+        match f.Analysis.Finding.loc with
+        | None -> []
+        | Some { Analysis.Finding.file; line } ->
+            [
+              ( "locations",
+                List
+                  [
+                    Object
+                      [
+                        ( "physicalLocation",
+                          Object
+                            [
+                              ( "artifactLocation",
+                                Object [ ("uri", String file) ] );
+                              ( "region",
+                                Object [ ("startLine", Report.Json.int line) ]
+                              );
+                            ] );
+                      ];
+                  ] );
+            ])
+    in
+    Object
+      [
+        ("$schema", String "https://json.schemastore.org/sarif-2.1.0.json");
+        ("version", String "2.1.0");
+        ( "runs",
+          List
+            [
+              Object
+                [
+                  ( "tool",
+                    Object
+                      [
+                        ( "driver",
+                          Object
+                            [
+                              ("name", String "mcdft-lint");
+                              ("version", String "1.0.0");
+                              ( "informationUri",
+                                String
+                                  "https://github.com/mcdft/mcdft#finding-codes"
+                              );
+                              ( "rules",
+                                List
+                                  (List.map
+                                     (fun code ->
+                                       Object
+                                         [
+                                           ("id", String code);
+                                           ("name", String code);
+                                         ])
+                                     rules) );
+                            ] );
+                      ] );
+                  ( "properties",
+                    Object [ ("circuit", String circuit) ] );
+                  ("results", List (List.map result_of findings));
+                ];
+            ] );
+      ]
+  in
+  let run name source output json sarif strict =
     handle_errors @@ fun () ->
     let netlist, src, source, output =
       match Circuits.Registry.find name with
@@ -411,6 +519,14 @@ let lint_cmd =
                   match output with Some _ -> output | None -> default_output netlist ))
     in
     let findings = Analysis.Lint.run ?src ?source ?output netlist in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (Report.Json.to_string ~indent:2 (sarif_of_findings ~circuit:name findings));
+        output_char oc '\n';
+        close_out oc)
+      sarif;
     if json then
       print_endline
         (Report.Json.to_string ~indent:2
@@ -433,6 +549,13 @@ let lint_cmd =
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the findings as JSON.")
   in
+  let sarif_opt =
+    Arg.(value & opt (some string) None
+         & info [ "sarif" ] ~docv:"FILE"
+             ~doc:"Also write the findings to $(docv) as a SARIF 2.1.0 log \
+                   (the static-analysis interchange format CI annotation \
+                   tooling ingests).")
+  in
   let strict_flag =
     Arg.(value & flag
          & info [ "strict" ] ~doc:"Exit with code 6 on warnings too, not only errors.")
@@ -440,10 +563,11 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Static analysis: validation, structural MNA rank at DC/HF/generic \
-             frequencies, and configuration-space diagnostics (broken test-input \
+             frequencies, configuration-space diagnostics (broken test-input \
              chains, singular or equivalent configurations, structurally \
-             undetectable faults)")
-    Term.(const run $ circuit_arg $ source_opt $ output_opt $ json_flag $ strict_flag)
+             undetectable faults) and interval-certification summaries")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt $ json_flag $ sarif_opt
+          $ strict_flag)
 
 let tf_cmd =
   let run name source output =
@@ -472,6 +596,185 @@ let tf_cmd =
   in
   Cmd.v (Cmd.info "tf" ~doc:"Symbolic transfer function, poles and zeros")
     Term.(const run $ circuit_arg $ source_opt $ output_opt)
+
+let certify_cmd =
+  let run name source output criterion ppd fault_kind work_cap json metrics trace =
+    with_observability ~metrics ~trace @@ fun () ->
+    with_circuit name source output (fun b ->
+        let eps =
+          match criterion with
+          | Testability.Detect.Fixed_tolerance e when e > 0.0 -> e
+          | c ->
+              die 1
+                "certification needs a fixed:EPS criterion (got %s): interval \
+                 arithmetic bounds |dT|/|T| against a constant threshold only"
+                (criterion_str c)
+        in
+        let netlist = b.Circuits.Benchmark.netlist in
+        let dft =
+          Multiconfig.Transform.make ~source:b.Circuits.Benchmark.source
+            ~output:b.Circuits.Benchmark.output netlist
+        in
+        let faults = faults_of fault_kind netlist in
+        let grid =
+          Testability.Grid.around ~points_per_decade:ppd
+            ~center_hz:b.Circuits.Benchmark.center_hz ()
+        in
+        let specs =
+          List.map
+            (fun config ->
+              {
+                Analysis.Certify.label = Multiconfig.Configuration.label config;
+                netlist = Multiconfig.Transform.emulate dft config;
+                source = b.Circuits.Benchmark.source;
+                output = b.Circuits.Benchmark.output;
+              })
+            (Multiconfig.Transform.test_configurations dft)
+        in
+        let c =
+          Analysis.Certify.certify ?work_cap ~eps
+            ~freqs_hz:(Testability.Grid.freqs_hz grid) specs faults
+        in
+        let s = c.Analysis.Certify.stats in
+        let cell_proved (cell : Analysis.Certify.cell) =
+          let p = ref 0 in
+          Bytes.iter (fun ch -> if ch <> '?' then incr p) cell.Analysis.Certify.verdicts;
+          !p
+        in
+        if json then begin
+          let open Report.Json in
+          let view_json (v : Analysis.Certify.view_result) =
+            Object
+              [
+                ("label", String v.Analysis.Certify.spec.Analysis.Certify.label);
+                ("validated", Bool v.Analysis.Certify.validated);
+                ( "cells",
+                  List
+                    (Array.to_list
+                       (Array.map
+                          (fun (cell : Analysis.Certify.cell) ->
+                            Object
+                              [
+                                ("fault", String cell.Analysis.Certify.fault.Fault.id);
+                                ( "verdicts",
+                                  String
+                                    (Bytes.to_string cell.Analysis.Certify.verdicts) );
+                                ("proved_points", Report.Json.int (cell_proved cell));
+                              ])
+                          v.Analysis.Certify.cells)) );
+              ]
+          in
+          print_endline
+            (to_string ~indent:2
+               (Object
+                  [
+                    ("circuit", String b.Circuits.Benchmark.name);
+                    ("eps", Number c.Analysis.Certify.eps);
+                    ("margin", Number c.Analysis.Certify.margin);
+                    ("n_points", Report.Json.int c.Analysis.Certify.n_points);
+                    ( "views",
+                      List
+                        (Array.to_list
+                           (Array.map view_json c.Analysis.Certify.views)) );
+                    ( "stats",
+                      Object
+                        [
+                          ("cells", Report.Json.int s.Analysis.Certify.cells);
+                          ( "cells_proved",
+                            Report.Json.int s.Analysis.Certify.cells_proved );
+                          ("points", Report.Json.int s.Analysis.Certify.points);
+                          ( "points_proved",
+                            Report.Json.int s.Analysis.Certify.points_proved );
+                          ( "skipped_views",
+                            Report.Json.int s.Analysis.Certify.skipped_views );
+                        ] );
+                  ]))
+        end
+        else begin
+          Printf.printf
+            "circuit: %s   criterion: fixed:%g   faults: %d   grid: %d points\n\n"
+            b.Circuits.Benchmark.name eps (List.length faults)
+            c.Analysis.Certify.n_points;
+          let rows =
+            Array.to_list
+              (Array.map
+                 (fun (v : Analysis.Certify.view_result) ->
+                   let n_cells = Array.length v.Analysis.Certify.cells in
+                   let whole =
+                     Array.fold_left
+                       (fun acc cell ->
+                         if
+                           c.Analysis.Certify.n_points > 0
+                           && cell_proved cell = c.Analysis.Certify.n_points
+                         then acc + 1
+                         else acc)
+                       0 v.Analysis.Certify.cells
+                   in
+                   let pts =
+                     Array.fold_left
+                       (fun acc cell -> acc + cell_proved cell)
+                       0 v.Analysis.Certify.cells
+                   in
+                   let total = n_cells * c.Analysis.Certify.n_points in
+                   [
+                     v.Analysis.Certify.spec.Analysis.Certify.label;
+                     (if v.Analysis.Certify.validated then "certified" else "skipped");
+                     Printf.sprintf "%d/%d" whole n_cells;
+                     Printf.sprintf "%d/%d" pts total;
+                     (if total = 0 then "-"
+                      else
+                        Printf.sprintf "%.1f%%"
+                          (100.0 *. float_of_int pts /. float_of_int total));
+                   ])
+                 c.Analysis.Certify.views)
+          in
+          print_endline
+            (Report.Table.render
+               ~header:[ "config"; "status"; "cells whole"; "points proved"; "fraction" ]
+               rows);
+          Printf.printf
+            "\nproved %d of %d point verdicts (%s); %d of %d cells whole; %d view%s \
+             skipped\n"
+            s.Analysis.Certify.points_proved s.Analysis.Certify.points
+            (if s.Analysis.Certify.points = 0 then "-"
+             else
+               Printf.sprintf "%.1f%%"
+                 (100.0
+                 *. float_of_int s.Analysis.Certify.points_proved
+                 /. float_of_int s.Analysis.Certify.points))
+            s.Analysis.Certify.cells_proved s.Analysis.Certify.cells
+            s.Analysis.Certify.skipped_views
+            (if s.Analysis.Certify.skipped_views = 1 then "" else "s");
+          Printf.printf
+            "a campaign under this criterion skips %d numeric solves\n"
+            s.Analysis.Certify.points_proved
+        end)
+  in
+  let criterion_fixed_opt =
+    Arg.(value & opt criterion_conv (Testability.Detect.Fixed_tolerance 0.10)
+         & info [ "criterion" ] ~docv:"CRIT"
+             ~doc:"Detectability criterion; must be fixed:EPS (default \
+                   fixed:0.1, the paper's Definition 1).")
+  in
+  let work_cap_opt =
+    Arg.(value & opt (some positive_int) None
+         & info [ "work-cap" ] ~docv:"N"
+             ~doc:"Cap on symbolic transfer-function extractions (default \
+                   256); views past the cap stay unknown, bounding the cost \
+                   on circuits with hundreds of configurations.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdict cube as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Interval-certified detectability: prove (configuration, fault, \
+             frequency) verdicts statically with outward-rounded interval \
+             arithmetic over the symbolic transfer function, without running \
+             the numeric campaign")
+    Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_fixed_opt
+          $ ppd_opt $ fault_kind_opt $ work_cap_opt $ json_flag $ metrics_opt
+          $ trace_opt)
 
 let analyze_cmd =
   let run name source output criterion ppd fault_kind fault_element backend =
@@ -524,21 +827,22 @@ let analyze_cmd =
 
 let matrix_cmd =
   let run name source output criterion ppd fault_kind jobs gc_default prefilter backend
-      no_prune metrics trace =
+      no_prune no_certify metrics trace =
+    with_observability ~metrics ~trace @@ fun () ->
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
-        with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
-        let m, plan, pruning =
+        let certify = not no_certify in
+        let m, plan, pruning, certification =
           if prefilter then
-            let plan, m = PF.run ~criterion ~points_per_decade:ppd ~faults b in
-            (m, Some plan, None)
+            let plan, m = PF.run ~criterion ~points_per_decade:ppd ~faults ~certify b in
+            (m, Some plan, None, None)
           else
             let t =
               P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend
-                ~prune:(not no_prune) b
+                ~prune:(not no_prune) ~certify b
             in
-            (t.P.matrix, None, Some (t.P.equivalence_groups, t.P.pruned_configs))
+            (t.P.matrix, None, Some (t.P.equivalence_groups, t.P.pruned_configs), t.P.certify)
         in
         let fault_ids = Array.map (fun f -> f.Fault.id) m.Testability.Matrix.faults in
         let header = "" :: Array.to_list fault_ids in
@@ -579,7 +883,16 @@ let matrix_cmd =
             Printf.printf
               "structural prefilter: skipped %d of %d (configuration, fault) sweeps\n"
               plan.PF.pruned_pairs plan.PF.total_pairs)
-          plan)
+          plan;
+        Option.iter
+          (fun (c : Analysis.Certify.t) ->
+            let s = c.Analysis.Certify.stats in
+            Printf.printf
+              "interval certification: proved %d of %d point verdicts statically \
+               (%d of %d cells whole)\n"
+              s.Analysis.Certify.points_proved s.Analysis.Certify.points
+              s.Analysis.Certify.cells_proved s.Analysis.Certify.cells)
+          certification)
   in
   let prefilter_flag =
     Arg.(value & flag
@@ -591,18 +904,18 @@ let matrix_cmd =
     (Cmd.info "matrix" ~doc:"Fault detectability matrix over all test configurations")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
           $ fault_kind_opt $ jobs_opt $ gc_default_opt $ prefilter_flag $ backend_opt
-          $ no_prune_flag $ metrics_opt $ trace_opt)
+          $ no_prune_flag $ no_certify_flag $ metrics_opt $ trace_opt)
 
 let optimize_cmd =
   let run name source output criterion ppd fault_kind jobs gc_default n_detect backend
-      no_prune json metrics trace =
+      no_prune no_certify json metrics trace =
+    with_observability ~metrics ~trace @@ fun () ->
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
-        with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t =
           P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend
-            ~prune:(not no_prune) b
+            ~prune:(not no_prune) ~certify:(not no_certify) b
         in
         let r = P.optimize ~n_detect t in
         if json then
@@ -697,18 +1010,18 @@ let optimize_cmd =
        ~doc:"Ordered-requirements optimization of the multi-configuration DFT (Sec. 4)")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
           $ fault_kind_opt $ jobs_opt $ gc_default_opt $ n_detect_opt $ backend_opt
-          $ no_prune_flag $ json_flag $ metrics_opt $ trace_opt)
+          $ no_prune_flag $ no_certify_flag $ json_flag $ metrics_opt $ trace_opt)
 
 let testplan_cmd =
   let run name source output criterion ppd fault_kind jobs gc_default backend no_prune
-      metrics trace =
+      no_certify metrics trace =
+    with_observability ~metrics ~trace @@ fun () ->
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
-        with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t =
           P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend
-            ~prune:(not no_prune) b
+            ~prune:(not no_prune) ~certify:(not no_certify) b
         in
         let plan = Mcdft_core.Test_plan.build t in
         print_string (Mcdft_core.Test_plan.to_string plan))
@@ -718,7 +1031,7 @@ let testplan_cmd =
        ~doc:"Minimal (configuration, frequency) measurement schedule")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
           $ fault_kind_opt $ jobs_opt $ gc_default_opt $ backend_opt $ no_prune_flag
-          $ metrics_opt $ trace_opt)
+          $ no_certify_flag $ metrics_opt $ trace_opt)
 
 let sweep_cmd =
   let run name source output ppd csv =
@@ -803,13 +1116,16 @@ let diagnose_cmd =
          (List.filteri (fun i _ -> i < show) v.T.ranking
          |> List.map (fun (f, d) -> Printf.sprintf "%s=%.3g" f.Fault.id d)))
   in
-  let run name source output criterion ppd fault_kind jobs gc_default backend tolerance
-      configs simulate simulate_all observe metrics trace =
+  let run name source output criterion ppd fault_kind jobs gc_default backend no_certify
+      tolerance configs simulate simulate_all observe metrics trace =
+    with_observability ~metrics ~trace @@ fun () ->
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
-        with_observability ~metrics ~trace @@ fun () ->
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
-        let t = P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend b in
+        let t =
+          P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend
+            ~certify:(not no_certify) b
+        in
         let traj = T.of_pipeline ?tolerance ?configs t in
         Printf.printf "circuit: %s   measurements: %d points (%d faults)\n"
           b.Circuits.Benchmark.name (T.n_measurements traj) (List.length faults);
@@ -934,16 +1250,20 @@ let diagnose_cmd =
          "Fault location by nearest response trajectory: ambiguity sets, \
           self-tests, and classification of observed responses")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ backend_opt $ tolerance_opt
-          $ configs_opt $ simulate_opt $ simulate_all_flag $ observe_opt $ metrics_opt
-          $ trace_opt)
+          $ fault_kind_opt $ jobs_opt $ gc_default_opt $ backend_opt $ no_certify_flag
+          $ tolerance_opt $ configs_opt $ simulate_opt $ simulate_all_flag $ observe_opt
+          $ metrics_opt $ trace_opt)
 
 let blocks_cmd =
-  let run name source output criterion ppd jobs gc_default backend metrics trace =
+  let run name source output criterion ppd jobs gc_default backend no_certify metrics
+      trace =
+    with_observability ~metrics ~trace @@ fun () ->
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
-        with_observability ~metrics ~trace @@ fun () ->
-        let t = P.run ~criterion ~points_per_decade:ppd ~jobs ~backend b in
+        let t =
+          P.run ~criterion ~points_per_decade:ppd ~jobs ~backend
+            ~certify:(not no_certify) b
+        in
         let rows =
           List.map
             (fun (r : Mcdft_core.Block_access.report) ->
@@ -968,7 +1288,8 @@ let blocks_cmd =
     (Cmd.info "blocks"
        ~doc:"Embedded-block access: per-opamp coverage via the transparency mechanism")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
-          $ jobs_opt $ gc_default_opt $ backend_opt $ metrics_opt $ trace_opt)
+          $ jobs_opt $ gc_default_opt $ backend_opt $ no_certify_flag $ metrics_opt
+          $ trace_opt)
 
 let fuzz_cmd =
   (* "45", "45s" or "3m" *)
@@ -1186,6 +1507,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; show_cmd; lint_cmd; tf_cmd; analyze_cmd; matrix_cmd; optimize_cmd;
-            testplan_cmd; sweep_cmd; diagnose_cmd; blocks_cmd; fuzz_cmd;
+            list_cmd; show_cmd; lint_cmd; tf_cmd; certify_cmd; analyze_cmd; matrix_cmd;
+            optimize_cmd; testplan_cmd; sweep_cmd; diagnose_cmd; blocks_cmd; fuzz_cmd;
           ]))

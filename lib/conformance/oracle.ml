@@ -591,6 +591,89 @@ let diagnosis (s : Gen.subject) =
           faults;
         (match !failure with Some m -> Fail m | None -> Pass)
 
+(* --- certify-soundness: interval certificates vs the numeric engine *)
+
+(* The adversarial check on {!Analysis.Certify}: build the same
+   detectability matrix twice — fully numeric, and with the certified
+   verdict cube short-circuiting every proved point — under the
+   criterion the certificates were issued for. Soundness promises the
+   two are bitwise identical: any certified point that contradicts the
+   engine's own |ΔT|/|T| computation flips a detect verdict or moves an
+   omega measure, and every grid point contributes nonzero log-measure,
+   so a single wrong certificate cannot hide. Runs on every generator
+   family, near-singular included (where poles crossing the sweep are
+   exactly what the den-comfort guard must survive). *)
+let certify_soundness (s : Gen.subject) =
+  let eps = 0.10 in
+  let faults = sample_faults 16 (Fault.both_deviations s.netlist) in
+  let views =
+    if Netlist.opamps s.netlist <> [] then
+      match
+        Multiconfig.Transform.make ~source:s.source ~output:s.output s.netlist
+      with
+      | exception Invalid_argument msg -> Error ("no DFT transform: " ^ msg)
+      | dft ->
+          Ok
+            (List.map
+               (fun config ->
+                 {
+                   Matrix.label = Multiconfig.Configuration.label config;
+                   netlist = Multiconfig.Transform.emulate dft config;
+                   probe = { Detect.source = s.source; output = s.output };
+                 })
+               (Multiconfig.Transform.test_configurations dft))
+    else
+      Ok
+        (List.map
+           (fun node ->
+             {
+               Matrix.label = "probe:" ^ node;
+               netlist = s.netlist;
+               probe = { Detect.source = s.source; output = node };
+             })
+           (Netlist.internal_nodes s.netlist))
+  in
+  match views with
+  | Error msg -> Skip msg
+  | Ok [] -> Skip "no views to certify"
+  | Ok views ->
+      if faults = [] then Skip "no faults to certify"
+      else begin
+        let specs =
+          List.map
+            (fun (v : Matrix.view) ->
+              {
+                Analysis.Certify.label = v.Matrix.label;
+                netlist = v.Matrix.netlist;
+                source = v.Matrix.probe.Detect.source;
+                output = v.Matrix.probe.Detect.output;
+              })
+            views
+        in
+        let c = Analysis.Certify.certify ~eps ~freqs_hz specs faults in
+        let criterion = Detect.Fixed_tolerance eps in
+        match Matrix.build ~criterion ~jobs:1 grid views faults with
+        | exception Mna.Ac.Singular_circuit msg -> Skip ("a view is singular: " ^ msg)
+        | plain -> (
+            match
+              Matrix.build ~criterion
+                ~certified:(Analysis.Certify.verdict_cube c)
+                ~jobs:1 grid views faults
+            with
+            | exception Mna.Ac.Singular_circuit msg ->
+                Fail ("certified build singular where the numeric one solved: " ^ msg)
+            | certified ->
+                if certified.Matrix.detect <> plain.Matrix.detect then
+                  Fail
+                    "a certified verdict contradicts the numeric engine: detect \
+                     matrices differ"
+                else if certified.Matrix.omega <> plain.Matrix.omega then
+                  Fail
+                    "a certified verdict contradicts the numeric engine: omega \
+                     matrices differ"
+                else Pass)
+      end
+
 let all =
   [
     {
@@ -637,6 +720,11 @@ let all =
       name = "sparse-vs-dense";
       doc = "forced-Sparse Fastsim nominal + faulty responses vs forced-Dense";
       check = sparse_vs_dense;
+    };
+    {
+      name = "certify-soundness";
+      doc = "interval-certified verdict cube leaves campaign matrices bitwise intact";
+      check = certify_soundness;
     };
   ]
 

@@ -8,13 +8,15 @@ type t = {
   input : Optimizer.input;
   equivalence_groups : int;
   pruned_configs : int;
+  certify : Analysis.Certify.t option;
 }
 
 let default_criterion =
   Testability.Detect.Process_envelope { component_tol = 0.04; floor = 0.02 }
 
 let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
-    ?follower_model ?jobs ?backend ?(prune = true) (benchmark : Circuits.Benchmark.t) =
+    ?follower_model ?jobs ?backend ?(prune = true) ?(certify = true)
+    (benchmark : Circuits.Benchmark.t) =
   Obs.Trace.span "pipeline.run" @@ fun () ->
   let netlist = benchmark.Circuits.Benchmark.netlist in
   Circuit.Validate.check_exn netlist;
@@ -80,8 +82,38 @@ let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
   let rep_views =
     List.map (fun members -> views_arr.(List.hd members)) groups
   in
+  (* Interval certification: a static pass over the representative
+     views proving (fault × frequency-point) verdicts from the
+     symbolic transfer functions, so the campaign only solves what the
+     intervals could not decide. Only the paper's Definition 1
+     criterion is certifiable — the deviation the intervals bound is
+     exactly the fixed-ε magnitude comparison; envelope and phase
+     criteria run fully numeric. *)
+  let certification =
+    match criterion with
+    | Testability.Detect.Fixed_tolerance eps when certify && eps > 0.0 ->
+        Obs.Trace.span "pipeline.certify" @@ fun () ->
+        let specs =
+          List.map
+            (fun (v : Testability.Matrix.view) ->
+              {
+                Analysis.Certify.label = v.Testability.Matrix.label;
+                netlist = v.Testability.Matrix.netlist;
+                source = probe.Testability.Detect.source;
+                output = probe.Testability.Detect.output;
+              })
+            rep_views
+        in
+        Some
+          (Analysis.Certify.certify ~eps
+             ~freqs_hz:(Testability.Grid.freqs_hz grid)
+             specs faults)
+    | _ -> None
+  in
   let rep_matrix =
-    Testability.Matrix.build ?backend ~criterion ?jobs grid rep_views faults
+    Testability.Matrix.build ?backend
+      ?certified:(Option.map Analysis.Certify.verdict_cube certification)
+      ~criterion ?jobs grid rep_views faults
   in
   (* Expand back to the full view list: row i is a copy of its
      representative's row, so the matrix is indistinguishable from an
@@ -115,6 +147,7 @@ let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
     input;
     equivalence_groups = n_groups;
     pruned_configs = pruned;
+    certify = certification;
   }
 
 let optimize ?petrick_limit ?n_detect t =

@@ -22,6 +22,11 @@ type t = {
       (** Configurations whose rows were replicated instead of
           simulated ([n_views − equivalence_groups]; 0 with
           [~prune:false]). *)
+  certify : Analysis.Certify.t option;
+      (** The interval-certification result over the representative
+          views, when the criterion was certifiable
+          ([Fixed_tolerance]) and certification was not disabled;
+          [None] otherwise. *)
 }
 
 val default_criterion : Testability.Detect.criterion
@@ -39,6 +44,7 @@ val run :
   ?jobs:int ->
   ?backend:Testability.Fastsim.backend ->
   ?prune:bool ->
+  ?certify:bool ->
   Circuits.Benchmark.t ->
   t
 (** Defaults: {!default_criterion}, the paper's +20 % deviation fault
@@ -59,7 +65,15 @@ val run :
     the unpruned one. The skipped work is counted in
     {!field:pruned_configs} and in the [campaign.pruned_configs]
     metric; pass [~prune:false] to force every row through the
-    solver. *)
+    solver.
+
+    [certify] (default [true]) runs {!Analysis.Certify} over the
+    representative views when the criterion is a [Fixed_tolerance] —
+    certified (fault × frequency) points skip their numeric solves
+    ([certify.solves_skipped] / [certify.cells_proved] metrics) while
+    the detect/omega matrices stay bitwise identical to an
+    uncertified run. Other criteria, or [~certify:false], run fully
+    numeric with {!field:certify} = [None]. *)
 
 val optimize : ?petrick_limit:int -> ?n_detect:int -> t -> Optimizer.report
 

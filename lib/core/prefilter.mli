@@ -31,9 +31,14 @@ val run :
   ?criterion:Testability.Detect.criterion ->
   ?points_per_decade:int ->
   ?faults:Fault.t list ->
+  ?certify:bool ->
   Circuits.Benchmark.t ->
   t * Testability.Matrix.t
 (** The economical campaign: the same matrix {!Pipeline.run} would
     produce (same criterion default, same grid), but with structurally
     impossible (configuration, fault) pairs skipped instead of
-    simulated. *)
+    simulated. [certify] (default [true]) additionally skips the
+    sweeps of cells the interval certification pass
+    ({!Analysis.Certify}) fully proved — only under a
+    [Fixed_tolerance] criterion; the matrix stays identical either
+    way. *)

@@ -42,6 +42,12 @@ val div_exact : t -> t -> t
 val eval : t -> Complex.t -> Complex.t
 (** Evaluate at a complex point by Horner's rule. *)
 
+val eval_jw_box : t -> Util.Interval.t -> Util.Interval.Complex_box.t
+(** Sound enclosure of [p(jω)] for ω ranging over the given interval:
+    the even/odd coefficient split evaluated by outward-rounded
+    interval Horner in u = ω². Every point value [eval p (jω)] with ω
+    in the input is contained in the returned box. *)
+
 val eval_real : t -> float -> float
 val derivative : t -> t
 val normalize : t -> t

@@ -183,6 +183,9 @@ and instantiate ~subckts ~env ~depth ~record line_no ~instance ~subckt_name ~act
     netlist def.body
 
 let parse_string_with_lines text =
+  (* counted so the CLI can assert it parses each netlist exactly once
+     per invocation (pre-flight lint reuses the campaign's parse) *)
+  Obs.Metrics.incr "spice.parse";
   try
     let lines = logical_lines text in
     (* standard SPICE: the first line is always the title *)

@@ -193,17 +193,43 @@ let plan_fault pv fault = Fastsim.plan_of pv.sim fault
 let score_range pv plan ~lo ~hi ~re ~im ~ok =
   Fastsim.response_range_into pv.sim plan ~lo ~hi ~re ~im ~ok
 
-let result_of_rows pv grid fault ~re ~im ~ok =
+let result_of_rows ?verdicts pv grid fault ~re ~im ~ok =
   let nominal = pv.nominal and prepared = pv.prepared in
   let deviates i =
-    if Bytes.get ok i = '\000' then true
-    else
-      let tf = { Complex.re = re.(i); im = im.(i) } in
-      List.exists (fun p -> p.deviation nominal.(i) tf > p.thresholds.(i)) prepared
+    (* A certified verdict byte overrides the numeric comparison — the
+       point was never scored. Soundness of the certification pass
+       guarantees the byte equals what the comparison would have
+       produced, which the tier-1 bitwise-identity assertions and the
+       certify-soundness oracle re-check from the outside. *)
+    match verdicts with
+    | Some v when Bytes.get v i = 'd' -> true
+    | Some v when Bytes.get v i = 'u' -> false
+    | _ ->
+        if Bytes.get ok i = '\000' then true
+        else
+          let tf = { Complex.re = re.(i); im = im.(i) } in
+          List.exists
+            (fun p -> p.deviation nominal.(i) tf > p.thresholds.(i))
+            prepared
   in
   let intervals = ref [] in
   for i = 0 to Grid.n_points grid - 1 do
     if deviates i then intervals := Grid.point_interval grid i :: !intervals
+  done;
+  let regions = Util.Interval.Set.of_intervals !intervals in
+  let measure = Util.Interval.Set.measure regions in
+  let omega_det = measure /. Grid.log_measure grid in
+  { fault; detectable = not (Util.Interval.Set.is_empty regions); omega_det; regions }
+
+let result_of_verdicts grid fault verdicts =
+  if Bytes.length verdicts <> Grid.n_points grid then
+    invalid_arg "Detect.result_of_verdicts: verdict length mismatch";
+  if Bytes.exists (fun b -> b = '?') verdicts then
+    invalid_arg "Detect.result_of_verdicts: uncertified point";
+  let intervals = ref [] in
+  for i = 0 to Grid.n_points grid - 1 do
+    if Bytes.get verdicts i = 'd' then
+      intervals := Grid.point_interval grid i :: !intervals
   done;
   let regions = Util.Interval.Set.of_intervals !intervals in
   let measure = Util.Interval.Set.measure regions in

@@ -138,6 +138,7 @@ val score_range :
     ranges of one row may be filled concurrently. *)
 
 val result_of_rows :
+  ?verdicts:Bytes.t ->
   prepared_view ->
   Grid.t ->
   Fault.t ->
@@ -148,7 +149,18 @@ val result_of_rows :
 (** Reduce one completed planar response row to a {!result}: the same
     deviation/threshold comparisons as {!analyze_prepared} (an
     [ok]=['\000'] point counts as detectable, like a [None]
-    response). *)
+    response). When [verdicts] is given, a point whose byte is ['d']
+    (certified detectable) or ['u'] (certified undetectable) takes
+    that verdict without consulting the row — such points need never
+    have been scored; ['?'] bytes fall through to the numeric
+    comparison. *)
+
+val result_of_verdicts : Grid.t -> Fault.t -> Bytes.t -> result
+(** Reduce a fully certified verdict row (every byte ['d'] or ['u'],
+    one per grid point) to a {!result} without any simulation — the
+    same interval bookkeeping as {!result_of_rows}. Raises
+    [Invalid_argument] on a length mismatch or a residual ['?']
+    byte. *)
 
 val analyze :
   ?backend:Fastsim.backend ->

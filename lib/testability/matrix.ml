@@ -21,12 +21,49 @@ let freq_block = 16
    sequential cutoff, so only the order of magnitude matters. *)
 let point_ns dim = (3.0 *. float_of_int (dim * dim)) +. 250.0
 
-let build ?backend ?criterion ?(jobs = 1) grid views faults =
+let build ?backend ?certified ?criterion ?(jobs = 1) grid views faults =
   Obs.Trace.span "matrix.build" @@ fun () ->
   let views = Array.of_list views in
   let faults = Array.of_list faults in
   let n = Array.length views and m = Array.length faults in
   let nf = Grid.n_points grid in
+  (match certified with
+  | None -> ()
+  | Some cube ->
+      if
+        Array.length cube <> n
+        || Array.exists
+             (fun row ->
+               Array.length row <> m
+               || Array.exists
+                    (function
+                      | Some v -> Bytes.length v <> nf | None -> false)
+                    row)
+             cube
+      then invalid_arg "Matrix.build: certified verdict cube shape mismatch");
+  let cert i j =
+    match certified with None -> None | Some cube -> cube.(i).(j)
+  in
+  let has_unknown v = Bytes.exists (fun b -> b = '?') v in
+  (* Certified-cell accounting, sequential and ahead of the parallel
+     phases so the counters are jobs-invariant by construction. *)
+  (match certified with
+  | None -> ()
+  | Some cube ->
+      Array.iter
+        (fun row ->
+          Array.iter
+            (function
+              | None -> ()
+              | Some v ->
+                  let proved = ref 0 in
+                  Bytes.iter (fun b -> if b <> '?' then incr proved) v;
+                  if !proved > 0 then begin
+                    Obs.Metrics.incr ~by:!proved "certify.solves_skipped";
+                    if !proved = nf then Obs.Metrics.incr "certify.cells_proved"
+                  end)
+            row)
+        cube);
   let detect = Array.make_matrix n m false in
   let omega = Array.make_matrix n m 0.0 in
   let fault_list = Array.to_list faults in
@@ -47,11 +84,28 @@ let build ?backend ?criterion ?(jobs = 1) grid views faults =
     Util.Parallel.map ~jobs ~est_ns:prep_est n (fun i ->
         let view = views.(i) in
         Obs.Trace.span ("matrix.prepare " ^ view.label) @@ fun () ->
+        (* Fully certified faults need neither a warmed back-solve
+           cache nor a plan — their rows are never scored. *)
+        let warm =
+          if certified = None then fault_list
+          else
+            List.filteri
+              (fun j _ ->
+                match cert i j with Some v -> has_unknown v | None -> true)
+              fault_list
+        in
         let pv =
-          Detect.prepare_view ?backend ?criterion ~warm:fault_list view.probe grid
+          Detect.prepare_view ?backend ?criterion ~warm view.probe grid
             view.netlist
         in
-        let plans = Array.map (fun fault -> Detect.plan_fault pv fault) faults in
+        let plans =
+          Array.mapi
+            (fun j fault ->
+              match cert i j with
+              | Some v when not (has_unknown v) -> None
+              | _ -> Some (Detect.plan_fault pv fault))
+            faults
+        in
         (pv, plans))
   in
   (* Phase 2 — score the matrix over (view × fault-chunk ×
@@ -85,8 +139,28 @@ let build ?backend ?criterion ?(jobs = 1) grid views faults =
       let hi = Int.min nf (lo + freq_block) in
       let j1 = Int.min m ((c * fault_chunk) + fault_chunk) - 1 in
       for j = c * fault_chunk to j1 do
-        let re, im, ok = rows.(i).(j) in
-        Detect.score_range pv plans.(j) ~lo ~hi ~re ~im ~ok
+        match plans.(j) with
+        | None -> () (* fully certified: nothing to solve *)
+        | Some plan -> (
+            let re, im, ok = rows.(i).(j) in
+            match cert i j with
+            | None -> Detect.score_range pv plan ~lo ~hi ~re ~im ~ok
+            | Some v ->
+                (* Score only the maximal runs of uncertified points
+                   inside this frequency block; certified slots keep
+                   their (never-read) zero row entries. *)
+                let p = ref lo in
+                while !p < hi do
+                  if Bytes.get v !p <> '?' then incr p
+                  else begin
+                    let q = ref !p in
+                    while !q < hi && Bytes.get v !q = '?' do
+                      incr q
+                    done;
+                    Detect.score_range pv plan ~lo:!p ~hi:!q ~re ~im ~ok;
+                    p := !q
+                  end
+                done)
       done);
   (* Phase 3 — sequential reduce: each completed planar row becomes a
      detectability verdict. Cheap (interval bookkeeping), and keeping
@@ -97,7 +171,10 @@ let build ?backend ?criterion ?(jobs = 1) grid views faults =
         let pv, _ = prepared.(i) in
         for j = 0 to m - 1 do
           let re, im, ok = rows.(i).(j) in
-          let r = Detect.result_of_rows pv grid faults.(j) ~re ~im ~ok in
+          let r =
+            Detect.result_of_rows ?verdicts:(cert i j) pv grid faults.(j) ~re
+              ~im ~ok
+          in
           detect.(i).(j) <- r.Detect.detectable;
           omega.(i).(j) <- r.Detect.omega_det
         done

@@ -21,13 +21,28 @@ type t = {
 
 val build :
   ?backend:Fastsim.backend ->
+  ?certified:Bytes.t option array array ->
   ?criterion:Detect.criterion -> ?jobs:int -> Grid.t -> view list -> Fault.t list -> t
 (** Run the full fault simulation campaign: one nominal sweep plus one
     faulty sweep per (view, fault) pair. [jobs] > 1 distributes the
     views across that many domains (the per-view analyses are
     independent); results are identical to a sequential run. [backend]
     selects the per-view factorization ({!Fastsim.backend}, default
-    [Auto]). *)
+    [Auto]).
+
+    [certified] is a per-[view][fault] cube of statically certified
+    verdict bytes (['d' | 'u' | '?'] per grid point, see
+    [Analysis.Certify.verdict_cube]): certified points are never
+    solved — their verdicts flow straight into the reduce — and a
+    fully certified (view, fault) cell skips cache warming and plan
+    construction too. The caller is responsible for the cube having
+    been computed against the same views, faults, grid and criterion;
+    verdict soundness then makes the resulting matrices bitwise
+    identical to an uncertified run. Counters:
+    [certify.solves_skipped] (certified points) and
+    [certify.cells_proved] (fully certified cells), incremented
+    sequentially before the parallel phases so they stay
+    jobs-invariant. Raises [Invalid_argument] on a shape mismatch. *)
 
 val n_views : t -> int
 val n_faults : t -> int

@@ -17,6 +17,103 @@ let intersect a b =
 let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
 let pp ppf i = Format.fprintf ppf "[%g, %g]" i.lo i.hi
 
+(* --- Extended (possibly unbounded) intervals with outward rounding.
+
+   The certification pass needs a sound enclosure, not a tight one:
+   every op rounds its bounds outward by one ulp and any NaN arising
+   from an indeterminate form (inf - inf, 0 * inf, division through
+   zero) widens to [whole]. Bounds are never NaN — [whole] plays the
+   role of "don't know". [Float.pred neg_infinity] and
+   [Float.succ infinity] are identities, so no extra guards are needed
+   at the ends of the line. *)
+
+let whole = { lo = neg_infinity; hi = infinity }
+let point x = if Float.is_nan x then whole else { lo = x; hi = x }
+let is_bounded i = Float.is_finite i.lo && Float.is_finite i.hi
+
+let down x = if Float.is_nan x then neg_infinity else Float.pred x
+let up x = if Float.is_nan x then infinity else Float.succ x
+
+let out lo hi =
+  if Float.is_nan lo || Float.is_nan hi then whole
+  else { lo = down lo; hi = up hi }
+
+let add a b = out (a.lo +. b.lo) (a.hi +. b.hi)
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+let sub a b = out (a.lo -. b.hi) (a.hi -. b.lo)
+
+let mul a b =
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
+  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  (* Float.min/max propagate NaN, which [out] then widens to [whole];
+     0 * inf therefore costs precision, never soundness. *)
+  out
+    (Float.min (Float.min p1 p2) (Float.min p3 p4))
+    (Float.max (Float.max p1 p2) (Float.max p3 p4))
+
+let inv b =
+  if b.lo <= 0.0 && b.hi >= 0.0 then whole
+  else out (1.0 /. b.hi) (1.0 /. b.lo)
+
+let div a b = if b.lo <= 0.0 && b.hi >= 0.0 then whole else mul a (inv b)
+
+let abs a =
+  if a.lo >= 0.0 then a
+  else if a.hi <= 0.0 then neg a
+  else { lo = 0.0; hi = Float.max (-.a.lo) a.hi }
+
+let sqr a =
+  let m = abs a in
+  let lo = Float.max 0.0 (down (m.lo *. m.lo)) and hi = up (m.hi *. m.hi) in
+  if Float.is_nan lo || Float.is_nan hi then whole else { lo; hi }
+
+let sqrt a =
+  if a.hi < 0.0 then invalid_arg "Interval.sqrt: negative interval"
+  else
+    {
+      lo = Float.max 0.0 (down (Float.sqrt (Float.max 0.0 a.lo)));
+      hi = up (Float.sqrt a.hi);
+    }
+
+let scale c a =
+  if c >= 0.0 then out (c *. a.lo) (c *. a.hi) else out (c *. a.hi) (c *. a.lo)
+
+module Complex_box = struct
+  type interval = t
+
+  let radd = add
+  let rsub = sub
+  let rmul = mul
+  let rneg = neg
+  let rsqr = sqr
+  let rsqrt = sqrt
+  let rscale = scale
+  let rcontains = contains
+  let rpp = pp
+
+  type t = { re : interval; im : interval }
+
+  let make re im = { re; im }
+  let of_complex (z : Complex.t) = { re = point z.Complex.re; im = point z.Complex.im }
+  let add a b = { re = radd a.re b.re; im = radd a.im b.im }
+  let sub a b = { re = rsub a.re b.re; im = rsub a.im b.im }
+  let neg a = { re = rneg a.re; im = rneg a.im }
+
+  let mul a b =
+    {
+      re = rsub (rmul a.re b.re) (rmul a.im b.im);
+      im = radd (rmul a.re b.im) (rmul a.im b.re);
+    }
+
+  let scale c a = { re = rscale c a.re; im = rscale c a.im }
+  let abs a = rsqrt (radd (rsqr a.re) (rsqr a.im))
+
+  let contains a (z : Complex.t) =
+    rcontains a.re z.Complex.re && rcontains a.im z.Complex.im
+
+  let pp ppf a = Format.fprintf ppf "(%a + i%a)" rpp a.re rpp a.im
+end
+
 module Set = struct
   type interval = t
 

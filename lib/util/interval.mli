@@ -27,6 +27,79 @@ val hull : t -> t -> t
 
 val pp : Format.formatter -> t -> unit
 
+(** {1 Extended interval arithmetic}
+
+    Sound enclosures for the certification pass: every operation
+    rounds its bounds outward by one ulp, bounds may be infinite, and
+    any indeterminate form (inf - inf, 0 * inf, division through an
+    interval containing zero, NaN input) widens to {!whole} rather
+    than producing a NaN bound. Bounds are never NaN. *)
+
+val whole : t
+(** The whole extended real line, [[-inf, inf]] — the "don't know"
+    element. *)
+
+val point : float -> t
+(** Degenerate interval [[x, x]]; {!whole} when [x] is NaN. *)
+
+val is_bounded : t -> bool
+(** True when both bounds are finite. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+val mul : t -> t -> t
+(** Endpoint products, outward-rounded; [0 * inf] widens to {!whole}. *)
+
+val inv : t -> t
+(** Reciprocal; {!whole} when the argument contains zero. *)
+
+val div : t -> t -> t
+(** [div a b] is {!whole} when [b] contains zero (including a bound
+    exactly at zero) — division is never trusted near a pole. *)
+
+val abs : t -> t
+(** Absolute-value image, always a subset of [[0, inf]]; exact (no
+    outward rounding — negation and max of floats are exact). *)
+
+val sqr : t -> t
+(** Square, range-aware: the result's lower bound is clamped at 0 for
+    zero-straddling inputs. *)
+
+val sqrt : t -> t
+(** Square root of the non-negative part; the lower bound is clamped
+    at 0. Raises [Invalid_argument] on intervals entirely below 0. *)
+
+val scale : float -> t -> t
+
+(** {1 Rectangular complex intervals}
+
+    A box [re + i im] in the complex plane; the arithmetic is the
+    usual rectangular complex interval arithmetic built from the
+    outward-rounded real ops above. *)
+
+module Complex_box : sig
+  type interval := t
+
+  type t = { re : interval; im : interval }
+
+  val make : interval -> interval -> t
+  val of_complex : Complex.t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val scale : float -> t -> t
+
+  val abs : t -> interval
+  (** Enclosure of the modulus [|z|] over the box; a subset of
+      [[0, inf]]. *)
+
+  val contains : t -> Complex.t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
 (** {1 Unions of intervals} *)
 
 module Set : sig
