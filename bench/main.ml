@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- diag       - diagnosis/cover structural numbers only
      dune exec bench/main.exe -- sparse     - dense/sparse crossover + bigladder campaign
      dune exec bench/main.exe -- certify    - interval-certified campaign fractions/timings
+     dune exec bench/main.exe -- adaptive   - coverage-directed refinement solve counts
 
    Add --smoke to shrink the campaign workload (CI). Any run that
    produces timings also writes them to BENCH_<yyyy-mm-dd>.json in the
@@ -33,7 +34,7 @@ let today () =
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday
 
-let write_json ~kernels ~campaign ~diag ~sparse ~certify =
+let write_json ~kernels ~campaign ~diag ~sparse ~certify ~adaptive =
   let num_obj rows =
     Report.Json.Object (List.map (fun (k, v) -> (k, Report.Json.Number v)) rows)
   in
@@ -97,7 +98,8 @@ let write_json ~kernels ~campaign ~diag ~sparse ~certify =
          ]
        else [])
     @ (match sparse with Some s -> Sparse.to_json s | None -> [])
-    @ match certify with [] -> [] | rows -> Certify.to_json rows
+    @ (match certify with [] -> [] | rows -> Certify.to_json rows)
+    @ match adaptive with [] -> [] | rows -> Adaptive.to_json rows
   in
   if sections <> [] then begin
     let date = today () in
@@ -211,6 +213,18 @@ let check_baseline path campaign =
         | _ -> None)
     | _ -> None
   in
+  (* An unarmed gate must say so: on a single-core runner every jobs>1
+     row is clamped to one effective worker, the filter below matches
+     nothing, and without this line the run reads as "efficiency
+     checked, ok" when nothing was checked at all. *)
+  (if
+     List.exists (fun r -> r.Campaign.jobs > 1) campaign
+     && List.for_all
+          (fun r ->
+            r.Campaign.jobs <= 1
+            || Util.Parallel.effective_jobs r.Campaign.jobs <= 1)
+          campaign
+   then print_endline "efficiency gate: UNARMED (effective_jobs=1)");
   let efficiency_allowance = 0.15 in
   let efficiency_regressions =
     List.filter_map
@@ -248,12 +262,12 @@ let () =
     | [ w ] -> w
     | _ ->
         prerr_endline
-          "usage: main.exe [repro|perf|campaign|diag|sparse|certify|all] [--smoke] \
-           [--baseline FILE]";
+          "usage: main.exe [repro|perf|campaign|diag|sparse|certify|adaptive|all] \
+           [--smoke] [--baseline FILE]";
         exit 2
   in
   let kernels = ref [] and campaign = ref [] and diag = ref [] in
-  let sparse = ref None and certify = ref [] in
+  let sparse = ref None and certify = ref [] and adaptive = ref [] in
   (match what with
   | "repro" -> Repro.all ()
   | "perf" -> kernels := Perf.all ()
@@ -261,6 +275,7 @@ let () =
   | "diag" -> diag := Diag.all ~smoke ()
   | "sparse" -> sparse := Some (Sparse.all ~smoke ())
   | "certify" -> certify := Certify.all ~smoke ()
+  | "adaptive" -> adaptive := Adaptive.all ~smoke ()
   | "all" ->
       (* campaigns first: the wall-clock timings are the headline
          numbers and should not inherit allocator state from the
@@ -272,10 +287,10 @@ let () =
   | other ->
       Printf.eprintf
         "unknown target %S (expected: repro | perf | campaign | diag | sparse | \
-         certify | all)\n"
+         certify | adaptive | all)\n"
         other;
       exit 2);
   write_json ~kernels:!kernels ~campaign:!campaign ~diag:!diag ~sparse:!sparse
-    ~certify:!certify;
+    ~certify:!certify ~adaptive:!adaptive;
   Option.iter (fun path -> check_baseline path !campaign) baseline;
   print_newline ()

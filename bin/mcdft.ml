@@ -242,6 +242,66 @@ let no_certify_flag =
                  meaningful under a fixed:EPS criterion — the matrices are \
                  identical either way.")
 
+let adaptive_opt =
+  Arg.(value
+       & vflag true
+           [
+             ( true,
+               info [ "adaptive" ]
+                 ~doc:"Coverage-directed coarse-to-fine campaign (the \
+                       default): each (configuration, fault) row starts on a \
+                       coarse subgrid and bisects only where verdicts flip or \
+                       margins run thin; the matrices are bitwise identical \
+                       to the exhaustive sweep." );
+             ( false,
+               info [ "no-adaptive" ]
+                 ~doc:"Solve every grid point of every (configuration, \
+                       fault) row exhaustively." );
+           ])
+
+let solve_budget_opt =
+  Arg.(value & opt (some int) None
+       & info [ "solve-budget" ] ~docv:"N"
+           ~doc:"Per-row cap on the numeric solves the adaptive refinement \
+                 may issue; a row that would exceed it degrades to the \
+                 exhaustive sweep for that row — a verdict is never guessed. \
+                 Must be positive; ignored with $(b,--no-adaptive).")
+
+let check_solve_budget = function
+  | Some n when n <= 0 ->
+      die 2 "--solve-budget must be a positive integer (got %d)" n
+  | budget -> budget
+
+let adaptive_summary =
+  Option.iter (fun (s : Mcdft_core.Adaptive.stats) ->
+      let ratio =
+        float_of_int s.Mcdft_core.Adaptive.points
+        /. float_of_int (max 1 s.Mcdft_core.Adaptive.solved)
+      in
+      Printf.printf
+        "adaptive refinement: solved %d of %d points (%.1fx fewer solves, %d \
+         skipped, %d bisections%s)\n"
+        s.Mcdft_core.Adaptive.solved s.Mcdft_core.Adaptive.points ratio
+        s.Mcdft_core.Adaptive.skipped s.Mcdft_core.Adaptive.bisections
+        (if s.Mcdft_core.Adaptive.budget_exhausted > 0 then
+           Printf.sprintf ", %d rows degraded" s.Mcdft_core.Adaptive.budget_exhausted
+         else ""))
+
+(* The coverage estimator needs a scalar magnitude threshold and a
+   component spread; phase-only criteria expose neither. An envelope
+   criterion contributes its floor — the tightest threshold it ever
+   applies — so the estimate is a conservative lower bound there. *)
+let rec coverage_params = function
+  | Testability.Detect.Fixed_tolerance e ->
+      (* fixed:EPS says nothing about component spread; assume the
+         default envelope's ±4% *)
+      Some (0.04, e)
+  | Testability.Detect.Process_envelope { component_tol; floor } ->
+      if floor > 0.0 then Some (component_tol, floor) else None
+  | Testability.Detect.Phase_fixed _ | Testability.Detect.Phase_envelope _ ->
+      None
+  | Testability.Detect.Any_of l -> List.find_map coverage_params l
+
 let faults_of kind netlist =
   match kind with
   | `Deviation -> Fault.deviation_faults netlist
@@ -827,22 +887,30 @@ let analyze_cmd =
 
 let matrix_cmd =
   let run name source output criterion ppd fault_kind jobs gc_default prefilter backend
-      no_prune no_certify metrics trace =
+      no_prune no_certify adaptive solve_budget metrics trace =
+    let solve_budget = check_solve_budget solve_budget in
     with_observability ~metrics ~trace @@ fun () ->
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let certify = not no_certify in
-        let m, plan, pruning, certification =
+        let m, plan, pruning, certification, refinement =
           if prefilter then
-            let plan, m = PF.run ~criterion ~points_per_decade:ppd ~faults ~certify b in
-            (m, Some plan, None, None)
+            let plan, m =
+              PF.run ~criterion ~points_per_decade:ppd ~faults ~certify ~adaptive
+                ?solve_budget b
+            in
+            (m, Some plan, None, None, None)
           else
             let t =
               P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend
-                ~prune:(not no_prune) ~certify b
+                ~prune:(not no_prune) ~certify ~adaptive ?solve_budget b
             in
-            (t.P.matrix, None, Some (t.P.equivalence_groups, t.P.pruned_configs), t.P.certify)
+            ( t.P.matrix,
+              None,
+              Some (t.P.equivalence_groups, t.P.pruned_configs),
+              t.P.certify,
+              t.P.adaptive )
         in
         let fault_ids = Array.map (fun f -> f.Fault.id) m.Testability.Matrix.faults in
         let header = "" :: Array.to_list fault_ids in
@@ -892,7 +960,8 @@ let matrix_cmd =
                (%d of %d cells whole)\n"
               s.Analysis.Certify.points_proved s.Analysis.Certify.points
               s.Analysis.Certify.cells_proved s.Analysis.Certify.cells)
-          certification)
+          certification;
+        adaptive_summary refinement)
   in
   let prefilter_flag =
     Arg.(value & flag
@@ -904,27 +973,43 @@ let matrix_cmd =
     (Cmd.info "matrix" ~doc:"Fault detectability matrix over all test configurations")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
           $ fault_kind_opt $ jobs_opt $ gc_default_opt $ prefilter_flag $ backend_opt
-          $ no_prune_flag $ no_certify_flag $ metrics_opt $ trace_opt)
+          $ no_prune_flag $ no_certify_flag $ adaptive_opt $ solve_budget_opt
+          $ metrics_opt $ trace_opt)
 
 let optimize_cmd =
   let run name source output criterion ppd fault_kind jobs gc_default n_detect backend
-      no_prune no_certify json metrics trace =
+      no_prune no_certify adaptive solve_budget json metrics trace =
+    let solve_budget = check_solve_budget solve_budget in
     with_observability ~metrics ~trace @@ fun () ->
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t =
           P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend
-            ~prune:(not no_prune) ~certify:(not no_certify) b
+            ~prune:(not no_prune) ~certify:(not no_certify) ~adaptive
+            ?solve_budget b
         in
         let r = P.optimize ~n_detect t in
         if json then
           let snap =
             if metrics <> None then Some (Obs.Metrics.snapshot ()) else None
           in
+          let coverage =
+            Option.map
+              (fun (component_tol, epsilon) ->
+                let probe =
+                  {
+                    Testability.Detect.source = b.Circuits.Benchmark.source;
+                    output = b.Circuits.Benchmark.output;
+                  }
+                in
+                Testability.Montecarlo.coverage_run ~jobs ~component_tol
+                  ~epsilon probe t.P.grid b.Circuits.Benchmark.netlist)
+              (coverage_params criterion)
+          in
           print_endline
             (Report.Json.to_string ~indent:2
-               (Mcdft_core.Export.pipeline_to_json ?metrics:snap t r))
+               (Mcdft_core.Export.pipeline_to_json ?metrics:snap ?coverage t r))
         else
         let configs_to_string l =
           "{" ^ String.concat ", " (List.map (Printf.sprintf "C%d") l) ^ "}"
@@ -1010,18 +1095,21 @@ let optimize_cmd =
        ~doc:"Ordered-requirements optimization of the multi-configuration DFT (Sec. 4)")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
           $ fault_kind_opt $ jobs_opt $ gc_default_opt $ n_detect_opt $ backend_opt
-          $ no_prune_flag $ no_certify_flag $ json_flag $ metrics_opt $ trace_opt)
+          $ no_prune_flag $ no_certify_flag $ adaptive_opt $ solve_budget_opt
+          $ json_flag $ metrics_opt $ trace_opt)
 
 let testplan_cmd =
   let run name source output criterion ppd fault_kind jobs gc_default backend no_prune
-      no_certify metrics trace =
+      no_certify adaptive solve_budget metrics trace =
+    let solve_budget = check_solve_budget solve_budget in
     with_observability ~metrics ~trace @@ fun () ->
     with_circuit name source output (fun b ->
         tune_gc ~gc_default;
         let faults = faults_of fault_kind b.Circuits.Benchmark.netlist in
         let t =
           P.run ~criterion ~points_per_decade:ppd ~faults ~jobs ~backend
-            ~prune:(not no_prune) ~certify:(not no_certify) b
+            ~prune:(not no_prune) ~certify:(not no_certify) ~adaptive
+            ?solve_budget b
         in
         let plan = Mcdft_core.Test_plan.build t in
         print_string (Mcdft_core.Test_plan.to_string plan))
@@ -1031,7 +1119,8 @@ let testplan_cmd =
        ~doc:"Minimal (configuration, frequency) measurement schedule")
     Term.(const run $ circuit_arg $ source_opt $ output_opt $ criterion_opt $ ppd_opt
           $ fault_kind_opt $ jobs_opt $ gc_default_opt $ backend_opt $ no_prune_flag
-          $ no_certify_flag $ metrics_opt $ trace_opt)
+          $ no_certify_flag $ adaptive_opt $ solve_budget_opt $ metrics_opt
+          $ trace_opt)
 
 let sweep_cmd =
   let run name source output ppd csv =

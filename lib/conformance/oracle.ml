@@ -674,6 +674,94 @@ let certify_soundness (s : Gen.subject) =
                 else Pass)
       end
 
+(* --- adaptive-vs-exhaustive: coarse-to-fine refinement bitwise ----- *)
+
+(* The adversarial check on {!Mcdft_core.Adaptive}: the refinement's
+   skip rule is a calibrated slope bound, not a certificate, so every
+   family — near-singular included, where failed solves and
+   measurement-floor masking interleave — must produce detect/omega
+   matrices bitwise identical to the exhaustive sweep, and the
+   adaptive.* counters must be jobs-invariant (they are accumulated in
+   the sequential reduce, so any divergence means scoring itself
+   raced). *)
+let adaptive_vs_exhaustive (s : Gen.subject) =
+  let module A = Mcdft_core.Adaptive in
+  if Netlist.opamps s.netlist <> [] then
+    let b =
+      {
+        Circuits.Benchmark.name = s.label;
+        description = "conformance fuzz subject";
+        netlist = s.netlist;
+        source = s.source;
+        output = s.output;
+        center_hz = 1_000.0;
+      }
+    in
+    match Mcdft_core.Pipeline.run ~points_per_decade:3 ~jobs:1 ~adaptive:false b with
+    | exception Mna.Ac.Singular_circuit msg -> Skip ("a view is singular: " ^ msg)
+    | exhaustive -> (
+        let run_adaptive jobs =
+          Mcdft_core.Pipeline.run ~points_per_decade:3 ~jobs ~adaptive:true b
+        in
+        match run_adaptive 1 with
+        | exception Mna.Ac.Singular_circuit msg ->
+            Fail ("adaptive campaign singular where the exhaustive one solved: " ^ msg)
+        | t1 -> (
+            match run_adaptive 4 with
+            | exception Mna.Ac.Singular_circuit msg ->
+                Fail ("adaptive jobs:4 singular where jobs:1 solved: " ^ msg)
+            | t4 ->
+                let m = exhaustive.Mcdft_core.Pipeline.matrix in
+                let m1 = t1.Mcdft_core.Pipeline.matrix in
+                let m4 = t4.Mcdft_core.Pipeline.matrix in
+                if m1.Matrix.detect <> m.Matrix.detect then
+                  Fail "adaptive detect matrix differs from the exhaustive sweep"
+                else if m1.Matrix.omega <> m.Matrix.omega then
+                  Fail "adaptive omega matrix differs from the exhaustive sweep"
+                else if
+                  m4.Matrix.detect <> m.Matrix.detect
+                  || m4.Matrix.omega <> m.Matrix.omega
+                then Fail "adaptive jobs:4 matrices differ from the exhaustive sweep"
+                else if t1.Mcdft_core.Pipeline.adaptive <> t4.Mcdft_core.Pipeline.adaptive
+                then Fail "adaptive.* counters differ between jobs:1 and jobs:4"
+                else Pass))
+  else
+    let views =
+      List.map
+        (fun node ->
+          {
+            Matrix.label = "probe:" ^ node;
+            netlist = s.netlist;
+            probe = { Detect.source = s.source; output = node };
+          })
+        (Netlist.internal_nodes s.netlist)
+    in
+    let faults = Fault.both_deviations s.netlist in
+    if views = [] || faults = [] then Skip "no views or no faults to score"
+    else
+      match Matrix.build ~jobs:1 grid views faults with
+      | exception Mna.Ac.Singular_circuit msg -> Skip ("a view is singular: " ^ msg)
+      | plain -> (
+          match A.build ~jobs:1 grid views faults with
+          | exception Mna.Ac.Singular_circuit msg ->
+              Fail ("adaptive build singular where the exhaustive one solved: " ^ msg)
+          | m1, s1 -> (
+              match A.build ~jobs:4 grid views faults with
+              | exception Mna.Ac.Singular_circuit msg ->
+                  Fail ("adaptive jobs:4 singular where jobs:1 solved: " ^ msg)
+              | m4, s4 ->
+                  if m1.Matrix.detect <> plain.Matrix.detect then
+                    Fail "adaptive detect matrix differs from the exhaustive sweep"
+                  else if m1.Matrix.omega <> plain.Matrix.omega then
+                    Fail "adaptive omega matrix differs from the exhaustive sweep"
+                  else if
+                    m4.Matrix.detect <> plain.Matrix.detect
+                    || m4.Matrix.omega <> plain.Matrix.omega
+                  then Fail "adaptive jobs:4 matrices differ from the exhaustive sweep"
+                  else if s1 <> s4 then
+                    Fail "adaptive.* counters differ between jobs:1 and jobs:4"
+                  else Pass))
+
 let all =
   [
     {
@@ -725,6 +813,13 @@ let all =
       name = "certify-soundness";
       doc = "interval-certified verdict cube leaves campaign matrices bitwise intact";
       check = certify_soundness;
+    };
+    {
+      name = "adaptive-vs-exhaustive";
+      doc =
+        "coarse-to-fine campaign matrices bitwise equal to the exhaustive \
+         sweep, adaptive counters jobs-invariant";
+      check = adaptive_vs_exhaustive;
     };
   ]
 

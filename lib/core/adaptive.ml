@@ -1,0 +1,355 @@
+module Grid = Testability.Grid
+module Detect = Testability.Detect
+module Matrix = Testability.Matrix
+module Netlist = Circuit.Netlist
+
+type stats = {
+  rows : int;
+  points : int;
+  certified : int;
+  solved : int;
+  skipped : int;
+  bisections : int;
+  budget_exhausted : int;
+}
+
+let default_stride = 8
+let default_guard = 12.0
+
+module Refine = struct
+  type outcome = {
+    verdicts : Bytes.t;
+    solved : int list;
+    bisections : int;
+    degraded : bool;
+  }
+
+  let row ~nf ~stride ~step_dec ~guard ~steer_range ~budget ~certified ~solve =
+    if nf <= 0 then invalid_arg "Adaptive.Refine.row: empty grid";
+    if stride <= 0 then invalid_arg "Adaptive.Refine.row: stride must be positive";
+    if not (step_dec >= 0.0) then
+      invalid_arg "Adaptive.Refine.row: step_dec must be non-negative";
+    if not (guard >= 0.0) then
+      invalid_arg "Adaptive.Refine.row: guard must be non-negative";
+    let v = Bytes.init nf certified in
+    Bytes.iter
+      (fun b ->
+        if b <> 'd' && b <> 'u' && b <> '?' then
+          invalid_arg "Adaptive.Refine.row: certified byte outside 'd'/'u'/'?'")
+      v;
+    let margins = Array.make nf Float.nan in
+    let solved = ref [] and n_solved = ref 0 in
+    let bisections = ref 0 in
+    let degraded = ref false in
+    let budget_left () =
+      match budget with None -> max_int | Some b -> b - !n_solved
+    in
+    let do_solve i =
+      let b, m = solve i in
+      if b <> 'd' && b <> 'u' then
+        invalid_arg "Adaptive.Refine.row: solve returned a byte outside 'd'/'u'";
+      Bytes.set v i b;
+      margins.(i) <- m;
+      solved := i :: !solved;
+      incr n_solved
+    in
+    (* Coarse pass: every [stride]-th point plus the final one, so
+       every eventual '?' run is bracketed by known anchors. Certified
+       points are free anchors and are never re-solved. *)
+    let coarse = ref [] in
+    for i = nf - 1 downto 0 do
+      if Bytes.get v i = '?' && (i mod stride = 0 || i = nf - 1) then
+        coarse := i :: !coarse
+    done;
+    let coarse = !coarse in
+    if budget_left () < List.length coarse then degraded := true
+    else List.iter do_solve coarse;
+    (* Refinement between adjacent known points. Disagreeing endpoint
+       verdicts are bisected down to adjacency unconditionally — the
+       crossing is known to be inside. Agreeing endpoints may still
+       hide a narrow crossing (a resonance spike or a deviation-zero
+       dip poking through the threshold between samples), so the
+       interval is skipped only when the margin slope bound rules one
+       out: under |ds/dx| ≤ guard nepers/decade, a crossing at any
+       interior point x is within width·step of {e both} endpoints, so
+       it forces |s| ≤ guard·width·step (+ the known profile movement)
+       at each of them, and an interval whose {e weaker} endpoint
+       margin beats that budget cannot hide one. Only the weaker
+       endpoint counts: a fat margin may come from sitting next to a
+       deviation zero (where log dev moves arbitrarily fast in both
+       directions) and must never subsidize the other end.
+       [steer_range lo hi] is the exactly-known variation of the
+       margin's static profile inside the interval (threshold and
+       nominal-magnitude movement — see
+       {!Testability.Detect.steering_profiles}): near a notch the
+       profile swings by decades, forcing refinement no matter how
+       comfortable the endpoint margins look. A certified anchor
+       carries no margin and contributes zero — the guard then refines
+       toward it, never past it. *)
+    let margin_of k =
+      (* [nan] marks a point that carries no margin information — a
+         certified anchor (never solved), a failed solve, or a
+         degenerate point whose caller withheld trust. It anchors a
+         verdict but certifies nothing about its neighbourhood. *)
+      let m = margins.(k) in
+      if Float.is_nan m then 0.0 else Float.abs m
+    in
+    let rec refine lo hi =
+      if (not !degraded) && hi - lo > 1 then begin
+        let flip = Bytes.get v lo <> Bytes.get v hi in
+        let safe =
+          (not flip)
+          && Float.min (margin_of lo) (margin_of hi)
+             > (guard *. step_dec *. float_of_int (hi - lo))
+               +. steer_range lo hi
+        in
+        if not safe then
+          if budget_left () < 1 then degraded := true
+          else begin
+            let mid = (lo + hi) / 2 in
+            do_solve mid;
+            incr bisections;
+            refine lo mid;
+            refine mid hi
+          end
+      end
+    in
+    if not !degraded then begin
+      let prev = ref (-1) in
+      for i = 0 to nf - 1 do
+        if Bytes.get v i <> '?' then begin
+          if !prev >= 0 then refine !prev i;
+          prev := i
+        end
+      done
+    end;
+    if !degraded then
+      (* The budget ran out: degrade to the exhaustive sweep — solve
+         every still-unknown point rather than guess any verdict. *)
+      for i = 0 to nf - 1 do
+        if Bytes.get v i = '?' then do_solve i
+      done
+    else begin
+      (* Fill: each remaining '?' run is bracketed by anchors whose
+         verdicts agree (a disagreement would have been bisected down
+         to adjacency), so the interior inherits the shared verdict. *)
+      let p = ref 0 in
+      while !p < nf do
+        if Bytes.get v !p <> '?' then incr p
+        else begin
+          let q = ref !p in
+          while !q < nf && Bytes.get v !q = '?' do
+            incr q
+          done;
+          let b = Bytes.get v (!p - 1) in
+          assert (!q < nf && Bytes.get v !q = b);
+          Bytes.fill v !p (!q - !p) b;
+          p := !q
+        end
+      done
+    end;
+    { verdicts = v; solved = List.rev !solved; bisections = !bisections;
+      degraded = !degraded }
+end
+
+(* Same order-of-magnitude cost model as Matrix.build: a warmed rank-1
+   solve is two O(n²) passes per point. The scoring estimate assumes
+   roughly a third of the points get solved — it only feeds the
+   scheduler's sequential cutoff and chunk sizing. *)
+let point_ns dim = (3.0 *. float_of_int (dim * dim)) +. 250.0
+
+let build ?backend ?certified ?criterion ?(jobs = 1) ?solve_budget
+    ?(stride = default_stride) ?(guard = default_guard) grid views faults =
+  Obs.Trace.span "adaptive.build" @@ fun () ->
+  (match solve_budget with
+  | Some b when b <= 0 ->
+      invalid_arg "Adaptive.build: solve budget must be positive"
+  | _ -> ());
+  if stride <= 0 then invalid_arg "Adaptive.build: stride must be positive";
+  if not (guard >= 0.0) then
+    invalid_arg "Adaptive.build: guard must be non-negative";
+  let views = Array.of_list views in
+  let faults = Array.of_list faults in
+  let n = Array.length views and m = Array.length faults in
+  let nf = Grid.n_points grid in
+  (match certified with
+  | None -> ()
+  | Some cube ->
+      if
+        Array.length cube <> n
+        || Array.exists
+             (fun row ->
+               Array.length row <> m
+               || Array.exists
+                    (function
+                      | Some v -> Bytes.length v <> nf | None -> false)
+                    row)
+             cube
+      then invalid_arg "Adaptive.build: certified verdict cube shape mismatch");
+  let cert i j =
+    match certified with None -> None | Some cube -> cube.(i).(j)
+  in
+  (* Uniform log grid: one step in decades, the unit of the margin
+     slope bound. A single-point grid refines nothing, so 0 is fine. *)
+  let step_dec =
+    if nf <= 1 then 0.0
+    else
+      let f = Grid.freqs_hz grid in
+      Float.abs (log10 (f.(nf - 1) /. f.(0))) /. float_of_int (nf - 1)
+  in
+  let has_unknown v = Bytes.exists (fun b -> b = '?') v in
+  (* Certified-cell accounting identical to Matrix.build — sequential
+     and ahead of the parallel phases, so an adaptive campaign reports
+     the same certify.* counters as the exhaustive one. *)
+  let certified_points = ref 0 in
+  (match certified with
+  | None -> ()
+  | Some cube ->
+      Array.iter
+        (fun row ->
+          Array.iter
+            (function
+              | None -> ()
+              | Some v ->
+                  let proved = ref 0 in
+                  Bytes.iter (fun b -> if b <> '?' then incr proved) v;
+                  certified_points := !certified_points + !proved;
+                  if !proved > 0 then begin
+                    Obs.Metrics.incr ~by:!proved "certify.solves_skipped";
+                    if !proved = nf then Obs.Metrics.incr "certify.cells_proved"
+                  end)
+            row)
+        cube);
+  (* Phase 1 — per-view preparation, exactly as Matrix.build: engine,
+     thresholds, warmed back-solve cache and immutable plans, so the
+     refinement phase never mutates an engine and single-point solves
+     at any grid index hit the warmed cache. *)
+  let fault_list = Array.to_list faults in
+  let prep_est =
+    let dim_proxy i = List.length (Netlist.elements views.(i).Matrix.netlist) in
+    Util.Floatx.fold_range n ~init:0.0 ~f:(fun acc i ->
+        let d = float_of_int (dim_proxy i) in
+        acc +. (float_of_int nf *. d *. d *. (d +. (6.0 *. float_of_int m))))
+  in
+  let prepared =
+    Util.Parallel.map ~jobs ~est_ns:prep_est n (fun i ->
+        let view = views.(i) in
+        Obs.Trace.span ("adaptive.prepare " ^ view.Matrix.label) @@ fun () ->
+        let warm =
+          if certified = None then fault_list
+          else
+            List.filteri
+              (fun j _ ->
+                match cert i j with Some v -> has_unknown v | None -> true)
+              fault_list
+        in
+        let pv =
+          Detect.prepare_view ?backend ?criterion ~warm view.Matrix.probe grid
+            view.Matrix.netlist
+        in
+        let plans =
+          Array.mapi
+            (fun j fault ->
+              match cert i j with
+              | Some v when not (has_unknown v) -> None
+              | _ -> Some (Detect.plan_fault pv fault))
+            faults
+        in
+        (pv, plans))
+  in
+  (* Phase 2 — refine each (view × fault) row independently. A row's
+     refinement is inherently sequential (each bisection depends on the
+     verdicts before it), so the unit of parallelism is the whole row;
+     work-stealing balances rows whose boundary structure differs.
+     Per-row tallies land in caller-indexed slots — counters are
+     booked sequentially in phase 3. *)
+  let verdict_rows = Array.make_matrix n m Bytes.empty in
+  let row_solved = Array.make_matrix n m 0 in
+  let row_bisections = Array.make_matrix n m 0 in
+  let row_degraded = Array.make_matrix n m false in
+  let score_est =
+    Util.Floatx.fold_range n ~init:0.0 ~f:(fun acc i ->
+        let pv, _ = prepared.(i) in
+        acc +. (float_of_int (m * nf) *. 0.4 *. point_ns (Detect.view_dim pv)))
+  in
+  Util.Parallel.for_ ~jobs ~est_ns:score_est (n * m) (fun item ->
+      let i = item / m and j = item mod m in
+      let pv, plans = prepared.(i) in
+      match plans.(j) with
+      | None ->
+          (* fully certified cell: the cube row is already the verdict
+             row, nothing to solve *)
+          verdict_rows.(i).(j) <- Option.get (cert i j)
+      | Some plan ->
+          let re = Array.make nf 0.0
+          and im = Array.make nf 0.0
+          and ok = Bytes.make nf '\000' in
+          let steers = Detect.steering_profiles pv in
+          let mask = Detect.view_measurement_mask pv in
+          let solve k =
+            Detect.score_range pv plan ~lo:k ~hi:(k + 1) ~re ~im ~ok;
+            let b = if Detect.point_verdict pv ~re ~im ~ok k then 'd' else 'u' in
+            (b, Detect.point_margin pv ~re ~im ~ok k)
+          in
+          (* A point below the view's measurement floor is undetectable
+             by definition ({!Detect.measurement_mask}) — a static 'u'
+             anchor exactly like a certified byte, known without
+             solving. It carries no margin, so refinement stops at it
+             rather than skipping past; a dead view (a reconfiguration
+             that disconnects the probed output) costs zero solves. *)
+          let certified_byte k =
+            if Bytes.get mask k = '\001' then 'u'
+            else match cert i j with None -> '?' | Some v -> Bytes.get v k
+          in
+          let steer_range lo hi =
+            List.fold_left
+              (fun acc profile ->
+                let mn = ref infinity and mx = ref neg_infinity in
+                for k = lo to hi do
+                  let x = profile.(k) in
+                  if x < !mn then mn := x;
+                  if x > !mx then mx := x
+                done;
+                Float.max acc (!mx -. !mn))
+              0.0 steers
+          in
+          let o =
+            Refine.row ~nf ~stride ~step_dec ~guard ~steer_range
+              ~budget:solve_budget ~certified:certified_byte ~solve
+          in
+          verdict_rows.(i).(j) <- o.Refine.verdicts;
+          row_solved.(i).(j) <- List.length o.Refine.solved;
+          row_bisections.(i).(j) <- o.Refine.bisections;
+          row_degraded.(i).(j) <- o.Refine.degraded);
+  (* Phase 3 — sequential reduce and counter booking, in row order:
+     the matrix and the adaptive.* totals are jobs-deterministic. *)
+  let detect = Array.make_matrix n m false in
+  let omega = Array.make_matrix n m 0.0 in
+  let solved = ref 0 and bisections = ref 0 and degraded_rows = ref 0 in
+  Obs.Trace.span "adaptive.reduce" (fun () ->
+      for i = 0 to n - 1 do
+        for j = 0 to m - 1 do
+          let r = Detect.result_of_verdicts grid faults.(j) verdict_rows.(i).(j) in
+          detect.(i).(j) <- r.Detect.detectable;
+          omega.(i).(j) <- r.Detect.omega_det;
+          solved := !solved + row_solved.(i).(j);
+          bisections := !bisections + row_bisections.(i).(j);
+          if row_degraded.(i).(j) then incr degraded_rows
+        done
+      done);
+  let points = n * m * nf in
+  let skipped = points - !certified_points - !solved in
+  if skipped > 0 then Obs.Metrics.incr ~by:skipped "adaptive.solves_skipped";
+  if !bisections > 0 then Obs.Metrics.incr ~by:!bisections "adaptive.bisections";
+  if !degraded_rows > 0 then
+    Obs.Metrics.incr ~by:!degraded_rows "adaptive.budget_exhausted";
+  ( { Matrix.views; faults; detect; omega },
+    {
+      rows = n * m;
+      points;
+      certified = !certified_points;
+      solved = !solved;
+      skipped;
+      bisections = !bisections;
+      budget_exhausted = !degraded_rows;
+    } )

@@ -126,7 +126,40 @@ let metrics_to_json (s : Obs.Metrics.snapshot) =
       );
     ]
 
-let pipeline_to_json ?metrics (t : Pipeline.t) r =
+let adaptive_to_json (s : Adaptive.stats) =
+  J.Object
+    [
+      ("rows", J.int s.Adaptive.rows);
+      ("points", J.int s.Adaptive.points);
+      ("certified", J.int s.Adaptive.certified);
+      ("solved", J.int s.Adaptive.solved);
+      ("solves_skipped", J.int s.Adaptive.skipped);
+      ("bisections", J.int s.Adaptive.bisections);
+      ("budget_exhausted", J.int s.Adaptive.budget_exhausted);
+    ]
+
+let coverage_to_json (c : Testability.Montecarlo.coverage) =
+  J.Object
+    [
+      ("samples", J.int c.Testability.Montecarlo.samples);
+      ("strata", J.int c.Testability.Montecarlo.strata);
+      ("component_tol", J.Number c.Testability.Montecarlo.component_tol);
+      ("epsilon", J.Number c.Testability.Montecarlo.epsilon);
+      ("boundary_radius", J.Number c.Testability.Montecarlo.boundary_radius);
+      ( "stratum_samples",
+        J.List
+          (Array.to_list
+             (Array.map J.int c.Testability.Montecarlo.stratum_samples)) );
+      ( "stratum_accept",
+        J.List
+          (Array.to_list
+             (Array.map (fun a -> J.Number a) c.Testability.Montecarlo.stratum_accept))
+      );
+      ("worst_case", J.Number c.Testability.Montecarlo.worst_case);
+      ("average_case", J.Number c.Testability.Montecarlo.average_case);
+    ]
+
+let pipeline_to_json ?metrics ?coverage (t : Pipeline.t) r =
   let b = t.Pipeline.benchmark in
   J.Object
     ([
@@ -139,10 +172,17 @@ let pipeline_to_json ?metrics (t : Pipeline.t) r =
        ("grid_points", J.int (Testability.Grid.n_points t.Pipeline.grid));
        ( "campaign",
          J.Object
-           [
-             ("equivalence_groups", J.int t.Pipeline.equivalence_groups);
-             ("pruned_configs", J.int t.Pipeline.pruned_configs);
-           ] );
+           ([
+              ("equivalence_groups", J.int t.Pipeline.equivalence_groups);
+              ("pruned_configs", J.int t.Pipeline.pruned_configs);
+            ]
+           @
+           match t.Pipeline.adaptive with
+           | None -> []
+           | Some s -> [ ("adaptive", adaptive_to_json s) ]) );
        ("report", report_to_json ~faults:t.Pipeline.faults r);
      ]
+    @ (match coverage with
+      | None -> []
+      | Some c -> [ ("coverage", coverage_to_json c) ])
     @ match metrics with None -> [] | Some s -> [ ("metrics", metrics_to_json s) ])

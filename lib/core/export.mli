@@ -11,9 +11,23 @@ val metrics_to_json : Obs.Metrics.snapshot -> Report.Json.t
 (** A metrics snapshot as [{counters: {...}, histograms: {...}}];
     non-finite histogram min/max (empty histograms) export as null. *)
 
+val adaptive_to_json : Adaptive.stats -> Report.Json.t
+(** The adaptive refinement counters (rows, points, certified, solved,
+    solves_skipped, bisections, budget_exhausted) as a JSON object. *)
+
+val coverage_to_json : Testability.Montecarlo.coverage -> Report.Json.t
+(** A {!Testability.Montecarlo.coverage_run} result: sampling
+    parameters, estimated boundary radius, per-stratum sample counts
+    and acceptances, and the worst/average-case coverage. *)
+
 val pipeline_to_json :
-  ?metrics:Obs.Metrics.snapshot -> Pipeline.t -> Optimizer.report -> Report.Json.t
+  ?metrics:Obs.Metrics.snapshot ->
+  ?coverage:Testability.Montecarlo.coverage ->
+  Pipeline.t -> Optimizer.report -> Report.Json.t
 (** {!report_to_json} wrapped with circuit metadata (name, opamps,
-    criterion, grid). [metrics] adds an optional ["metrics"] block
-    ({!metrics_to_json}) capturing the campaign's solver counters and
-    phase timings. *)
+    criterion, grid). The ["campaign"] block records the pruning
+    counters, plus an ["adaptive"] sub-object ({!adaptive_to_json})
+    when the campaign ran coverage-directed. [coverage] adds a
+    ["coverage"] block ({!coverage_to_json}); [metrics] adds a
+    ["metrics"] block ({!metrics_to_json}) capturing the campaign's
+    solver counters and phase timings. *)

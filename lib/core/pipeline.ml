@@ -9,6 +9,7 @@ type t = {
   equivalence_groups : int;
   pruned_configs : int;
   certify : Analysis.Certify.t option;
+  adaptive : Adaptive.stats option;
 }
 
 let default_criterion =
@@ -16,7 +17,7 @@ let default_criterion =
 
 let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
     ?follower_model ?jobs ?backend ?(prune = true) ?(certify = true)
-    (benchmark : Circuits.Benchmark.t) =
+    ?(adaptive = true) ?solve_budget (benchmark : Circuits.Benchmark.t) =
   Obs.Trace.span "pipeline.run" @@ fun () ->
   let netlist = benchmark.Circuits.Benchmark.netlist in
   Circuit.Validate.check_exn netlist;
@@ -110,10 +111,23 @@ let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
              specs faults)
     | _ -> None
   in
-  let rep_matrix =
-    Testability.Matrix.build ?backend
-      ?certified:(Option.map Analysis.Certify.verdict_cube certification)
-      ~criterion ?jobs grid rep_views faults
+  (* The adaptive driver (default) spends numeric solves only where
+     verdicts can flip; its matrices are bitwise identical to the
+     exhaustive Matrix.build — asserted by the tier-1 tests and the
+     adaptive-vs-exhaustive oracle, like pruning and certification
+     before it. *)
+  let certified = Option.map Analysis.Certify.verdict_cube certification in
+  let rep_matrix, adaptive_stats =
+    if adaptive then
+      let matrix, stats =
+        Adaptive.build ?backend ?certified ~criterion ?jobs ?solve_budget grid
+          rep_views faults
+      in
+      (matrix, Some stats)
+    else
+      ( Testability.Matrix.build ?backend ?certified ~criterion ?jobs grid
+          rep_views faults,
+        None )
   in
   (* Expand back to the full view list: row i is a copy of its
      representative's row, so the matrix is indistinguishable from an
@@ -148,6 +162,7 @@ let run ?(criterion = default_criterion) ?(points_per_decade = 30) ?faults
     equivalence_groups = n_groups;
     pruned_configs = pruned;
     certify = certification;
+    adaptive = adaptive_stats;
   }
 
 let optimize ?petrick_limit ?n_detect t =

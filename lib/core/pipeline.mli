@@ -27,6 +27,9 @@ type t = {
           views, when the criterion was certifiable
           ([Fixed_tolerance]) and certification was not disabled;
           [None] otherwise. *)
+  adaptive : Adaptive.stats option;
+      (** Solve accounting of the adaptive campaign driver over the
+          representative rows; [None] with [~adaptive:false]. *)
 }
 
 val default_criterion : Testability.Detect.criterion
@@ -45,6 +48,8 @@ val run :
   ?backend:Testability.Fastsim.backend ->
   ?prune:bool ->
   ?certify:bool ->
+  ?adaptive:bool ->
+  ?solve_budget:int ->
   Circuits.Benchmark.t ->
   t
 (** Defaults: {!default_criterion}, the paper's +20 % deviation fault
@@ -73,7 +78,17 @@ val run :
     ([certify.solves_skipped] / [certify.cells_proved] metrics) while
     the detect/omega matrices stay bitwise identical to an
     uncertified run. Other criteria, or [~certify:false], run fully
-    numeric with {!field:certify} = [None]. *)
+    numeric with {!field:certify} = [None].
+
+    [adaptive] (default [true]) drives the campaign through
+    {!Adaptive.build}: coarse-grid solves plus flip-driven bisection
+    (seeded by the certify cube where one exists) replace the
+    exhaustive per-point sweep, with bitwise-identical matrices
+    ([adaptive.solves_skipped] / [adaptive.bisections] metrics).
+    [solve_budget] caps the adaptive solves per (view × fault) row;
+    an exceeded row degrades to the exhaustive sweep
+    ([adaptive.budget_exhausted]). Works under every criterion —
+    envelope and phase criteria refine with no certify seed. *)
 
 val optimize : ?petrick_limit:int -> ?n_detect:int -> t -> Optimizer.report
 

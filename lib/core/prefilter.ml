@@ -15,7 +15,8 @@ let analyse ?follower_model ?faults (dft : Multiconfig.Transform.t) =
   }
 
 let run ?(criterion = Pipeline.default_criterion) ?(points_per_decade = 30) ?faults
-    ?(certify = true) (benchmark : Circuits.Benchmark.t) =
+    ?(certify = true) ?(adaptive = true) ?solve_budget
+    (benchmark : Circuits.Benchmark.t) =
   let netlist = benchmark.Circuits.Benchmark.netlist in
   Circuit.Validate.check_exn netlist;
   let dft =
@@ -125,16 +126,31 @@ let run ?(criterion = Pipeline.default_criterion) ?(points_per_decade = 30) ?fau
         proved;
       (* one shared nominal sweep and threshold preparation per view,
          as in Matrix.build, but only the reachable, unproved faults
-         simulated *)
-      if numeric <> [] then begin
-        let results = Testability.Detect.analyze ~criterion probe grid view numeric in
-        List.iter2
-          (fun fault (r : Testability.Detect.result) ->
-            let j = index_of fault in
-            detect.(i).(j) <- r.Testability.Detect.detectable;
-            omega.(i).(j) <- r.Testability.Detect.omega_det)
-          numeric results
-      end)
+         simulated — adaptively by default, so even the surviving rows
+         solve only around their verdict boundaries *)
+      if numeric <> [] then
+        if adaptive then begin
+          let view_rec = List.nth views i in
+          let m, _stats =
+            Adaptive.build ~criterion ~jobs:1 ?solve_budget grid [ view_rec ]
+              numeric
+          in
+          List.iteri
+            (fun k fault ->
+              let j = index_of fault in
+              detect.(i).(j) <- m.Testability.Matrix.detect.(0).(k);
+              omega.(i).(j) <- m.Testability.Matrix.omega.(0).(k))
+            numeric
+        end
+        else begin
+          let results = Testability.Detect.analyze ~criterion probe grid view numeric in
+          List.iter2
+            (fun fault (r : Testability.Detect.result) ->
+              let j = index_of fault in
+              detect.(i).(j) <- r.Testability.Detect.detectable;
+              omega.(i).(j) <- r.Testability.Detect.omega_det)
+            numeric results
+        end)
     configs;
   ( plan,
     {

@@ -32,6 +32,8 @@ val run :
   ?points_per_decade:int ->
   ?faults:Fault.t list ->
   ?certify:bool ->
+  ?adaptive:bool ->
+  ?solve_budget:int ->
   Circuits.Benchmark.t ->
   t * Testability.Matrix.t
 (** The economical campaign: the same matrix {!Pipeline.run} would
@@ -41,4 +43,6 @@ val run :
     sweeps of cells the interval certification pass
     ({!Analysis.Certify}) fully proved — only under a
     [Fixed_tolerance] criterion; the matrix stays identical either
-    way. *)
+    way. [adaptive] (default [true]) solves the surviving rows through
+    {!Adaptive.build} (flip-driven refinement, [solve_budget] per-row
+    cap) instead of the exhaustive per-fault sweep. *)

@@ -51,10 +51,17 @@ let make_sim ?backend probe grid netlist =
     ~freqs_hz:(Grid.freqs_hz grid) netlist
 
 (* One instantiated sub-criterion: which deviation to measure and the
-   per-frequency threshold it must exceed. *)
+   per-frequency threshold it must exceed. [steer] is the statically
+   known part of the point margin's log — everything in
+   log(deviation/threshold) that does not involve the faulty response:
+   −log threshold, plus −log |H₀| for the magnitude deviations (which
+   normalize by the nominal). The adaptive campaign driver subtracts
+   it to bound how fast margins can move between grid points; it never
+   affects a verdict. *)
 type prepared_one = {
   deviation : Complex.t -> Complex.t -> float;
   thresholds : float array;
+  steer : float array;
 }
 
 type prepared = prepared_one list
@@ -85,32 +92,76 @@ let envelope_thresholds ~deviation ~floor ~respond grid netlist ~nominal
     (Netlist.passives netlist);
   envelope
 
-let rec prepare_with ~respond criterion grid netlist ~nominal =
+(* The measurement floor: a grid point whose nominal response magnitude
+   sits below it has no usable reference — the relative deviation there
+   is a ratio of floating-point residues (a dead view output, the
+   bottom of a notch), and any verdict computed from it is numerical
+   noise, not testability. Such points are undetectable by definition:
+   every criterion's threshold is clamped to +∞ there and the
+   failed-solve escape hatch is bypassed, so the verdict is a
+   deterministic 'u' in every scoring path. The floor is relative to
+   the view's own response scale, with an absolute backstop for views
+   that are dead across the whole band. *)
+let measurement_floor nominal =
+  let mmax =
+    Array.fold_left (fun a c -> Float.max a (Complex.norm c)) 0.0 nominal
+  in
+  Float.max (1e-12 *. mmax) 1e-13
+
+let measurement_mask nominal =
+  let floor_abs = measurement_floor nominal in
+  Bytes.init (Array.length nominal) (fun k ->
+      if Complex.norm nominal.(k) < floor_abs then '\001' else '\000')
+
+let rec prepare_raw ~respond criterion grid netlist ~nominal =
+  let magnitude_steer thresholds =
+    Array.mapi
+      (fun i thr -> -.(log thr +. log (Complex.norm nominal.(i))))
+      thresholds
+  in
+  let phase_steer thresholds = Array.map (fun thr -> -.log thr) thresholds in
   match criterion with
   | Fixed_tolerance eps ->
-      [ { deviation = magnitude_dev; thresholds = Array.make (Grid.n_points grid) eps } ]
-  | Phase_fixed rad ->
-      [ { deviation = phase_dev; thresholds = Array.make (Grid.n_points grid) rad } ]
-  | Process_envelope { component_tol; floor } ->
+      let thresholds = Array.make (Grid.n_points grid) eps in
       [
-        {
-          deviation = magnitude_dev;
-          thresholds =
-            envelope_thresholds ~deviation:magnitude_dev ~floor ~respond grid netlist
-              ~nominal ~component_tol;
-        };
+        { deviation = magnitude_dev; thresholds;
+          steer = magnitude_steer thresholds };
+      ]
+  | Phase_fixed rad ->
+      let thresholds = Array.make (Grid.n_points grid) rad in
+      [ { deviation = phase_dev; thresholds; steer = phase_steer thresholds } ]
+  | Process_envelope { component_tol; floor } ->
+      let thresholds =
+        envelope_thresholds ~deviation:magnitude_dev ~floor ~respond grid netlist
+          ~nominal ~component_tol
+      in
+      [
+        { deviation = magnitude_dev; thresholds;
+          steer = magnitude_steer thresholds };
       ]
   | Phase_envelope { component_tol; floor_rad } ->
-      [
-        {
-          deviation = phase_dev;
-          thresholds =
-            envelope_thresholds ~deviation:phase_dev ~floor:floor_rad ~respond grid
-              netlist ~nominal ~component_tol;
-        };
-      ]
+      let thresholds =
+        envelope_thresholds ~deviation:phase_dev ~floor:floor_rad ~respond grid
+          netlist ~nominal ~component_tol
+      in
+      [ { deviation = phase_dev; thresholds; steer = phase_steer thresholds } ]
   | Any_of criteria ->
-      List.concat_map (fun c -> prepare_with ~respond c grid netlist ~nominal) criteria
+      List.concat_map (fun c -> prepare_raw ~respond c grid netlist ~nominal) criteria
+
+let prepare_with ~respond criterion grid netlist ~nominal =
+  let prepared = prepare_raw ~respond criterion grid netlist ~nominal in
+  let mask = measurement_mask nominal in
+  List.iter
+    (fun p ->
+      Bytes.iteri
+        (fun k b ->
+          if b = '\001' then begin
+            p.thresholds.(k) <- infinity;
+            p.steer.(k) <- neg_infinity
+          end)
+        mask)
+    prepared;
+  prepared
 
 let prepare ?backend criterion probe grid netlist ~nominal =
   (* Lazy: criteria without an envelope never pay for the engine. *)
@@ -119,9 +170,13 @@ let prepare ?backend criterion probe grid netlist ~nominal =
   prepare_with ~respond criterion grid netlist ~nominal
 
 let result_of ~nominal ~prepared grid fault faulty =
+  let mask = measurement_mask nominal in
   let deviates i =
+    (* Below the measurement floor there is no verdict to salvage from
+       a failed solve either — the point is undetectable by
+       definition. *)
     match faulty.(i) with
-    | None -> true
+    | None -> Bytes.get mask i = '\000'
     | Some tf ->
         List.exists (fun p -> p.deviation nominal.(i) tf > p.thresholds.(i)) prepared
   in
@@ -157,6 +212,9 @@ type prepared_view = {
   sim : Fastsim.t;
   nominal : Complex.t array;
   prepared : prepared;
+  mask : Bytes.t;
+      (* measurement_mask of [nominal]: '\001' where the point is below
+         the floor and therefore undetectable by definition *)
 }
 
 let prepare_view ?backend ?(criterion = default_criterion) ?(warm = []) probe grid
@@ -169,7 +227,7 @@ let prepare_view ?backend ?(criterion = default_criterion) ?(warm = []) probe gr
   let nominal = Fastsim.nominal sim in
   let prepared = prepare_with ~respond criterion grid netlist ~nominal in
   if warm <> [] then Fastsim.warm_cache sim warm;
-  { sim; nominal; prepared }
+  { sim; nominal; prepared; mask = measurement_mask nominal }
 
 let analyze_prepared pv grid fault =
   result_of ~nominal:pv.nominal ~prepared:pv.prepared grid fault
@@ -196,11 +254,16 @@ let score_range pv plan ~lo ~hi ~re ~im ~ok =
 let result_of_rows ?verdicts pv grid fault ~re ~im ~ok =
   let nominal = pv.nominal and prepared = pv.prepared in
   let deviates i =
-    (* A certified verdict byte overrides the numeric comparison — the
-       point was never scored. Soundness of the certification pass
-       guarantees the byte equals what the comparison would have
-       produced, which the tier-1 bitwise-identity assertions and the
-       certify-soundness oracle re-check from the outside. *)
+    (* The measurement floor comes first — a sub-floor point is
+       undetectable by definition, before any certificate or solve is
+       consulted. A certified verdict byte then overrides the numeric
+       comparison — the point was never scored. Soundness of the
+       certification pass guarantees the byte equals what the
+       comparison would have produced, which the tier-1
+       bitwise-identity assertions and the certify-soundness oracle
+       re-check from the outside. *)
+    if Bytes.get pv.mask i = '\001' then false
+    else
     match verdicts with
     | Some v when Bytes.get v i = 'd' -> true
     | Some v when Bytes.get v i = 'u' -> false
@@ -220,6 +283,38 @@ let result_of_rows ?verdicts pv grid fault ~re ~im ~ok =
   let measure = Util.Interval.Set.measure regions in
   let omega_det = measure /. Grid.log_measure grid in
   { fault; detectable = not (Util.Interval.Set.is_empty regions); omega_det; regions }
+
+let point_verdict pv ~re ~im ~ok i =
+  if Bytes.get pv.mask i = '\001' then false
+  else if Bytes.get ok i = '\000' then true
+  else
+    let tf = { Complex.re = re.(i); im = im.(i) } in
+    List.exists
+      (fun p -> p.deviation pv.nominal.(i) tf > p.thresholds.(i))
+      pv.prepared
+
+let steering_profiles pv = List.map (fun p -> p.steer) pv.prepared
+let view_measurement_mask pv = pv.mask
+
+let point_margin pv ~re ~im ~ok i =
+  if Bytes.get pv.mask i = '\001' then Float.neg_infinity
+  else if Bytes.get ok i = '\000' then Float.nan
+  else
+    let tf = { Complex.re = re.(i); im = im.(i) } in
+    let ratio =
+      List.fold_left
+        (fun acc p ->
+          let dev = p.deviation pv.nominal.(i) tf in
+          let thr = p.thresholds.(i) in
+          let r =
+            if thr > 0.0 then dev /. thr
+            else if dev > 0.0 then infinity
+            else 1.0
+          in
+          Float.max acc r)
+        0.0 pv.prepared
+    in
+    log ratio
 
 let result_of_verdicts grid fault verdicts =
   if Bytes.length verdicts <> Grid.n_points grid then

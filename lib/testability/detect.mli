@@ -24,7 +24,18 @@ module Netlist := Circuit.Netlist
       phase response (radians) — an extension for phase-sensitive test
       setups;
     - {!Any_of} declares a fault detectable wherever any sub-criterion
-      fires (region union), e.g. magnitude-or-phase testing. *)
+      fires (region union), e.g. magnitude-or-phase testing.
+
+    Every criterion is subject to the {e measurement floor}: a grid
+    point whose nominal response magnitude falls below the view's floor
+    ({!measurement_mask} — 1e-12 of the view's peak response, with an
+    absolute backstop) has no usable reference, so its relative
+    deviation is a ratio of floating-point residues and any verdict
+    computed from it would be numerical noise, not testability. Such
+    points are {e undetectable by definition} in every scoring path —
+    a reconfiguration that disconnects the probed output yields an
+    all-['u'] row deterministically instead of verdict flicker (DESIGN
+    §15). *)
 
 type probe = { source : string; output : string }
 (** Where the test stimulus enters and where the response is read. *)
@@ -88,7 +99,9 @@ val analyze_fault :
     when analyzing many faults of one view ([prepared] must come from
     the same criterion/view). A frequency where the faulty circuit has
     no solution (singular system) counts as detectable — the response
-    is wildly wrong, not merely deviated. *)
+    is wildly wrong, not merely deviated — unless the point sits below
+    the measurement floor ({!measurement_mask}), which overrides
+    everything. *)
 
 type prepared_view
 (** One circuit view readied for a fault campaign: the fault-simulation
@@ -148,12 +161,67 @@ val result_of_rows :
   result
 (** Reduce one completed planar response row to a {!result}: the same
     deviation/threshold comparisons as {!analyze_prepared} (an
-    [ok]=['\000'] point counts as detectable, like a [None]
-    response). When [verdicts] is given, a point whose byte is ['d']
+    [ok]=['\000'] point counts as detectable, like a [None] response,
+    except below the measurement floor where the point is
+    undetectable by definition). When [verdicts] is given, a point whose byte is ['d']
     (certified detectable) or ['u'] (certified undetectable) takes
     that verdict without consulting the row — such points need never
     have been scored; ['?'] bytes fall through to the numeric
     comparison. *)
+
+val point_verdict :
+  prepared_view -> re:float array -> im:float array -> ok:Bytes.t -> int -> bool
+(** The verdict of one scored grid point: [true] (detectable) when the
+    point's solve failed ([ok] byte ['\000']) or its deviation exceeds
+    some prepared threshold — exactly the per-point comparison inside
+    {!result_of_rows}, exposed so a grid-subset driver (the adaptive
+    campaign) can turn individually solved points into verdict bytes
+    that reduce through {!result_of_verdicts} bitwise-identically. The
+    slot [i] must have been filled by {!score_range}. *)
+
+val point_margin :
+  prepared_view -> re:float array -> im:float array -> ok:Bytes.t -> int -> float
+(** The verdict's strength at one scored grid point, in nepers: the
+    natural log of the worst deviation-to-threshold ratio across the
+    prepared criteria. Positive exactly when {!point_verdict} is
+    [true], except for a failed solve (verdict [true]) which returns
+    [nan] — a refinement driver must treat such a point as carrying no
+    margin information ([-∞] marks a zero deviation or a point below
+    the measurement floor). The adaptive driver steers refinement with
+    it — an interval whose endpoint margins are jointly far from zero
+    relative to its width cannot hide a threshold crossing under the
+    driver's slope bound. Steering only: verdicts always come from
+    {!point_verdict}. *)
+
+val steering_profiles : prepared_view -> float array list
+(** Per prepared sub-criterion, the statically known part of the
+    {!point_margin} log at every grid point: [-log threshold], plus
+    [-log |H₀|] for magnitude deviations (they normalize by the
+    nominal). The residual — the margin minus its profile — moves as
+    slowly as the faulty response itself, so a refinement driver can
+    bound margin excursions by a response slope bound {e plus} the
+    profile's exactly-known variation. [-∞]/[+∞] entries mark
+    zero-threshold points or points below the measurement floor (a
+    notch, a dead band), where the numeric margin is meaningless or
+    moves arbitrarily fast — the infinite profile variation forces a
+    driver to refine into such a region rather than skip across it.
+    Do not mutate the returned arrays. *)
+
+val measurement_mask : Complex.t array -> Bytes.t
+(** The measurement floor of a nominal response row: byte ['\001'] at
+    every grid point whose nominal magnitude falls below
+    [max (1e-12 × peak, 1e-13)]. Those points have no usable reference
+    — every criterion declares them undetectable by definition, in
+    every scoring path ({!analyze}, {!result_of_rows},
+    {!point_verdict}), failed solves included. The verdict there is
+    therefore a {e static} ['u']: a campaign driver may fill it without
+    solving, and {!prepare_view} clamps the prepared thresholds to
+    [+∞] (and steering to [-∞]) accordingly. ['\000'] everywhere on a
+    healthy view. *)
+
+val view_measurement_mask : prepared_view -> Bytes.t
+(** {!measurement_mask} of the view's nominal response, computed once
+    at preparation time. Do not mutate. *)
 
 val result_of_verdicts : Grid.t -> Fault.t -> Bytes.t -> result
 (** Reduce a fully certified verdict row (every byte ['d'] or ['u'],

@@ -65,6 +65,183 @@ let run ?(seed = 42) ?(samples = 200) ?jobs ~component_tol probe grid netlist =
     per_sample_peak;
   }
 
+type coverage = {
+  samples : int;
+  strata : int;
+  component_tol : float;
+  epsilon : float;
+  boundary_radius : float;
+  stratum_samples : int array;
+  stratum_accept : float array;
+  worst_case : float;
+  average_case : float;
+}
+
+(* One draw on the shell of ∞-norm radius [radius] of the tolerance
+   cube: a uniform direction normalized to ∞-norm 1, scaled by the
+   radius. [drift_all] above samples the cube's interior uniformly;
+   this samples a chosen shell, which is what the stratified coverage
+   estimator needs. *)
+let drift_directed rng ~component_tol ~radius netlist =
+  let passives = Netlist.passives netlist in
+  let n = List.length passives in
+  if n = 0 then netlist
+  else begin
+    let u = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      u.(i) <- Random.State.float rng 2.0 -. 1.0
+    done;
+    let mx = Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0.0 u in
+    if mx = 0.0 then u.(0) <- 1.0;
+    let mx = Float.max mx 1e-300 in
+    let _, drifted =
+      List.fold_left
+        (fun (i, acc) e ->
+          let factor = 1.0 +. (component_tol *. radius *. (u.(i) /. mx)) in
+          ( i + 1,
+            Netlist.map_value ~name:(Element.name e)
+              ~f:(fun v -> v *. factor)
+              acc ))
+        (0, netlist) passives
+    in
+    drifted
+  end
+
+let coverage_run ?(seed = 42) ?(samples = 200) ?(strata = 8) ?jobs ~component_tol
+    ~epsilon probe grid netlist =
+  if strata <= 0 then invalid_arg "Montecarlo.coverage_run: strata must be positive";
+  if samples < 2 * strata then
+    invalid_arg "Montecarlo.coverage_run: samples must be at least 2*strata";
+  if epsilon <= 0.0 then
+    invalid_arg "Montecarlo.coverage_run: epsilon must be positive";
+  Obs.Trace.span "montecarlo.coverage" @@ fun () ->
+  let rng = Random.State.make [| seed |] in
+  let nominal = Detect.nominal_response probe grid netlist in
+  let n = Grid.n_points grid in
+  let est_ns count =
+    let d = float_of_int (List.length (Netlist.elements netlist)) in
+    float_of_int (count * n) *. d *. d *. d
+  in
+  let peak_of drifted_netlist =
+    let response = Detect.nominal_response probe grid drifted_netlist in
+    let dev = Detect.response_deviation ~nominal ~faulty:response in
+    Array.fold_left Float.max 0.0 dev
+  in
+  (* Phase 1: probe the full-spread shell (radius 1) to locate the ε
+     boundary. Deviation scales near-linearly with the spread radius
+     for small tolerances, so the radius at which a typical draw first
+     crosses ε is about ε divided by the full-spread peak. *)
+  let n_probe = Int.max 4 (Int.min 16 (samples / 16)) in
+  let probes = Array.make n_probe netlist in
+  Obs.Trace.span "montecarlo.coverage_draw" (fun () ->
+      for s = 0 to n_probe - 1 do
+        probes.(s) <- drift_directed rng ~component_tol ~radius:1.0 netlist
+      done);
+  let probe_peaks =
+    Obs.Trace.span "montecarlo.coverage_probe" (fun () ->
+        Util.Parallel.map ?jobs ~est_ns:(est_ns n_probe) n_probe (fun s ->
+            peak_of probes.(s)))
+  in
+  let full_peak = Array.fold_left Float.max 0.0 probe_peaks in
+  let boundary_radius =
+    if full_peak <= 0.0 then 1.0
+    else
+      Float.min 1.0
+        (Float.max (1.0 /. float_of_int strata) (epsilon /. full_peak))
+  in
+  (* Phase 2: allocate the remaining draws over the radius strata,
+     steered toward the stratum holding the boundary — that is where
+     the accept/reject verdict actually varies; deep-interior and
+     far-exterior shells are near-deterministic and get the floor of
+     one draw each. *)
+  let remaining = samples - n_probe in
+  let weights =
+    Array.init strata (fun s ->
+        let center = (float_of_int s +. 0.5) /. float_of_int strata in
+        1.0
+        /. (1.0 +. (float_of_int strata *. Float.abs (center -. boundary_radius))))
+  in
+  let wsum = Array.fold_left ( +. ) 0.0 weights in
+  let alloc =
+    Array.map
+      (fun w ->
+        Int.max 1 (int_of_float (float_of_int remaining *. w /. wsum)))
+      weights
+  in
+  let boundary_stratum =
+    Int.min (strata - 1)
+      (Int.max 0 (int_of_float (boundary_radius *. float_of_int strata)))
+  in
+  let allocated = Array.fold_left ( + ) 0 alloc in
+  alloc.(boundary_stratum) <-
+    Int.max 1 (alloc.(boundary_stratum) + remaining - allocated);
+  let total = Array.fold_left ( + ) 0 alloc in
+  let draws = Array.make total netlist in
+  let stratum_of = Array.make total 0 in
+  Obs.Trace.span "montecarlo.coverage_draw" (fun () ->
+      let idx = ref 0 in
+      for s = 0 to strata - 1 do
+        let lo = float_of_int s /. float_of_int strata in
+        let hi = float_of_int (s + 1) /. float_of_int strata in
+        for _ = 1 to alloc.(s) do
+          let radius = lo +. ((hi -. lo) *. Random.State.float rng 1.0) in
+          draws.(!idx) <- drift_directed rng ~component_tol ~radius netlist;
+          stratum_of.(!idx) <- s;
+          incr idx
+        done
+      done);
+  let peaks =
+    Obs.Trace.span "montecarlo.coverage_sweep" (fun () ->
+        Util.Parallel.map ?jobs ~est_ns:(est_ns total) total (fun s ->
+            peak_of draws.(s)))
+  in
+  (* Sequential reduce in draw order; the probe draws sit on the outer
+     surface of the outermost shell and sharpen its estimate for free. *)
+  let count = Array.make strata 0 in
+  let accepted = Array.make strata 0 in
+  Array.iter
+    (fun peak ->
+      count.(strata - 1) <- count.(strata - 1) + 1;
+      if peak <= epsilon then accepted.(strata - 1) <- accepted.(strata - 1) + 1)
+    probe_peaks;
+  for s = 0 to total - 1 do
+    let st = stratum_of.(s) in
+    count.(st) <- count.(st) + 1;
+    if peaks.(s) <= epsilon then accepted.(st) <- accepted.(st) + 1
+  done;
+  let stratum_accept =
+    Array.init strata (fun s ->
+        float_of_int accepted.(s) /. float_of_int (Int.max 1 count.(s)))
+  in
+  let worst_case = stratum_accept.(strata - 1) in
+  let dims = List.length (Netlist.passives netlist) in
+  let average_case =
+    if dims = 0 then worst_case
+    else begin
+      (* Shell volume fractions of the ∞-norm ball: ((s+1)/K)^d - (s/K)^d.
+         With many passives the outer shells dominate, as they should —
+         a uniform cube draw almost surely lands near the surface. *)
+      let acc = ref 0.0 in
+      for s = 0 to strata - 1 do
+        let outer = (float_of_int (s + 1) /. float_of_int strata) ** float_of_int dims in
+        let inner = (float_of_int s /. float_of_int strata) ** float_of_int dims in
+        acc := !acc +. ((outer -. inner) *. stratum_accept.(s))
+      done;
+      !acc
+    end
+  in
+  {
+    samples = n_probe + total;
+    strata;
+    component_tol;
+    epsilon;
+    boundary_radius;
+    stratum_samples = count;
+    stratum_accept;
+    worst_case;
+    average_case;
+  }
+
 let false_alarm_rate stats ~epsilon =
   let rejected =
     Array.fold_left

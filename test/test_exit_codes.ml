@@ -44,6 +44,19 @@ let table =
     ( "n-detect must be positive",
       "optimize tow-thomas --n-detect 0",
       124 );
+    ( "adaptive campaign on a matrix run",
+      "matrix tow-thomas --adaptive --points-per-decade 3",
+      0 );
+    ( "exhaustive campaign on a matrix run",
+      "matrix tow-thomas --no-adaptive --points-per-decade 3",
+      0 );
+    ( "bounded adaptive refinement",
+      "matrix tow-thomas --solve-budget 5 --points-per-decade 3",
+      0 );
+    (* --solve-budget is validated in the command itself (cmdliner's
+       conv layer would own exit 124; the value is accepted as an int
+       and rejected by the same path as other semantic errors) *)
+    ("solve budget must be positive", "matrix tow-thomas --solve-budget 0", 2);
     ( "missing diagnose observation file is an i/o error",
       "diagnose tow-thomas --observe no/such/log.txt --points-per-decade 2",
       5 );
@@ -81,10 +94,69 @@ let test_fuzz_exit_codes () =
   Alcotest.(check int) "replay of a missing repro is an i/o error" 5
     (exit_code "fuzz --replay fixtures/shrunk/nope.expected.json")
 
+(* ---- bench efficiency gate ---- *)
+
+let bench_exe = "../bench/main.exe"
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* The --baseline efficiency gate must announce when it could not arm:
+   a single-core runner clamps every jobs>1 row to one effective
+   worker and the gate checks nothing. PR history shows this reading
+   as "efficiency checked, ok" on CI. The marker's presence must track
+   Util.Parallel.effective_jobs exactly — on a multicore machine it
+   must NOT appear. *)
+let test_efficiency_gate_announcement () =
+  let dir = "tmp_bench_gate" in
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  let bench = Filename.concat (Sys.getcwd ()) bench_exe in
+  Alcotest.(check bool) "bench binary present" true (Sys.file_exists bench);
+  let run extra log =
+    Sys.command
+      (Printf.sprintf "cd %s && %s campaign --smoke %s > %s 2>&1" dir bench extra
+         log)
+  in
+  Alcotest.(check int) "baseline-producing run" 0 (run "" "run1.txt");
+  let baseline =
+    match
+      List.find_opt
+        (fun f -> Filename.check_suffix f ".json")
+        (Array.to_list (Sys.readdir dir))
+    with
+    | Some f -> f
+    | None -> Alcotest.fail "smoke campaign wrote no BENCH json"
+  in
+  Alcotest.(check int) "gated rerun passes against its own numbers" 0
+    (run (Printf.sprintf "--baseline %s" baseline) "run2.txt");
+  let out =
+    In_channel.with_open_text (Filename.concat dir "run2.txt")
+      In_channel.input_all
+  in
+  Alcotest.(check bool) "baseline verdict printed" true
+    (contains ~needle:"baseline check: ok" out);
+  let armed = Util.Parallel.effective_jobs 4 > 1 in
+  Alcotest.(check bool)
+    "UNARMED marker present exactly when the clamp leaves one worker"
+    (not armed)
+    (contains ~needle:"efficiency gate: UNARMED (effective_jobs=1)" out);
+  rm_rf dir
+
 let suite =
   [
     Alcotest.test_case "documented exit codes hold against fixtures" `Quick
       test_exit_codes;
     Alcotest.test_case "fuzz subcommand exit codes" `Quick
       test_fuzz_exit_codes;
+    Alcotest.test_case "bench efficiency gate announces when unarmed" `Quick
+      test_efficiency_gate_announcement;
   ]
